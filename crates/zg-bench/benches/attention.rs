@@ -1,0 +1,56 @@
+//! Attention-stack microbenchmarks: full forward, KV-cache decode step,
+//! and a transformer-block forward+backward.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_model::{Attention, CausalLm, LayerKvCache, ModelConfig, RopeCache};
+use zg_tensor::Tensor;
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let attn = Attention::new(64, 4, 2, 128, &mut rng);
+    let rope = RopeCache::new(16, 256, 10_000.0);
+    let mut group = c.benchmark_group("attention_forward");
+    for &t in &[32usize, 96, 192] {
+        let x = Tensor::randn([4, t, 64], 0.0, 1.0, &mut rng);
+        group.bench_function(format!("b4_t{t}_d64"), |b| {
+            b.iter(|| black_box(attn.forward(&x, &rope, 0, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kv_cache_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let attn = Attention::new(64, 4, 2, 128, &mut rng);
+    let rope = RopeCache::new(16, 512, 10_000.0);
+    c.bench_function("kv_decode_step_after_96", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = LayerKvCache::default();
+                let prefill = Tensor::randn([1, 96, 64], 0.0, 1.0, &mut rng);
+                attn.forward(&prefill, &rope, 0, Some(&mut cache));
+                cache
+            },
+            |mut cache| {
+                let x = Tensor::ones([1, 1, 64]);
+                black_box(attn.forward(&x, &rope, 96, Some(&mut cache)))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lm_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = ModelConfig::mistral_miniature(500);
+    let lm = CausalLm::new(cfg, &mut rng);
+    c.bench_function("causal_lm_forward_b2_t64", |b| {
+        let tokens: Vec<u32> = (0..128).map(|i| (i % 400) as u32).collect();
+        b.iter(|| black_box(lm.forward(&tokens, 2, 64)))
+    });
+}
+
+criterion_group!(benches, bench_attention_forward, bench_kv_cache_decode, bench_lm_step);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 2 pipeline benchmark: the pruning sweep's hot path (TracSeq
+//! scoring + top-k + downstream agent retrain) at one sample size.
+//! The full figure regeneration lives in the `figure2` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_data::{behavior_sequences, BehaviorConfig};
+use zg_influence::{select_top_k, AgentConfig, AgentModel};
+use zg_zigong::{agent_tracseq_scores, behavior_samples, split_behavior_by_user};
+
+fn bench_pruning_arm(c: &mut Criterion) {
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: 150,
+            periods: 5,
+            ..Default::default()
+        },
+        1,
+    );
+    let (train, test) = split_behavior_by_user(&ds, 0.2);
+    let train_s = behavior_samples(&train);
+    let test_s: Vec<(Vec<f32>, bool)> = test
+        .iter()
+        .map(|r| (r.numeric_features(), r.label))
+        .collect();
+    c.bench_function("figure2_one_arm_score_select_retrain", |b| {
+        b.iter(|| {
+            let scores = agent_tracseq_scores(&train_s, &test_s, 0.9, false, 2);
+            let picks = select_top_k(&scores, train_s.len() / 2);
+            let xs: Vec<Vec<f32>> = picks.iter().map(|&i| train_s[i].0.clone()).collect();
+            let ys: Vec<bool> = picks.iter().map(|&i| train_s[i].1).collect();
+            let mut rng = StdRng::seed_from_u64(3);
+            let (m, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+            black_box(m)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pruning_arm
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Influence-machinery benchmarks: TracSeq scoring throughput (agent
+//! analytic gradients) and LM per-sample gradient extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_data::{behavior_sequences, BehaviorConfig};
+use zg_influence::lm_sample_gradient;
+use zg_lora::{attach, LoraConfig};
+use zg_model::{CausalLm, ModelConfig};
+use zg_zigong::{agent_tracseq_scores, behavior_samples, split_behavior_by_user};
+
+fn bench_agent_tracseq(c: &mut Criterion) {
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: 200,
+            periods: 5,
+            ..Default::default()
+        },
+        1,
+    );
+    let (train, test) = split_behavior_by_user(&ds, 0.2);
+    let train_s = behavior_samples(&train);
+    let test_s: Vec<(Vec<f32>, bool)> = test
+        .iter()
+        .map(|r| (r.numeric_features(), r.label))
+        .collect();
+    c.bench_function("agent_tracseq_800train_40test", |b| {
+        b.iter(|| black_box(agent_tracseq_scores(&train_s, &test_s, 0.9, false, 2)))
+    });
+}
+
+fn bench_lm_gradient(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut cfg = ModelConfig::mistral_miniature(300);
+    cfg.n_layers = 1;
+    let mut lm = CausalLm::new(cfg, &mut rng);
+    attach(&mut lm, &LoraConfig::default(), &mut rng);
+    let sample = (
+        (0..48).map(|i| (i % 250) as u32 + 4).collect::<Vec<u32>>(),
+        (0..48).map(|i| ((i + 1) % 250) as u32 + 4).collect::<Vec<u32>>(),
+    );
+    c.bench_function("lm_sample_gradient_t48_lora", |b| {
+        b.iter(|| black_box(lm_sample_gradient(&lm, &sample)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_agent_tracseq, bench_lm_gradient
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table 2 harness benchmark: evaluation throughput per classifier class
+//! (replay calibration, expert system, and the full evaluate loop).
+//! The full table regeneration lives in the `table2` binary; this bench
+//! tracks the cost of its hot inner loops.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zg_data::german;
+use zg_zigong::{
+    calibrate, eval_items, evaluate_classifier, LogisticExpert, OperatingPoint, ReplayBaseline,
+};
+
+fn bench_replay_calibration(c: &mut Criterion) {
+    let op = OperatingPoint {
+        acc: 0.545,
+        f1: 0.513,
+        miss: 0.0,
+    };
+    c.bench_function("replay_calibrate_grid", |b| {
+        b.iter(|| black_box(calibrate(&op, 0.3)))
+    });
+}
+
+fn bench_evaluate_loop(c: &mut Criterion) {
+    let ds = german(600, 1);
+    let (train, test) = ds.split(0.25);
+    let items = eval_items(&ds, &test);
+    c.bench_function("evaluate_expert_150_items", |b| {
+        b.iter_batched(
+            || LogisticExpert::fit(&train, 2),
+            |mut expert| black_box(evaluate_classifier(&mut expert, &items)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("evaluate_replay_150_items", |b| {
+        b.iter_batched(
+            || {
+                ReplayBaseline::new(
+                    "GPT4",
+                    OperatingPoint {
+                        acc: 0.545,
+                        f1: 0.513,
+                        miss: 0.0,
+                    },
+                    ds.positive_rate(),
+                    3,
+                )
+            },
+            |mut replay| black_box(evaluate_classifier(&mut replay, &items)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_replay_calibration, bench_evaluate_loop
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Tokenizer throughput: BPE training, encoding, and decoding over the
+//! financial-credit instruction corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zg_data::german;
+use zg_instruct::render_classification;
+use zg_tokenizer::BpeTokenizer;
+
+fn corpus() -> Vec<String> {
+    let ds = german(200, 1);
+    ds.records
+        .iter()
+        .map(|r| render_classification(&ds, r).full_text())
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let texts = corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    c.bench_function("bpe_train_200docs_vocab500", |b| {
+        b.iter(|| black_box(BpeTokenizer::train(&refs, 500)))
+    });
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let texts = corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let tok = BpeTokenizer::train(&refs, 600);
+    let doc = &texts[0];
+    c.bench_function("bpe_encode_one_prompt", |b| {
+        b.iter(|| black_box(tok.encode(doc)))
+    });
+    let ids = tok.encode(doc);
+    c.bench_function("bpe_decode_one_prompt", |b| {
+        b.iter(|| black_box(tok.decode(&ids)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train, bench_encode_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! - `gamma` — TracSeq time-decay factor γ sweep (γ=1 ⇒ vanilla TracIn).
+//! - `mix`   — pruned-fraction sweep around the paper's 70/30 hybrid mix.
+//! - `drift` — TracIn vs TracSeq on drifting vs stationary behavior data.
+//! - `rank`  — LoRA rank sweep on the SFT task.
+//!
+//! Run all with `cargo run -p zg-bench --release --bin ablations`, or a
+//! single study by name: `… --bin ablations -- gamma`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use zg_bench::{cell, quick_mode, write_result};
+use zg_data::{behavior_sequences, BehaviorConfig, Record};
+use zg_eval::roc_auc;
+use zg_influence::{hybrid_mix, select_top_k, AgentConfig, AgentModel, MixConfig};
+use zg_lora::LoraConfig;
+use zg_zigong::{
+    agent_tracseq_scores, behavior_samples, split_behavior_by_user, train_zigong, TrainOrder,
+    ZiGongConfig,
+};
+
+const SEED: u64 = 20_250_706;
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "all".to_string());
+    const KNOWN: [&str; 6] = ["all", "gamma", "mix", "drift", "rank", "forgetting"];
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!("error: unknown ablation {which:?} (expected one of {KNOWN:?})");
+        std::process::exit(2);
+    }
+    let mut out = String::new();
+    if which == "gamma" || which == "all" {
+        out.push_str(&ablation_gamma());
+    }
+    if which == "mix" || which == "all" {
+        out.push_str(&ablation_mix());
+    }
+    if which == "drift" || which == "all" {
+        out.push_str(&ablation_drift());
+    }
+    if which == "rank" || which == "all" {
+        out.push_str(&ablation_rank());
+    }
+    if which == "forgetting" || which == "all" {
+        out.push_str(&ablation_forgetting());
+    }
+    print!("{out}");
+    write_result(&format!("ablations_{which}.txt"), &out);
+}
+
+type DriftSetup = (Vec<(Vec<f32>, bool, u32)>, Vec<(Vec<f32>, bool)>, Vec<bool>);
+
+fn drifting_setup(persistence: f32, seed: u64) -> DriftSetup {
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            // Harder setting than Figure 2's (fewer users, more noise) so
+            // the selector ablations have headroom below the AUC ceiling.
+            n_users: if quick_mode() { 120 } else { 220 },
+            periods: 6,
+            persistence,
+            noise_std: 0.9,
+            positive_rate: 0.3,
+        },
+        seed,
+    );
+    let (train, test) = split_behavior_by_user(&ds, 0.2);
+    let train_s = behavior_samples(&train);
+    let test_s: Vec<(Vec<f32>, bool)> = test
+        .iter()
+        .map(|r| (r.numeric_features(), r.label))
+        .collect();
+    let test_labels: Vec<bool> = test.iter().map(|r| r.label).collect();
+    (train_s, test_s, test_labels)
+}
+
+/// Train a fresh agent on the index subset; report test AUC.
+fn downstream_auc(
+    train_s: &[(Vec<f32>, bool, u32)],
+    picks: &[usize],
+    test_s: &[(Vec<f32>, bool)],
+    seed: u64,
+) -> f64 {
+    let xs: Vec<Vec<f32>> = picks.iter().map(|&i| train_s[i].0.clone()).collect();
+    let ys: Vec<bool> = picks.iter().map(|&i| train_s[i].1).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (m, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+    let probs: Vec<f64> = test_s
+        .iter()
+        .map(|(x, _)| m.predict_proba(x) as f64)
+        .collect();
+    let labels: Vec<bool> = test_s.iter().map(|(_, y)| *y).collect();
+    roc_auc(&probs, &labels)
+}
+
+/// Ablation A: γ sweep. Expectation on drifting data: γ < 1 beats γ = 1
+/// (TracIn), with a sweet spot strictly inside (0, 1).
+fn ablation_gamma() -> String {
+    let mut out = String::from("Ablation A: TracSeq time-decay factor γ (drifting data)\n");
+    out.push_str("--------------------------------------------------------\n");
+    out.push_str(&format!("{:<8}{:>12}\n", "gamma", "test AUC"));
+    let (train_s, test_s, _) = drifting_setup(0.5, SEED);
+    let k = train_s.len() / 2;
+    for gamma in [0.5f32, 0.7, 0.8, 0.9, 0.95, 1.0] {
+        let scores = agent_tracseq_scores(&train_s, &test_s, gamma, false, SEED ^ 1);
+        let picks = select_top_k(&scores, k);
+        let auc = downstream_auc(&train_s, &picks, &test_s, SEED ^ 2);
+        out.push_str(&format!("{gamma:<8}{:>12}\n", cell(auc)));
+    }
+    out.push('\n');
+    out
+}
+
+/// Ablation B: hybrid mix ratio sweep. The paper fixes 30% pruned; sweep
+/// the pruned fraction from pure-random to pure-pruned.
+fn ablation_mix() -> String {
+    let mut out = String::from("Ablation B: hybrid mix pruned-fraction (paper: 0.30)\n");
+    out.push_str("------------------------------------------------------\n");
+    out.push_str(&format!("{:<10}{:>12}\n", "pruned%", "test AUC"));
+    let (train_s, test_s, _) = drifting_setup(0.55, SEED ^ 3);
+    let scores = agent_tracseq_scores(&train_s, &test_s, 0.9, false, SEED ^ 4);
+    let ranked = select_top_k(&scores, train_s.len());
+    let total = train_s.len() / 2;
+    for pruned_frac in [0.0f64, 0.1, 0.3, 0.5, 0.7, 1.0] {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 5);
+        let picks = hybrid_mix(
+            &MixConfig {
+                pruned_fraction: pruned_frac,
+                total,
+            },
+            &ranked,
+            train_s.len(),
+            &mut rng,
+        );
+        let auc = downstream_auc(&train_s, &picks, &test_s, SEED ^ 6);
+        out.push_str(&format!(
+            "{:<10}{:>12}\n",
+            format!("{:.0}%", pruned_frac * 100.0),
+            cell(auc)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Ablation C: TracIn (γ=1) vs TracSeq (γ=0.7) on drifting vs stationary
+/// data. Two views: downstream AUC of a model retrained on the top-half
+/// selection, and the selection's concentration on the two most recent
+/// periods — the mechanism the γ decay is supposed to produce. Under
+/// drift TracSeq concentrates on recent data and matches or beats TracIn;
+/// when stationary the two coincide (no recency signal to exploit).
+fn ablation_drift() -> String {
+    let mut out = String::from("Ablation C: TracIn vs TracSeq under drift\n");
+    out.push_str("-------------------------------------------\n");
+    out.push_str(&format!(
+        "{:<22}{:>8}{:>12}{:>12}{:>14}{:>14}\n",
+        "data", "method", "test AUC", "test Acc", "recent-share", "(k=20%)"
+    ));
+    for (label, persistence) in [("drifting (rho=0.5)", 0.5f32), ("stationary (rho=1.0)", 1.0)] {
+        let (train_s, test_s, _) = drifting_setup(persistence, SEED ^ 7);
+        let k = train_s.len() / 5;
+        for (method, gamma, sample_decay) in [
+            ("TracIn", 1.0f32, false),
+            ("TracSeq", 0.7, false),
+            ("TracSeq+s", 0.7, true), // strict reading: decay sample age too
+        ] {
+            let scores = agent_tracseq_scores(&train_s, &test_s, gamma, sample_decay, SEED ^ 8);
+            let picks = select_top_k(&scores, k);
+            let auc = downstream_auc(&train_s, &picks, &test_s, SEED ^ 9);
+            let recent = picks
+                .iter()
+                .filter(|&&i| train_s[i].2 >= 4)
+                .count() as f64
+                / picks.len() as f64;
+            out.push_str(&format!(
+                "{:<22}{:>8}{:>12}{:>12}{:>14}\n",
+                label,
+                method,
+                cell(auc),
+                "-",
+                cell(recent)
+            ));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Ablation E: knowledge forgetting — sequential SFT vs the paper's
+/// hybrid replay mix (motivating claim of §1).
+fn ablation_forgetting() -> String {
+    use zg_data::{auditing_dataset, german};
+    use zg_zigong::{run_forgetting_study, ForgettingSetup, ZiGongConfig};
+    let mut out = String::from("Ablation E: knowledge forgetting (sequential vs hybrid replay)\n");
+    out.push_str("----------------------------------------------------------------\n");
+    let a = german(if quick_mode() { 160 } else { 400 }, SEED ^ 20);
+    let b = auditing_dataset(if quick_mode() { 160 } else { 400 }, SEED ^ 21);
+    let (train_a, test_a) = a.split(0.25);
+    let (train_b, test_b) = b.split(0.25);
+    let take = if quick_mode() { 48 } else { 160 };
+    let mut cfg = ZiGongConfig::miniature(SEED ^ 22);
+    cfg.vocab_size = 450;
+    cfg.model.vocab_size = 450;
+    cfg.train.max_seq_len = 96;
+    cfg.train.epochs = if quick_mode() { 1 } else { 3 };
+    cfg.train.pretrain_epochs = if quick_mode() { 2 } else { 5 };
+    cfg.train.checkpoint_every = 0;
+    let setup = ForgettingSetup {
+        task_a: &a,
+        train_a: train_a.into_iter().take(take).collect(),
+        test_a: test_a.into_iter().take(60).collect(),
+        task_b: &b,
+        train_b: train_b.into_iter().take(take).collect(),
+        test_b: test_b.into_iter().take(60).collect(),
+        replay_fraction: 0.3,
+        config: cfg,
+    };
+    let r = run_forgetting_study(&setup);
+    out.push_str(&format!("task A (German) acc after learning A : {}\n", cell(r.acc_a_initial)));
+    out.push_str(&format!(
+        "  after sequential SFT on B          : {}  (forgot {})\n",
+        cell(r.acc_a_sequential),
+        cell(r.forgetting_sequential())
+    ));
+    out.push_str(&format!(
+        "  after hybrid 70/30 replay SFT on B : {}  (forgot {})\n",
+        cell(r.acc_a_hybrid),
+        cell(r.forgetting_hybrid())
+    ));
+    out.push_str(&format!(
+        "task B (Auditing) acc: sequential {} | hybrid {}\n\n",
+        cell(r.acc_b_sequential),
+        cell(r.acc_b_hybrid)
+    ));
+    out
+}
+
+/// Ablation D: LoRA rank sweep on a small SFT task (paper: r = 8).
+fn ablation_rank() -> String {
+    let mut out = String::from("Ablation D: LoRA rank (paper: r = 8)\n");
+    out.push_str("--------------------------------------\n");
+    out.push_str(&format!(
+        "{:<8}{:>14}{:>16}\n",
+        "rank", "final loss", "adapter params"
+    ));
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: if quick_mode() { 40 } else { 80 },
+            periods: 4,
+            persistence: 0.6,
+            noise_std: 0.4,
+            positive_rate: 0.3,
+        },
+        SEED ^ 10,
+    );
+    let (train, _) = split_behavior_by_user(&ds, 0.2);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 11);
+    let mut subset: Vec<&Record> = train.clone();
+    subset.shuffle(&mut rng);
+    subset.truncate(if quick_mode() { 48 } else { 120 });
+    let examples: Vec<_> = subset
+        .iter()
+        .map(|r| zg_instruct::render_classification(&ds, r))
+        .collect();
+    for rank in [1usize, 2, 4, 8, 16] {
+        let mut cfg = ZiGongConfig::miniature(SEED ^ 12);
+        cfg.vocab_size = 400;
+        cfg.model.vocab_size = 400;
+        cfg.train.max_seq_len = 128;
+        cfg.train.epochs = if quick_mode() { 1 } else { 2 };
+        cfg.train.checkpoint_every = 0;
+        cfg.lora = LoraConfig {
+            rank,
+            alpha: 2.0 * rank as f32,
+            ..Default::default()
+        };
+        let (model, report) = train_zigong(&examples, &cfg, TrainOrder::Shuffled, "rank-ablation");
+        let params = zg_lora::lora_param_count(&model.lm);
+        out.push_str(&format!(
+            "{rank:<8}{:>14}{params:>16}\n",
+            format!("{:.3}", report.final_loss())
+        ));
+    }
+    out.push('\n');
+    out
+}

@@ -1,0 +1,228 @@
+//! Regenerates **Figure 2**: the impact of data pruning on model
+//! performance across sample sizes, contrasting high-influence vs
+//! low-influence vs random selection, with Accuracy and the KS statistic
+//! (the paper's financial risk-control metric).
+//!
+//! Pipeline (per arm × fraction):
+//! 1. Generate drifting behavior sequences; split users into train/test.
+//! 2. Score every training record with **TracSeq** via the sequential
+//!    agent model (checkpoints per period).
+//! 3. Select `frac·N` records by the arm's rule.
+//! 4. Fine-tune a fresh ZiGong miniature (LoRA SFT) on the rendered
+//!    instructions — or the agent model with `--trainee agent` / `--quick`.
+//! 5. Evaluate Acc and KS on unseen users at the current period.
+//!
+//! The paper's headline finding to reproduce: *half of the high-influence
+//! samples beat the full original dataset*, and high-influence selection
+//! dominates low-influence at every size.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use zg_bench::{arg_value, cell, quick_mode, write_result};
+use zg_data::{behavior_sequences, BehaviorConfig, Record};
+use zg_eval::{ks_statistic, roc_auc};
+use zg_influence::{select_bottom_k, select_top_k, AgentConfig, AgentModel};
+use zg_instruct::render_classification;
+use zg_zigong::{
+    agent_tracseq_scores, behavior_samples, eval_items, evaluate_classifier,
+    split_behavior_by_user, train_zigong, TrainOrder, ZiGongConfig,
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trainee {
+    Lm,
+    Agent,
+}
+
+struct ArmResult {
+    arm: &'static str,
+    frac: f64,
+    n: usize,
+    acc: f64,
+    f1: f64,
+    ks: f64,
+    auc: f64,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let trainee = match arg_value("--trainee").as_deref() {
+        Some("agent") => Trainee::Agent,
+        Some("lm") => Trainee::Lm,
+        Some(other) => {
+            eprintln!("error: unknown --trainee {other:?} (expected \"lm\" or \"agent\")");
+            std::process::exit(2);
+        }
+        None if quick => Trainee::Agent,
+        None => Trainee::Lm,
+    };
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_250_706);
+
+    let cfg = BehaviorConfig {
+        n_users: if quick { 120 } else { 160 },
+        periods: 6,
+        persistence: 0.55,
+        noise_std: 0.45,
+        positive_rate: 0.3,
+    };
+    let ds = behavior_sequences(&cfg, seed);
+    let (train, test) = split_behavior_by_user(&ds, 0.2);
+    eprintln!(
+        "Figure 2 pruning study: {} train records, {} test users, trainee={}",
+        train.len(),
+        test.len(),
+        if trainee == Trainee::Lm { "LM (LoRA SFT)" } else { "agent model" }
+    );
+
+    // TracSeq scores over the full training pool (paper Eq. 1 + 2).
+    let train_s = behavior_samples(&train);
+    let test_s: Vec<(Vec<f32>, bool)> = test
+        .iter()
+        .map(|r| (r.numeric_features(), r.label))
+        .collect();
+    let scores = agent_tracseq_scores(&train_s, &test_s, 0.9, false, seed ^ 0xF16);
+
+    let fractions = [0.10, 0.25, 0.50, 0.75, 1.00];
+    let mut results: Vec<ArmResult> = Vec::new();
+    let t0 = std::time::Instant::now();
+    for &frac in &fractions {
+        let k = ((train.len() as f64) * frac).round() as usize;
+        let arms: Vec<(&'static str, Vec<usize>)> = vec![
+            ("high-influence", select_top_k(&scores, k)),
+            ("low-influence", select_bottom_k(&scores, k)),
+            ("random", {
+                let mut idx: Vec<usize> = (0..train.len()).collect();
+                idx.shuffle(&mut StdRng::seed_from_u64(seed ^ (k as u64)));
+                idx.truncate(k);
+                idx
+            }),
+        ];
+        for (arm, picks) in arms {
+            if frac >= 1.0 && arm != "random" {
+                continue; // at 100% all arms coincide; report once
+            }
+            let subset: Vec<&Record> = picks.iter().map(|&i| train[i]).collect();
+            let (acc, f1, ks, auc) = match trainee {
+                Trainee::Lm => eval_lm(&ds, &subset, &test, seed, quick),
+                Trainee::Agent => eval_agent(&subset, &test, seed),
+            };
+            eprintln!(
+                "  [{:>5.0}% | {:<14}] n={:<4} acc={:.3} f1={:.3} ks={:.3} auc={:.3} ({:.0}s)",
+                frac * 100.0,
+                arm,
+                subset.len(),
+                acc,
+                f1,
+                ks,
+                auc,
+                t0.elapsed().as_secs_f64()
+            );
+            results.push(ArmResult {
+                arm: if frac >= 1.0 { "full dataset" } else { arm },
+                frac,
+                n: subset.len(),
+                acc,
+                f1,
+                ks,
+                auc,
+            });
+        }
+    }
+
+    // Render the two panels (Acc and KS) as text series.
+    let mut out = String::new();
+    out.push_str("Figure 2: impact of data pruning across sample sizes\n");
+    out.push_str("=====================================================\n\n");
+    out.push_str(&format!(
+        "{:<16}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}\n",
+        "arm", "frac", "n", "Acc", "F1", "KS", "AUC"
+    ));
+    for r in &results {
+        out.push_str(&format!(
+            "{:<16}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}\n",
+            r.arm,
+            format!("{:.0}%", r.frac * 100.0),
+            r.n,
+            cell(r.acc),
+            cell(r.f1),
+            cell(r.ks),
+            cell(r.auc)
+        ));
+    }
+    let full = results.iter().find(|r| r.frac >= 1.0).expect("full arm");
+    let half_high = results
+        .iter()
+        .find(|r| r.arm == "high-influence" && (r.frac - 0.5).abs() < 1e-9)
+        .expect("half high arm");
+    out.push_str(&format!(
+        "\nPaper claim check — 50% high-influence vs 100% full dataset:\n  Acc {} vs {} | KS {} vs {}  ({})\n",
+        cell(half_high.acc),
+        cell(full.acc),
+        cell(half_high.ks),
+        cell(full.ks),
+        if half_high.acc >= full.acc || half_high.ks >= full.ks {
+            "claim reproduced"
+        } else {
+            "claim NOT reproduced at this scale"
+        }
+    ));
+    print!("\n{out}");
+    write_result("figure2.txt", &out);
+}
+
+/// Train + evaluate the LM trainee on a record subset.
+fn eval_lm(
+    ds: &zg_data::Dataset,
+    subset: &[&Record],
+    test: &[&Record],
+    seed: u64,
+    quick: bool,
+) -> (f64, f64, f64, f64) {
+    let examples: Vec<_> = subset
+        .iter()
+        .map(|r| render_classification(ds, r))
+        .collect();
+    let mut cfg = ZiGongConfig::miniature(seed ^ subset.len() as u64);
+    cfg.vocab_size = 420;
+    cfg.model.vocab_size = 420;
+    cfg.train.max_seq_len = 96;
+    cfg.train.pretrain_epochs = if quick { 1 } else { 3 };
+    cfg.train.epochs = if quick { 1 } else { 2 };
+    cfg.train.checkpoint_every = 0;
+    let (mut model, _) = train_zigong(&examples, &cfg, TrainOrder::Chronological, "trainee");
+    let items = eval_items(ds, test);
+    let r = evaluate_classifier(&mut model, &items);
+    (r.eval.acc, r.eval.f1, r.ks, r.auc)
+}
+
+/// Train + evaluate the agent-model trainee on a record subset.
+fn eval_agent(subset: &[&Record], test: &[&Record], seed: u64) -> (f64, f64, f64, f64) {
+    let xs: Vec<Vec<f32>> = subset.iter().map(|r| r.numeric_features()).collect();
+    let ys: Vec<bool> = subset.iter().map(|r| r.label).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA9E);
+    let (m, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+    let probs: Vec<f64> = test
+        .iter()
+        .map(|r| m.predict_proba(&r.numeric_features()) as f64)
+        .collect();
+    let labels: Vec<bool> = test.iter().map(|r| r.label).collect();
+    // Threshold at prior for Acc/F1.
+    let prior = ys.iter().filter(|&&y| y).count() as f64 / ys.len() as f64;
+    let mut sorted = probs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let thr = sorted[(((1.0 - prior) * sorted.len() as f64) as usize).min(sorted.len() - 1)];
+    let preds: Vec<zg_eval::Prediction> = probs
+        .iter()
+        .map(|&p| zg_eval::Prediction::Label(p >= thr))
+        .collect();
+    let e = zg_eval::evaluate_binary(&preds, &labels);
+    (
+        e.acc,
+        e.f1,
+        ks_statistic(&probs, &labels),
+        roc_auc(&probs, &labels),
+    )
+}

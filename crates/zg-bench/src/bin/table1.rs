@@ -1,0 +1,34 @@
+//! Regenerates **Table 1**: the instruction templates for every task type
+//! evaluated in the financial-credit benchmark, rendered on a concrete
+//! sample each.
+
+use zg_bench::write_result;
+use zg_data::{german, income_dataset, sentiment_dataset};
+use zg_instruct::{render_classification, render_income, render_sentiment};
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Table 1: Templates for the different tasks in financial credit\n");
+    out.push_str("================================================================\n\n");
+
+    out.push_str("-- Discriminative / Sentiment Analysis --\n");
+    out.push_str("{sentence}\nQuestion: what is the sentiment? Answer: {good/neutral/bad}\n\n");
+    let s = sentiment_dataset(1, 7);
+    let ex = render_sentiment(&s[0], 0);
+    out.push_str(&format!("Example:\n{} {}\n\n", ex.prompt, ex.answer));
+
+    out.push_str("-- Discriminative / Classification --\n");
+    out.push_str("{sentence}\nQuestion: {question}? Answer: {Yes/No}\n\n");
+    let ds = german(3, 7);
+    let ex = render_classification(&ds, &ds.records[0]);
+    out.push_str(&format!("Example (German credit scoring):\n{} {}\n\n", ex.prompt, ex.answer));
+
+    out.push_str("-- Generative / QA --\n");
+    out.push_str("{user profile}\nQuestion: what is the user's expected income level, low, medium or high? Answer: {low/medium/high}\n\n");
+    let recs = income_dataset(1, 7);
+    let ex = render_income(&recs[0]);
+    out.push_str(&format!("Example:\n{} {}\n", ex.prompt, ex.answer));
+
+    print!("{out}");
+    write_result("table1.txt", &out);
+}

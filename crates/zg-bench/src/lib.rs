@@ -1,0 +1,91 @@
+//! # zg-bench
+//!
+//! Experiment binaries regenerating every table and figure of the paper
+//! (see DESIGN.md §4 for the experiment index), plus Criterion
+//! microbenchmarks of the substrates.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — instruction templates |
+//! | `table2` | Table 2 — benchmark, measured + replay columns |
+//! | `table3` | Table 3 — configuration dump |
+//! | `figure2` | Figure 2 — pruning study (sample size × selector, Acc + KS) |
+//! | `ablations` | Ablations A–D (γ, mix ratio, drift, LoRA rank) |
+//!
+//! All binaries accept `--quick` for a fast smoke-scale run and write
+//! their output under `results/`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where experiment outputs are written.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write `content` to `results/<name>` and echo the path. Quick-mode
+/// runs write to `<stem>_quick.<ext>` so they never clobber full-run
+/// artifacts.
+pub fn write_result(name: &str, content: &str) -> PathBuf {
+    let name = if quick_mode() {
+        match name.rsplit_once('.') {
+            Some((stem, ext)) => format!("{stem}_quick.{ext}"),
+            None => format!("{name}_quick"),
+        }
+    } else {
+        name.to_string()
+    };
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    f.write_all(content.as_bytes()).expect("write result");
+    println!("\n[written] {}", path.display());
+    path
+}
+
+/// `true` when `--quick` was passed (smoke-scale run).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Value of a `--key value` argument.
+pub fn arg_value(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Format a float cell to 3 decimals (the paper's precision).
+pub fn cell(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn write_result_roundtrip() {
+        let p = write_result("_test_artifact.txt", "hello");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn cell_precision() {
+        assert_eq!(cell(0.5), "0.500");
+        assert_eq!(cell(0.1234), "0.123");
+    }
+}

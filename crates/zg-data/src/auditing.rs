@@ -1,0 +1,168 @@
+//! Financial auditing — the third downstream task in the paper's Figure 1
+//! workflow ("QA, Sentiment Analysis, and Financial Auditing"). Synthetic
+//! journal-entry records with planted audit red flags: duplicate invoice
+//! amounts, round-number bias, weekend postings, manual entries just
+//! under approval limits, and period-end clustering.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{Dataset, FeatureValue, Record, TaskKind};
+
+/// Approval limit used by the "just-below-limit" red flag.
+pub const APPROVAL_LIMIT: f32 = 10_000.0;
+
+const VENDORS: [&str; 8] = [
+    "Acme Industrial Supply",
+    "Northwind Logistics",
+    "Pioneer Office Services",
+    "Cascade Consulting",
+    "Summit Equipment Leasing",
+    "Harbor Freight Partners",
+    "Metro Facilities Group",
+    "Crestline Marketing",
+];
+
+const ACCOUNTS: [&str; 6] = [
+    "travel and entertainment",
+    "professional fees",
+    "office supplies",
+    "equipment maintenance",
+    "marketing services",
+    "miscellaneous expense",
+];
+
+/// Generate `n` journal entries; ≈`positive_rate` carry planted red flags
+/// (the positive "irregular" class).
+pub fn auditing_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positive_rate = 0.12;
+    let mut records = Vec::with_capacity(n);
+    for id in 0..n {
+        let irregular = rng.gen_bool(positive_rate);
+        let vendor = VENDORS[rng.gen_range(0..VENDORS.len())];
+        let account = ACCOUNTS[rng.gen_range(0..ACCOUNTS.len())];
+        // Normal entries: organic amounts, weekday, spread over the month.
+        let mut amount: f32 = (50.0 + rng.gen_range(0.0..6000.0f32) * rng.gen::<f32>()).round()
+            + rng.gen_range(0..100) as f32 / 100.0;
+        let mut day_of_week = rng.gen_range(1..=5u32); // Mon-Fri
+        let mut day_of_month = rng.gen_range(1..=28u32);
+        let mut entry_type = "system generated";
+        let mut approver_matches = true;
+        if irregular {
+            // Plant one of the classic red-flag patterns.
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    // Just below the approval limit.
+                    amount = APPROVAL_LIMIT - rng.gen_range(1.0..250.0f32).round();
+                    entry_type = "manual";
+                }
+                1 => {
+                    // Suspicious round number.
+                    amount = (rng.gen_range(1..=9) * 1000) as f32;
+                    entry_type = "manual";
+                }
+                2 => {
+                    // Weekend posting at period end.
+                    day_of_week = if rng.gen_bool(0.5) { 6 } else { 7 };
+                    day_of_month = rng.gen_range(28..=31);
+                }
+                _ => {
+                    // Manual entry with self-approval.
+                    entry_type = "manual";
+                    approver_matches = false;
+                }
+            }
+        }
+        let weekday_name = match day_of_week {
+            1 => "Monday",
+            2 => "Tuesday",
+            3 => "Wednesday",
+            4 => "Thursday",
+            5 => "Friday",
+            6 => "Saturday",
+            _ => "Sunday",
+        };
+        records.push(Record {
+            id,
+            features: vec![
+                ("vendor".into(), FeatureValue::Cat(vendor.into())),
+                ("expense account".into(), FeatureValue::Cat(account.into())),
+                ("amount".into(), FeatureValue::Num(amount)),
+                (
+                    "posting day of month".into(),
+                    FeatureValue::Num(day_of_month as f32),
+                ),
+                (
+                    "posting weekday".into(),
+                    FeatureValue::Cat(weekday_name.into()),
+                ),
+                ("entry type".into(), FeatureValue::Cat(entry_type.into())),
+                (
+                    "approver independent".into(),
+                    FeatureValue::Cat(if approver_matches { "yes" } else { "no" }.into()),
+                ),
+            ],
+            label: irregular,
+            time: None,
+            user: None,
+        });
+    }
+    Dataset {
+        name: "Financial Auditing".to_string(),
+        task: TaskKind::FinancialAuditing,
+        records,
+        positive_name: "Yes".to_string(),
+        negative_name: "No".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_prior() {
+        let d = auditing_dataset(2000, 1);
+        assert_eq!(d.records[0].features.len(), 7);
+        assert!((d.positive_rate() - 0.12).abs() < 0.03, "{}", d.positive_rate());
+        assert_eq!(d.task, TaskKind::FinancialAuditing);
+    }
+
+    #[test]
+    fn red_flags_concentrate_in_positives() {
+        let d = auditing_dataset(3000, 2);
+        let manual_rate = |label: bool| -> f64 {
+            let recs: Vec<&Record> = d.records.iter().filter(|r| r.label == label).collect();
+            let manual = recs
+                .iter()
+                .filter(|r| {
+                    matches!(&r.features[5].1, FeatureValue::Cat(s) if s == "manual")
+                })
+                .count();
+            manual as f64 / recs.len() as f64
+        };
+        assert!(
+            manual_rate(true) > manual_rate(false) + 0.3,
+            "manual entries must concentrate in irregular class"
+        );
+    }
+
+    #[test]
+    fn weekend_postings_are_red_flags() {
+        let d = auditing_dataset(3000, 3);
+        for r in &d.records {
+            if matches!(&r.features[4].1, FeatureValue::Cat(s) if s == "Saturday" || s == "Sunday")
+            {
+                assert!(r.label, "weekend posting must be flagged in this generator");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = auditing_dataset(50, 4);
+        let b = auditing_dataset(50, 4);
+        assert_eq!(a.records[9].feature_text(), b.records[9].feature_text());
+    }
+}

@@ -1,0 +1,169 @@
+//! Financial distress identification — the fourth CALM task family the
+//! paper's §4 names ("credit scoring, fraud detection, financial distress
+//! identification, and claim analysis"). The CALM benchmark uses the
+//! Polish companies bankruptcy dataset (financial ratios → bankruptcy
+//! within the forecasting horizon, ≈4.8% positive); this generator
+//! mirrors a representative subset of its ratio schema.
+
+use crate::record::{Dataset, TaskKind};
+use crate::synth::{FeatureSpec, SynthSpec};
+
+/// Default scaled-down size (original: 43 405 firm-year observations).
+pub const DEFAULT_SIZE: usize = 3000;
+
+/// Polish-companies-style financial distress data: accounting ratios with
+/// a planted insolvency signal, ≈4.8% positive (bankrupt).
+pub fn polish_distress(n: usize, seed: u64) -> Dataset {
+    SynthSpec {
+        name: "Polish Distress",
+        task: TaskKind::DistressIdentification,
+        features: vec![
+            FeatureSpec::Numeric {
+                name: "net profit / total assets",
+                mean: 0.05,
+                std: 0.12,
+                risk_weight: -0.85,
+                round: false,
+                range: (-1.5, 1.0),
+            },
+            FeatureSpec::Numeric {
+                name: "total liabilities / total assets",
+                mean: 0.48,
+                std: 0.22,
+                risk_weight: 0.8,
+                round: false,
+                range: (0.0, 2.5),
+            },
+            FeatureSpec::Numeric {
+                name: "working capital / total assets",
+                mean: 0.15,
+                std: 0.2,
+                risk_weight: -0.6,
+                round: false,
+                range: (-1.0, 1.0),
+            },
+            FeatureSpec::Numeric {
+                name: "current assets / short-term liabilities",
+                mean: 1.8,
+                std: 1.2,
+                risk_weight: -0.5,
+                round: false,
+                range: (0.0, 20.0),
+            },
+            FeatureSpec::Numeric {
+                name: "retained earnings / total assets",
+                mean: 0.12,
+                std: 0.18,
+                risk_weight: -0.55,
+                round: false,
+                range: (-2.0, 1.0),
+            },
+            FeatureSpec::Numeric {
+                name: "EBIT / total assets",
+                mean: 0.06,
+                std: 0.13,
+                risk_weight: -0.7,
+                round: false,
+                range: (-1.5, 1.0),
+            },
+            FeatureSpec::Numeric {
+                name: "sales / total assets",
+                mean: 1.3,
+                std: 0.9,
+                risk_weight: -0.2,
+                round: false,
+                range: (0.0, 12.0),
+            },
+            FeatureSpec::Numeric {
+                name: "equity / total assets",
+                mean: 0.45,
+                std: 0.23,
+                risk_weight: -0.45,
+                round: false,
+                range: (-1.0, 1.0),
+            },
+            FeatureSpec::Numeric {
+                name: "operating expenses / short-term liabilities",
+                mean: 4.2,
+                std: 3.5,
+                risk_weight: -0.15,
+                round: false,
+                range: (0.0, 50.0),
+            },
+            FeatureSpec::Numeric {
+                name: "gross profit / sales",
+                mean: 0.08,
+                std: 0.15,
+                risk_weight: -0.4,
+                round: false,
+                range: (-2.0, 1.0),
+            },
+            FeatureSpec::Categorical {
+                name: "sector",
+                choices: &[
+                    ("manufacturing", 0.1),
+                    ("construction", 0.35),
+                    ("retail trade", 0.0),
+                    ("transport", 0.15),
+                    ("services", -0.2),
+                ],
+            },
+            FeatureSpec::Numeric {
+                name: "firm age in years",
+                mean: 14.0,
+                std: 9.0,
+                risk_weight: -0.25,
+                round: true,
+                range: (1.0, 80.0),
+            },
+        ],
+        positive_rate: 0.048,
+        noise_std: 0.75,
+        positive_name: "Yes",
+        negative_name: "No",
+    }
+    .generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FeatureValue;
+
+    #[test]
+    fn schema_and_prior() {
+        let d = polish_distress(3000, 1);
+        assert_eq!(d.records[0].features.len(), 12);
+        assert!((d.positive_rate() - 0.048).abs() < 0.01, "{}", d.positive_rate());
+        assert_eq!(d.task, TaskKind::DistressIdentification);
+    }
+
+    #[test]
+    fn leverage_predicts_distress() {
+        let d = polish_distress(6000, 2);
+        let mean_leverage = |bankrupt: bool| -> f64 {
+            let xs: Vec<f64> = d
+                .records
+                .iter()
+                .filter(|r| r.label == bankrupt)
+                .map(|r| match &r.features[1].1 {
+                    FeatureValue::Num(v) => *v as f64,
+                    _ => unreachable!(),
+                })
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            mean_leverage(true) > mean_leverage(false) + 0.05,
+            "bankrupt firms must carry more leverage"
+        );
+    }
+
+    #[test]
+    fn prompt_renders_ratios() {
+        let d = polish_distress(5, 3);
+        let text = d.records[0].feature_text();
+        assert!(text.contains("net profit / total assets: "));
+        assert!(text.contains("sector: "));
+    }
+}

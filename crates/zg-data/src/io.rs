@@ -1,0 +1,196 @@
+//! Dataset serialization (JSON Lines) and summary statistics — the
+//! plumbing a downstream user needs to persist generated datasets, load
+//! their own, and sanity-check class balance and feature ranges.
+
+use std::io::{self, BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Dataset, FeatureValue, Record};
+
+/// Write a dataset as JSON Lines: one header object, then one record per
+/// line.
+pub fn write_jsonl(ds: &Dataset, w: &mut impl Write) -> io::Result<()> {
+    #[derive(Serialize)]
+    struct Header<'a> {
+        name: &'a str,
+        task: &'a crate::record::TaskKind,
+        positive_name: &'a str,
+        negative_name: &'a str,
+        n_records: usize,
+    }
+    let header = Header {
+        name: &ds.name,
+        task: &ds.task,
+        positive_name: &ds.positive_name,
+        negative_name: &ds.negative_name,
+        n_records: ds.records.len(),
+    };
+    serde_json::to_writer(&mut *w, &header)?;
+    w.write_all(b"\n")?;
+    for rec in &ds.records {
+        serde_json::to_writer(&mut *w, rec)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read a dataset back from JSON Lines produced by [`write_jsonl`].
+pub fn read_jsonl(r: &mut impl BufRead) -> io::Result<Dataset> {
+    #[derive(Deserialize)]
+    struct Header {
+        name: String,
+        task: crate::record::TaskKind,
+        positive_name: String,
+        negative_name: String,
+        n_records: usize,
+    }
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let header: Header = serde_json::from_str(&line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut records = Vec::with_capacity(header.n_records);
+    line.clear();
+    while r.read_line(&mut line)? > 0 {
+        if !line.trim().is_empty() {
+            let rec: Record = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            records.push(rec);
+        }
+        line.clear();
+    }
+    if records.len() != header.n_records {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "header promised {} records, found {}",
+                header.n_records,
+                records.len()
+            ),
+        ));
+    }
+    Ok(Dataset {
+        name: header.name,
+        task: header.task,
+        records,
+        positive_name: header.positive_name,
+        negative_name: header.negative_name,
+    })
+}
+
+/// Per-feature summary for [`DatasetStats`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureStats {
+    /// Feature name.
+    pub name: String,
+    /// For numerics: (min, mean, max); `None` for categoricals.
+    pub numeric: Option<(f32, f32, f32)>,
+    /// For categoricals: number of distinct values observed.
+    pub cardinality: Option<usize>,
+}
+
+/// Dataset-level summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Record count.
+    pub n: usize,
+    /// Positive-class fraction.
+    pub positive_rate: f64,
+    /// Per-feature summaries (schema order).
+    pub features: Vec<FeatureStats>,
+}
+
+/// Compute summary statistics for a dataset.
+pub fn dataset_stats(ds: &Dataset) -> DatasetStats {
+    let n_features = ds.records.first().map_or(0, |r| r.features.len());
+    let mut features = Vec::with_capacity(n_features);
+    for fi in 0..n_features {
+        let name = ds.records[0].features[fi].0.clone();
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut num_count = 0usize;
+        let mut cats = std::collections::BTreeSet::new();
+        for rec in &ds.records {
+            match &rec.features[fi].1 {
+                FeatureValue::Num(v) => {
+                    min = min.min(*v);
+                    max = max.max(*v);
+                    sum += *v as f64;
+                    num_count += 1;
+                }
+                FeatureValue::Cat(s) => {
+                    cats.insert(s.clone());
+                }
+            }
+        }
+        features.push(FeatureStats {
+            name,
+            numeric: (num_count > 0)
+                .then(|| (min, (sum / num_count.max(1) as f64) as f32, max)),
+            cardinality: (!cats.is_empty()).then_some(cats.len()),
+        });
+    }
+    DatasetStats {
+        n: ds.records.len(),
+        positive_rate: ds.positive_rate(),
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calm::german;
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = german(40, 1);
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        let back = read_jsonl(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.records.len(), 40);
+        assert_eq!(back.records[7].feature_text(), ds.records[7].feature_text());
+        assert_eq!(back.records[7].label, ds.records[7].label);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let ds = german(10, 2);
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        // Drop the last line.
+        let cut = buf.iter().rposition(|&b| b == b'\n').unwrap();
+        let cut2 = buf[..cut].iter().rposition(|&b| b == b'\n').unwrap();
+        let err = read_jsonl(&mut &buf[..cut2 + 1]).unwrap_err();
+        assert!(err.to_string().contains("promised"));
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        let buf = b"{not json}\n".to_vec();
+        assert!(read_jsonl(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn stats_cover_schema() {
+        let ds = german(200, 3);
+        let stats = dataset_stats(&ds);
+        assert_eq!(stats.n, 200);
+        assert_eq!(stats.features.len(), 20);
+        let age = stats
+            .features
+            .iter()
+            .find(|f| f.name == "age in years")
+            .expect("age feature");
+        let (min, mean, max) = age.numeric.expect("numeric");
+        assert!(min >= 19.0 && max <= 75.0 && mean > min && mean < max);
+        let purpose = stats
+            .features
+            .iter()
+            .find(|f| f.name == "purpose")
+            .expect("purpose");
+        assert!(purpose.cardinality.unwrap() >= 5);
+    }
+}

@@ -1,0 +1,251 @@
+//! Core data types: feature values, labeled records, and datasets with
+//! deterministic train/test splitting.
+
+use serde::{Deserialize, Serialize};
+
+/// A single feature value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureValue {
+    /// Numeric feature.
+    Num(f32),
+    /// Categorical feature.
+    Cat(String),
+}
+
+impl std::fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Render integers without a trailing ".0" — prompts read better.
+            FeatureValue::Num(v) if v.fract() == 0.0 && v.abs() < 1e7 => {
+                write!(f, "{}", *v as i64)
+            }
+            FeatureValue::Num(v) => write!(f, "{v:.2}"),
+            FeatureValue::Cat(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A labeled example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Record {
+    /// Stable id within its dataset.
+    pub id: usize,
+    /// Ordered feature list (name, value).
+    pub features: Vec<(String, FeatureValue)>,
+    /// Binary label: `true` is the positive class (bad credit / fraud /
+    /// fraudulent claim).
+    pub label: bool,
+    /// Time period index for sequential behavior data; `None` for tabular
+    /// datasets.
+    pub time: Option<u32>,
+    /// User id for sequential behavior data (several records share a user).
+    pub user: Option<usize>,
+}
+
+impl Record {
+    /// Serialize features as `name: value` pairs joined by `", "` — the
+    /// text form embedded in instruction prompts.
+    pub fn feature_text(&self) -> String {
+        let parts: Vec<String> = self
+            .features
+            .iter()
+            .map(|(name, v)| format!("{name}: {v}"))
+            .collect();
+        parts.join(", ")
+    }
+
+    /// Numeric feature vector: numerics pass through, categoricals expand
+    /// to an 8-bucket hashed one-hot (so linear models can learn
+    /// per-category effects without a dataset-level vocabulary). Used by
+    /// the agent model and expert baselines.
+    pub fn numeric_features(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.features.len() * 2);
+        for (_, v) in &self.features {
+            match v {
+                FeatureValue::Num(x) => out.push(*x),
+                FeatureValue::Cat(s) => {
+                    let h = s
+                        .bytes()
+                        .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+                    let bucket = (h % 8) as usize;
+                    for i in 0..8 {
+                        out.push((i == bucket) as u8 as f32);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Task family a dataset belongs to (drives template choice in
+/// `zg-instruct`, mirroring the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Credit scoring (German, Australia): good/bad applicant.
+    CreditScoring,
+    /// Fraud detection (Credit Card Fraud, ccFraud): yes/no fraudulent.
+    FraudDetection,
+    /// Insurance claim analysis (Travel Insurance): yes/no fraudulent claim.
+    ClaimAnalysis,
+    /// Financial distress identification (Polish bankruptcy): yes/no
+    /// distressed — the fourth CALM task family named in paper §4.
+    DistressIdentification,
+    /// Sequential behavior risk (Behavior Card): yes/no future default.
+    BehaviorRisk,
+    /// Financial auditing (Figure 1 workflow): yes/no irregular journal
+    /// entry.
+    FinancialAuditing,
+}
+
+/// A named dataset with metadata used by templates and metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name as it appears in the paper's Table 2.
+    pub name: String,
+    /// Task family.
+    pub task: TaskKind,
+    /// All records.
+    pub records: Vec<Record>,
+    /// Name of the positive class in prompts (e.g. "bad", "Yes").
+    pub positive_name: String,
+    /// Name of the negative class in prompts (e.g. "good", "No").
+    pub negative_name: String,
+}
+
+impl Dataset {
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.label).count() as f64 / self.records.len() as f64
+    }
+
+    /// Deterministic split: every `k`-th record (by position after a seeded
+    /// shuffle at generation time) goes to test. `test_fraction` in (0,1).
+    pub fn split(&self, test_fraction: f64) -> (Vec<&Record>, Vec<&Record>) {
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test fraction must be in [0,1)"
+        );
+        let stride = if test_fraction <= 0.0 {
+            usize::MAX
+        } else {
+            (1.0 / test_fraction).round().max(2.0) as usize
+        };
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if stride != usize::MAX && i % stride == stride - 1 {
+                test.push(r);
+            } else {
+                train.push(r);
+            }
+        }
+        (train, test)
+    }
+
+    /// A class-balanced subset of the test split ("The related studies
+    /// balance the data for the test set" — paper Table 2 footnote).
+    pub fn balanced_test(&self, test_fraction: f64) -> Vec<&Record> {
+        let (_, test) = self.split(test_fraction);
+        let pos: Vec<&Record> = test.iter().copied().filter(|r| r.label).collect();
+        let neg: Vec<&Record> = test.iter().copied().filter(|r| !r.label).collect();
+        let n = pos.len().min(neg.len());
+        let mut out = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            out.push(pos[i]);
+            out.push(neg[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: usize, label: bool) -> Record {
+        Record {
+            id,
+            features: vec![
+                ("age".into(), FeatureValue::Num(35.0)),
+                ("job".into(), FeatureValue::Cat("skilled".into())),
+                ("amount".into(), FeatureValue::Num(2500.5)),
+            ],
+            label,
+            time: None,
+            user: None,
+        }
+    }
+
+    fn ds(n: usize, pos_every: usize) -> Dataset {
+        Dataset {
+            name: "test".into(),
+            task: TaskKind::CreditScoring,
+            records: (0..n).map(|i| rec(i, i % pos_every == 0)).collect(),
+            positive_name: "bad".into(),
+            negative_name: "good".into(),
+        }
+    }
+
+    #[test]
+    fn feature_text_format() {
+        let r = rec(0, false);
+        assert_eq!(r.feature_text(), "age: 35, job: skilled, amount: 2500.50");
+    }
+
+    #[test]
+    fn numeric_features_stable() {
+        let r = rec(0, false);
+        let a = r.numeric_features();
+        let b = r.numeric_features();
+        assert_eq!(a, b);
+        // age (1) + job one-hot (8) + amount (1).
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[0], 35.0);
+        assert_eq!(a[1..9].iter().sum::<f32>(), 1.0, "one-hot sums to 1");
+    }
+
+    #[test]
+    fn positive_rate_counts() {
+        let d = ds(100, 4);
+        assert!((d.positive_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_fractions_roughly_honored() {
+        let d = ds(1000, 4);
+        let (train, test) = d.split(0.2);
+        assert_eq!(train.len() + test.len(), 1000);
+        let frac = test.len() as f64 / 1000.0;
+        assert!((frac - 0.2).abs() < 0.02, "test fraction {frac}");
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let d = ds(100, 3);
+        let (_, t1) = d.split(0.25);
+        let (_, t2) = d.split(0.25);
+        let ids1: Vec<usize> = t1.iter().map(|r| r.id).collect();
+        let ids2: Vec<usize> = t2.iter().map(|r| r.id).collect();
+        assert_eq!(ids1, ids2);
+    }
+
+    #[test]
+    fn balanced_test_is_balanced() {
+        let d = ds(1000, 10);
+        let bt = d.balanced_test(0.3);
+        let pos = bt.iter().filter(|r| r.label).count();
+        assert_eq!(pos * 2, bt.len());
+        assert!(!bt.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FeatureValue::Num(3.0).to_string(), "3");
+        assert_eq!(FeatureValue::Num(3.25).to_string(), "3.25");
+        assert_eq!(FeatureValue::Cat("abc".into()).to_string(), "abc");
+    }
+}

@@ -1,0 +1,92 @@
+//! Bootstrap confidence intervals for evaluation metrics. Miniature-scale
+//! test sets make point estimates noisy; EXPERIMENTS.md reports intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided bootstrap percentile interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Point estimate on the full sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+/// Percentile bootstrap for `metric` over indexable observations.
+///
+/// `metric` receives a resampled index set and must return the statistic.
+/// `level` is the confidence level (e.g. 0.95).
+pub fn bootstrap_ci(
+    n_obs: usize,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    metric: impl Fn(&[usize]) -> f64,
+) -> Interval {
+    assert!(n_obs > 0, "need at least one observation");
+    assert!((0.0..1.0).contains(&level) && level > 0.5, "bad level");
+    let full: Vec<usize> = (0..n_obs).collect();
+    let point = metric(&full);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut sample = vec![0usize; n_obs];
+    for _ in 0..resamples {
+        for s in &mut sample {
+            *s = rng.gen_range(0..n_obs);
+        }
+        stats.push(metric(&sample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    Interval {
+        point,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_point_for_mean() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_ci(data.len(), 500, 0.95, 1, |idx| {
+            idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64
+        });
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!((ci.point - 4.5).abs() < 1e-9);
+        assert!(ci.hi - ci.lo < 2.0, "CI too wide: {ci:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = [1.0f64, 2.0, 3.0, 4.0];
+        let f = |idx: &[usize]| idx.iter().map(|&i| data[i]).sum::<f64>();
+        let a = bootstrap_ci(4, 100, 0.9, 7, f);
+        let b = bootstrap_ci(4, 100, 0.9, 7, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_metric_zero_width() {
+        let ci = bootstrap_ci(10, 200, 0.95, 3, |_| 0.42);
+        assert_eq!(ci.lo, 0.42);
+        assert_eq!(ci.hi, 0.42);
+    }
+
+    #[test]
+    fn wider_at_higher_level() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64 * 1.37).sin()).collect();
+        let f = |idx: &[usize]| idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64;
+        let narrow = bootstrap_ci(50, 400, 0.8, 5, f);
+        let wide = bootstrap_ci(50, 400, 0.99, 5, f);
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+}

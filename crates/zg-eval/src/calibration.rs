@@ -1,0 +1,120 @@
+//! Probability-calibration metrics. A credit model's scores feed pricing
+//! and provisioning, so calibration matters as much as discrimination:
+//! Brier score, expected calibration error (ECE), and reliability bins.
+
+use serde::{Deserialize, Serialize};
+
+/// Brier score: mean squared error between scores and binary outcomes.
+/// Lower is better; 0.25 is the score of a constant 0.5 predictor.
+pub fn brier_score(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    assert!(!scores.is_empty(), "empty inputs");
+    scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &l)| {
+            let y = l as u8 as f64;
+            (s - y) * (s - y)
+        })
+        .sum::<f64>()
+        / scores.len() as f64
+}
+
+/// One reliability bin: predicted vs observed positive rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityBin {
+    /// Bin lower edge (inclusive).
+    pub lo: f64,
+    /// Bin upper edge (exclusive; last bin inclusive).
+    pub hi: f64,
+    /// Number of scores in the bin.
+    pub count: usize,
+    /// Mean predicted probability.
+    pub mean_score: f64,
+    /// Observed positive fraction.
+    pub observed: f64,
+}
+
+/// Equal-width reliability diagram bins over `[0, 1]`.
+pub fn reliability_bins(scores: &[f64], labels: &[bool], n_bins: usize) -> Vec<ReliabilityBin> {
+    assert_eq!(scores.len(), labels.len());
+    assert!(n_bins >= 1, "need at least one bin");
+    let mut bins: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); n_bins]; // (count, score sum, pos sum)
+    for (&s, &l) in scores.iter().zip(labels) {
+        assert!((0.0..=1.0).contains(&s), "score {s} outside [0,1]");
+        let idx = ((s * n_bins as f64) as usize).min(n_bins - 1);
+        bins[idx].0 += 1;
+        bins[idx].1 += s;
+        bins[idx].2 += l as u8 as f64;
+    }
+    bins.into_iter()
+        .enumerate()
+        .map(|(i, (count, ssum, psum))| ReliabilityBin {
+            lo: i as f64 / n_bins as f64,
+            hi: (i + 1) as f64 / n_bins as f64,
+            count,
+            mean_score: if count == 0 { 0.0 } else { ssum / count as f64 },
+            observed: if count == 0 { 0.0 } else { psum / count as f64 },
+        })
+        .collect()
+}
+
+/// Expected calibration error: count-weighted mean |predicted − observed|
+/// over reliability bins.
+pub fn expected_calibration_error(scores: &[f64], labels: &[bool], n_bins: usize) -> f64 {
+    let bins = reliability_bins(scores, labels, n_bins);
+    let n: usize = bins.iter().map(|b| b.count).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|b| (b.count as f64 / n as f64) * (b.mean_score - b.observed).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+        assert!((brier_score(&[0.5, 0.5], &[true, false]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_calibrated_ece_zero() {
+        // Scores equal to the observed rate within each bin.
+        let scores = vec![0.25; 4];
+        let labels = vec![true, false, false, false];
+        let ece = expected_calibration_error(&scores, &labels, 4);
+        assert!(ece < 1e-12, "ece {ece}");
+    }
+
+    #[test]
+    fn overconfident_model_has_positive_ece() {
+        // Predicts 0.95 but only half are positive.
+        let scores = vec![0.95; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&scores, &labels, 10);
+        assert!((ece - 0.45).abs() < 1e-9, "ece {ece}");
+    }
+
+    #[test]
+    fn bins_partition_counts() {
+        let scores = vec![0.05, 0.15, 0.55, 0.95, 1.0];
+        let labels = vec![false, false, true, true, true];
+        let bins = reliability_bins(&scores, &labels, 10);
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 5);
+        assert_eq!(bins[0].count, 1);
+        assert_eq!(bins[9].count, 2); // 0.95 and the boundary 1.0
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_score_panics() {
+        reliability_bins(&[1.5], &[true], 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's Table 2 evaluation protocol: Accuracy, F1, and Miss.
+//!
+//! A model's raw text answer either parses to a label or counts as a
+//! **Miss** (CALM's "missing" metric — the model produced something
+//! unusable). Misses count against accuracy, and for F1 a missed example
+//! is scored as a negative-class prediction so it cannot inflate
+//! precision on the positive class.
+
+use serde::{Deserialize, Serialize};
+
+use crate::confusion::ConfusionMatrix;
+
+/// Outcome of parsing one model answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Prediction {
+    /// Parsed to a class label.
+    Label(bool),
+    /// Unparseable output.
+    Miss,
+}
+
+/// Aggregated Table 2 metrics for one (model, dataset) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Accuracy (misses count as wrong).
+    pub acc: f64,
+    /// F1 of the positive class (misses scored as negative predictions).
+    pub f1: f64,
+    /// Fraction of unparseable answers.
+    pub miss: f64,
+    /// Number of evaluated examples.
+    pub n: usize,
+}
+
+/// Evaluate binary predictions against labels.
+pub fn evaluate_binary(preds: &[Prediction], labels: &[bool]) -> EvalResult {
+    assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!preds.is_empty(), "cannot evaluate zero examples");
+    let n = preds.len();
+    let mut cm = ConfusionMatrix::default();
+    let mut correct = 0usize;
+    let mut misses = 0usize;
+    for (&p, &a) in preds.iter().zip(labels) {
+        match p {
+            Prediction::Label(l) => {
+                cm.record(l, a);
+                if l == a {
+                    correct += 1;
+                }
+            }
+            Prediction::Miss => {
+                misses += 1;
+                cm.record(false, a); // miss scored as a negative prediction
+            }
+        }
+    }
+    EvalResult {
+        acc: correct as f64 / n as f64,
+        f1: cm.f1(),
+        miss: misses as f64 / n as f64,
+        n,
+    }
+}
+
+/// Multi-class evaluation (e.g. 3-way sentiment): accuracy, macro-F1, miss.
+pub fn evaluate_multiclass(
+    preds: &[Option<usize>],
+    labels: &[usize],
+    n_classes: usize,
+) -> EvalResult {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!preds.is_empty());
+    let n = preds.len();
+    let mut correct = 0usize;
+    let mut misses = 0usize;
+    // Per-class tp/fp/fn.
+    let mut tp = vec![0usize; n_classes];
+    let mut fp = vec![0usize; n_classes];
+    let mut fn_ = vec![0usize; n_classes];
+    for (&p, &a) in preds.iter().zip(labels) {
+        assert!(a < n_classes, "label {a} out of range");
+        match p {
+            Some(c) if c == a => {
+                correct += 1;
+                tp[a] += 1;
+            }
+            Some(c) => {
+                assert!(c < n_classes, "prediction {c} out of range");
+                fp[c] += 1;
+                fn_[a] += 1;
+            }
+            None => {
+                misses += 1;
+                fn_[a] += 1;
+            }
+        }
+    }
+    let mut f1_sum = 0.0;
+    for c in 0..n_classes {
+        let p = if tp[c] + fp[c] == 0 {
+            0.0
+        } else {
+            tp[c] as f64 / (tp[c] + fp[c]) as f64
+        };
+        let r = if tp[c] + fn_[c] == 0 {
+            0.0
+        } else {
+            tp[c] as f64 / (tp[c] + fn_[c]) as f64
+        };
+        f1_sum += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    }
+    EvalResult {
+        acc: correct as f64 / n as f64,
+        f1: f1_sum / n_classes as f64,
+        miss: misses as f64 / n as f64,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_correct_no_miss() {
+        let preds = vec![Prediction::Label(true), Prediction::Label(false)];
+        let r = evaluate_binary(&preds, &[true, false]);
+        assert_eq!(r.acc, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.miss, 0.0);
+        assert_eq!(r.n, 2);
+    }
+
+    #[test]
+    fn misses_hurt_accuracy() {
+        let preds = vec![
+            Prediction::Label(true),
+            Prediction::Miss,
+            Prediction::Label(false),
+            Prediction::Miss,
+        ];
+        let r = evaluate_binary(&preds, &[true, true, false, false]);
+        assert_eq!(r.acc, 0.5);
+        assert_eq!(r.miss, 0.5);
+    }
+
+    #[test]
+    fn miss_does_not_inflate_precision() {
+        // One true positive prediction, one miss on a positive example.
+        let preds = vec![Prediction::Label(true), Prediction::Miss];
+        let r = evaluate_binary(&preds, &[true, true]);
+        // Precision 1.0, recall 0.5 -> F1 = 2/3.
+        assert!((r.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        evaluate_binary(&[Prediction::Miss], &[true, false]);
+    }
+
+    #[test]
+    fn multiclass_accuracy_and_macro_f1() {
+        // 3 classes, perfect on class 0 and 1, misses class 2.
+        let preds = vec![Some(0), Some(1), None, Some(0), Some(1), None];
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let r = evaluate_multiclass(&preds, &labels, 3);
+        assert!((r.acc - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.miss - 1.0 / 3.0).abs() < 1e-12);
+        // Classes 0 and 1: F1 = 1; class 2: F1 = 0 -> macro 2/3.
+        assert!((r.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiclass_wrong_predictions() {
+        let preds = vec![Some(1), Some(0)];
+        let labels = vec![0, 1];
+        let r = evaluate_multiclass(&preds, &labels, 2);
+        assert_eq!(r.acc, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+}

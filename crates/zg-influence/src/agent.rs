@@ -1,0 +1,307 @@
+//! The lightweight **agent model** (paper abstract: "we employ an agent
+//! model to assign scores to training samples"): an L2-regularized
+//! logistic regression trained by SGD on the records' numeric features.
+//!
+//! Its virtue for influence estimation is the closed-form per-sample
+//! gradient `∇ℓ(w, (x, y)) = (σ(w·x) − y)·x`, which makes TracIn/TracSeq
+//! over thousands of samples cheap: checkpoints are weight snapshots, and
+//! gradients are one dot product each.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::tracin::CheckpointGrads;
+
+/// Logistic-regression agent model (bias folded in as the last weight).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentModel {
+    /// Weights, length `n_features + 1` (bias last).
+    pub weights: Vec<f32>,
+    /// Per-feature standardization means.
+    pub mean: Vec<f32>,
+    /// Per-feature standardization stds.
+    pub std: Vec<f32>,
+}
+
+/// Training hyperparameters for the agent model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Learning rate (also η_i recorded per checkpoint).
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Store a checkpoint every this many epochs.
+    pub checkpoint_every: usize,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            epochs: 30,
+            lr: 0.1,
+            l2: 1e-4,
+            checkpoint_every: 5,
+        }
+    }
+}
+
+/// A stored agent-model checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentCheckpoint {
+    /// Weight snapshot.
+    pub weights: Vec<f32>,
+    /// Step size in effect (η_i).
+    pub eta: f32,
+    /// Checkpoint time index t_i (epoch-derived; remap to data periods
+    /// when training sequentially).
+    pub time: u32,
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl AgentModel {
+    /// Fit on `(features, labels)` with SGD, recording checkpoints.
+    /// Features are standardized internally; rows must share a length.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[bool],
+        cfg: &AgentConfig,
+        rng: &mut impl Rng,
+    ) -> (AgentModel, Vec<AgentCheckpoint>) {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "empty training set");
+        let d = features[0].len();
+        assert!(features.iter().all(|f| f.len() == d), "ragged features");
+
+        // Standardize.
+        let n = features.len() as f32;
+        let mut mean = vec![0.0f32; d];
+        for f in features {
+            for (m, &v) in mean.iter_mut().zip(f) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0f32; d];
+        for f in features {
+            for ((s, &v), m) in std.iter_mut().zip(f).zip(&mean) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-6);
+        }
+        let xs: Vec<Vec<f32>> = features
+            .iter()
+            .map(|f| {
+                f.iter()
+                    .zip(mean.iter().zip(&std))
+                    .map(|(&v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        let mut model = AgentModel {
+            weights: vec![0.0; d + 1],
+            mean,
+            std,
+        };
+        let mut checkpoints = Vec::new();
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for epoch in 0..cfg.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let p = sigmoid(model.score_standardized(&xs[i]));
+                let err = p - labels[i] as u8 as f32;
+                for (w, &x) in model.weights.iter_mut().zip(&xs[i]) {
+                    *w -= cfg.lr * (err * x + cfg.l2 * *w);
+                }
+                let db = model.weights.len() - 1;
+                model.weights[db] -= cfg.lr * err;
+            }
+            if (epoch + 1) % cfg.checkpoint_every == 0 || epoch + 1 == cfg.epochs {
+                checkpoints.push(AgentCheckpoint {
+                    weights: model.weights.clone(),
+                    eta: cfg.lr,
+                    time: epoch as u32,
+                });
+            }
+        }
+        (model, checkpoints)
+    }
+
+    fn score_standardized(&self, x: &[f32]) -> f32 {
+        let d = x.len();
+        let mut z = self.weights[d]; // bias
+        for (w, &v) in self.weights[..d].iter().zip(x) {
+            z += w * v;
+        }
+        z
+    }
+
+    /// Standardize a raw feature row.
+    pub fn standardize(&self, raw: &[f32]) -> Vec<f32> {
+        raw.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// P(positive | raw features).
+    pub fn predict_proba(&self, raw: &[f32]) -> f32 {
+        sigmoid(self.score_standardized(&self.standardize(raw)))
+    }
+
+    /// Closed-form logistic-loss gradient at weight snapshot `weights` for
+    /// a (standardized) sample: `(σ(w·x) − y) · [x, 1]`.
+    pub fn sample_gradient(weights: &[f32], x_std: &[f32], label: bool) -> Vec<f32> {
+        let d = x_std.len();
+        assert_eq!(weights.len(), d + 1);
+        let mut z = weights[d];
+        for (w, &v) in weights[..d].iter().zip(x_std) {
+            z += w * v;
+        }
+        let err = sigmoid(z) - label as u8 as f32;
+        let mut g: Vec<f32> = x_std.iter().map(|&v| err * v).collect();
+        g.push(err);
+        g
+    }
+}
+
+/// Expand agent checkpoints into [`CheckpointGrads`] for TracIn/TracSeq:
+/// analytic gradients for every (train, test) sample at every checkpoint.
+pub fn agent_checkpoint_grads(
+    model: &AgentModel,
+    checkpoints: &[AgentCheckpoint],
+    train: &[(Vec<f32>, bool)],
+    test: &[(Vec<f32>, bool)],
+) -> Vec<CheckpointGrads> {
+    let train_std: Vec<(Vec<f32>, bool)> = train
+        .iter()
+        .map(|(x, y)| (model.standardize(x), *y))
+        .collect();
+    let test_std: Vec<(Vec<f32>, bool)> = test
+        .iter()
+        .map(|(x, y)| (model.standardize(x), *y))
+        .collect();
+    checkpoints
+        .iter()
+        .map(|ck| CheckpointGrads {
+            eta: ck.eta,
+            time: ck.time,
+            train: train_std
+                .iter()
+                .map(|(x, y)| AgentModel::sample_gradient(&ck.weights, x, *y))
+                .collect(),
+            test: test_std
+                .iter()
+                .map(|(x, y)| AgentModel::sample_gradient(&ck.weights, x, *y))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Linearly separable toy data: label = x0 > x1.
+    fn toy(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let ys: Vec<bool> = xs.iter().map(|x| x[0] > x[1]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (xs, ys) = toy(400, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (model, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (model.predict_proba(x) > 0.5) == y)
+            .count();
+        assert!(correct as f64 / 400.0 > 0.95, "accuracy {correct}/400");
+    }
+
+    #[test]
+    fn checkpoints_recorded() {
+        let (xs, ys) = toy(50, 3);
+        let cfg = AgentConfig {
+            epochs: 10,
+            checkpoint_every: 3,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, cks) = AgentModel::fit(&xs, &ys, &cfg, &mut rng);
+        // Epochs 3, 6, 9, 10 -> 4 checkpoints.
+        assert_eq!(cks.len(), 4);
+        assert_eq!(cks.last().unwrap().time, 9);
+    }
+
+    #[test]
+    fn gradient_closed_form() {
+        // w = 0 -> σ = 0.5; grad = (0.5 - y)·[x, 1].
+        let g = AgentModel::sample_gradient(&[0.0, 0.0, 0.0], &[2.0, -4.0], true);
+        assert_eq!(g, vec![-1.0, 2.0, -0.5]);
+        let g = AgentModel::sample_gradient(&[0.0, 0.0, 0.0], &[2.0, -4.0], false);
+        assert_eq!(g, vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn influence_favors_test_aligned_samples() {
+        // Train an agent, compute TracIn scores; a training sample that is
+        // a duplicate of the test sample must outrank one of the opposite
+        // class at the same position.
+        let (mut xs, mut ys) = toy(200, 5);
+        xs.push(vec![0.9, -0.9]); // same as test, same label (true)
+        ys.push(true);
+        xs.push(vec![0.9, -0.9]); // same features, wrong label
+        ys.push(false);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (model, cks) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+        let train: Vec<(Vec<f32>, bool)> =
+            xs.iter().cloned().zip(ys.iter().copied()).collect();
+        let test = vec![(vec![0.9f32, -0.9], true)];
+        let grads = agent_checkpoint_grads(&model, &cks, &train, &test);
+        let scores =
+            crate::tracin::influence_scores(&grads, &crate::tracin::TracConfig::tracin(), None);
+        let n = scores.len();
+        assert!(
+            scores[n - 2] > scores[n - 1],
+            "aligned sample {} must outrank mislabeled twin {}",
+            scores[n - 2],
+            scores[n - 1]
+        );
+        assert!(scores[n - 2] > 0.0 && scores[n - 1] < 0.0);
+    }
+
+    #[test]
+    fn standardization_stored() {
+        let xs = vec![vec![10.0, 100.0], vec![20.0, 200.0], vec![30.0, 300.0]];
+        let ys = vec![false, true, true];
+        let mut rng = StdRng::seed_from_u64(7);
+        let (model, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+        let s = model.standardize(&[20.0, 200.0]);
+        assert!(s[0].abs() < 1e-5 && s[1].abs() < 1e-5, "mean row maps to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged features")]
+    fn ragged_features_panic() {
+        let xs = vec![vec![1.0], vec![1.0, 2.0]];
+        let ys = vec![true, false];
+        let mut rng = StdRng::seed_from_u64(8);
+        AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+    }
+}

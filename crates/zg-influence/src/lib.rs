@@ -1,0 +1,26 @@
+//! # zg-influence
+//!
+//! The paper's primary contribution: training-data influence estimation
+//! and pruning for financial-credit instruction tuning.
+//!
+//! - [`tracin`]: TracInCP (Pruthi et al. 2020) and **TracSeq** (paper
+//!   Eq. 1), the time-decayed variant for sequential behavior data.
+//! - [`select_top_k`] / [`hybrid_mix`]: Top-K selection (Eq. 2) and the
+//!   70/30 random + high-influence mix of paper §3.2.
+//! - [`AgentModel`]: the lightweight agent model that scores samples with
+//!   closed-form logistic gradients.
+//! - [`lm_sample_gradient`] / [`lm_checkpoint_grads`]: gradient extraction
+//!   from the language model in the LoRA subspace, replayed at stored
+//!   checkpoints.
+
+mod agent;
+mod grads;
+mod select;
+mod self_influence;
+mod tracin;
+
+pub use agent::{agent_checkpoint_grads, AgentCheckpoint, AgentConfig, AgentModel};
+pub use grads::{lm_checkpoint_grads, lm_sample_gradient, LmCheckpoint, TokenizedSample};
+pub use select::{hybrid_mix, select_bottom_k, select_top_k, MixConfig};
+pub use self_influence::{self_influence_scores, suspect_mislabeled};
+pub use tracin::{influence_pair, influence_scores, CheckpointGrads, TracConfig};

@@ -1,0 +1,156 @@
+//! Top-K selection (paper Eq. 2) and the 70/30 hybrid data mixer
+//! (paper §3.2: "70% of the samples are randomly selected from the entire
+//! dataset, while the remaining 30% are high-influence samples filtered
+//! through data pruning").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Indices of the `k` highest-scoring samples, best first.
+/// `D = { z | z ∈ Top-k TracSeq(z) }` (Eq. 2).
+pub fn select_top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    rank_by(scores, k, |a, b| b.partial_cmp(&a).expect("finite scores"))
+}
+
+/// Indices of the `k` lowest-scoring samples, worst first (the
+/// low-influence contrast arm of Figure 2).
+pub fn select_bottom_k(scores: &[f32], k: usize) -> Vec<usize> {
+    rank_by(scores, k, |a, b| a.partial_cmp(&b).expect("finite scores"))
+}
+
+fn rank_by(
+    scores: &[f32],
+    k: usize,
+    cmp: impl Fn(f32, f32) -> std::cmp::Ordering,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    // Stable sort + index tiebreak keeps selection deterministic.
+    idx.sort_by(|&a, &b| cmp(scores[a], scores[b]).then(a.cmp(&b)));
+    idx.truncate(k.min(scores.len()));
+    idx
+}
+
+/// Hybrid mix configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MixConfig {
+    /// Fraction of the mix drawn from high-influence pruned samples
+    /// (paper: 0.30).
+    pub pruned_fraction: f64,
+    /// Total mixed-set size.
+    pub total: usize,
+}
+
+impl MixConfig {
+    /// The paper's 70/30 split over `total` samples.
+    pub fn paper_default(total: usize) -> Self {
+        MixConfig {
+            pruned_fraction: 0.30,
+            total,
+        }
+    }
+}
+
+/// Build the hybrid training set: `pruned_fraction · total` samples from
+/// the head of `ranked_by_influence` plus the remainder drawn uniformly at
+/// random from `0..n_all` (may overlap the pruned picks, as in re-weighted
+/// mixed training — duplicates are kept because they increase the
+/// effective weight of high-influence data).
+pub fn hybrid_mix(
+    cfg: &MixConfig,
+    ranked_by_influence: &[usize],
+    n_all: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&cfg.pruned_fraction),
+        "pruned_fraction must be in [0,1]"
+    );
+    assert!(n_all > 0, "empty pool");
+    let n_pruned = ((cfg.total as f64) * cfg.pruned_fraction).round() as usize;
+    let n_pruned = n_pruned.min(ranked_by_influence.len()).min(cfg.total);
+    let mut out: Vec<usize> = ranked_by_influence[..n_pruned].to_vec();
+    let all: Vec<usize> = (0..n_all).collect();
+    while out.len() < cfg.total {
+        out.push(*all.choose(rng).expect("non-empty pool"));
+    }
+    out.shuffle(rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.1f32, 0.9, -0.5, 0.4];
+        assert_eq!(select_top_k(&scores, 2), vec![1, 3]);
+        assert_eq!(select_top_k(&scores, 10), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn bottom_k_orders_ascending() {
+        let scores = [0.1f32, 0.9, -0.5, 0.4];
+        assert_eq!(select_bottom_k(&scores, 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let scores = [0.5f32, 0.5, 0.5];
+        assert_eq!(select_top_k(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_scores() {
+        assert!(select_top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn hybrid_mix_respects_fractions() {
+        let ranked: Vec<usize> = (0..100).collect();
+        let cfg = MixConfig::paper_default(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mix = hybrid_mix(&cfg, &ranked, 1000, &mut rng);
+        assert_eq!(mix.len(), 100);
+        // 30 pruned picks come from the top-30 ranked ids (0..30); random
+        // picks span 0..1000.
+        let from_top30 = mix.iter().filter(|&&i| i < 30).count();
+        assert!(from_top30 >= 30, "expected >= 30 high-influence, got {from_top30}");
+    }
+
+    #[test]
+    fn hybrid_mix_zero_fraction_is_pure_random() {
+        let cfg = MixConfig {
+            pruned_fraction: 0.0,
+            total: 50,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mix = hybrid_mix(&cfg, &[], 10, &mut rng);
+        assert_eq!(mix.len(), 50);
+        assert!(mix.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn hybrid_mix_full_fraction_is_pure_pruned() {
+        let ranked: Vec<usize> = (0..20).rev().collect();
+        let cfg = MixConfig {
+            pruned_fraction: 1.0,
+            total: 5,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mix = hybrid_mix(&cfg, &ranked, 20, &mut rng);
+        mix.sort_unstable();
+        assert_eq!(mix, vec![15, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn hybrid_mix_deterministic_per_seed() {
+        let ranked: Vec<usize> = (0..10).collect();
+        let cfg = MixConfig::paper_default(20);
+        let a = hybrid_mix(&cfg, &ranked, 100, &mut StdRng::seed_from_u64(7));
+        let b = hybrid_mix(&cfg, &ranked, 100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Self-influence: `TracIn(z, z)` — a sample's influence on itself.
+//!
+//! Pruthi et al.'s flagship diagnostic: samples the model can only fit by
+//! memorizing (mislabeled, corrupted, or out-of-distribution points) have
+//! outlier self-influence. This is the mechanism behind the paper's
+//! hallucination-mitigation claim — pruning the memorization-heavy tail
+//! "refines the training data, ensuring higher reliability".
+
+use crate::tracin::{CheckpointGrads, TracConfig};
+
+/// Self-influence score per training sample:
+/// `Σ_i γ^(T−t_i) η_i ‖∇ℓ(w_{t_i}, z)‖²`.
+pub fn self_influence_scores(checkpoints: &[CheckpointGrads], cfg: &TracConfig) -> Vec<f32> {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let n = checkpoints[0].train.len();
+    let mut scores = vec![0.0f32; n];
+    for ck in checkpoints {
+        assert_eq!(ck.train.len(), n, "train count differs across checkpoints");
+        let decay = cfg
+            .gamma
+            .powi(cfg.current_time.saturating_sub(ck.time) as i32);
+        for (s, g) in scores.iter_mut().zip(&ck.train) {
+            let norm_sq: f32 = g.iter().map(|v| v * v).sum();
+            *s += decay * ck.eta * norm_sq;
+        }
+    }
+    scores
+}
+
+/// Indices of suspected mislabeled/memorized samples: the `k` highest
+/// self-influence scores, highest first.
+pub fn suspect_mislabeled(checkpoints: &[CheckpointGrads], cfg: &TracConfig, k: usize) -> Vec<usize> {
+    let scores = self_influence_scores(checkpoints, cfg);
+    crate::select::select_top_k(&scores, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{agent_checkpoint_grads, AgentConfig, AgentModel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn self_influence_is_decayed_grad_norm() {
+        let cks = vec![CheckpointGrads {
+            eta: 0.5,
+            time: 0,
+            train: vec![vec![3.0, 4.0], vec![1.0, 0.0]],
+            test: vec![],
+        }];
+        let s = self_influence_scores(&cks, &TracConfig::tracin());
+        assert!((s[0] - 12.5).abs() < 1e-6); // 0.5 * 25
+        assert!((s[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_applies_to_old_checkpoints() {
+        let ck = |time| CheckpointGrads {
+            eta: 1.0,
+            time,
+            train: vec![vec![1.0]],
+            test: vec![],
+        };
+        let cfg = TracConfig {
+            gamma: 0.5,
+            current_time: 2,
+            decay_samples: false,
+        };
+        let s = self_influence_scores(&[ck(0), ck(2)], &cfg);
+        assert!((s[0] - 1.25).abs() < 1e-6); // 0.25 + 1
+    }
+
+    #[test]
+    fn mislabeled_samples_surface() {
+        // Separable data; flip 5% of labels — flipped points must
+        // dominate the high self-influence tail.
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 400;
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0f32), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let mut ys: Vec<bool> = xs.iter().map(|x| x[0] + 0.5 * x[1] > 0.0).collect();
+        let flipped: Vec<usize> = (0..n).step_by(20).collect(); // 20 flips
+        for &i in &flipped {
+            ys[i] = !ys[i];
+        }
+        let (model, ckpts) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+        let train: Vec<(Vec<f32>, bool)> = xs.into_iter().zip(ys).collect();
+        let grads = agent_checkpoint_grads(&model, &ckpts, &train, &[]);
+        let suspects = suspect_mislabeled(&grads, &TracConfig::tracin(), 20);
+        let hits = suspects.iter().filter(|i| flipped.contains(i)).count();
+        assert!(
+            hits >= 10,
+            "only {hits}/20 flipped labels found in the top-20 suspects"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one checkpoint")]
+    fn empty_checkpoints_panic() {
+        self_influence_scores(&[], &TracConfig::tracin());
+    }
+}

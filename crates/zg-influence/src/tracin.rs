@@ -1,0 +1,315 @@
+//! TracInCP (Pruthi et al. 2020) and the paper's TracSeq variant (Eq. 1).
+//!
+//! TracInCP estimates the influence of training sample `z` on test sample
+//! `z'` as `Σ_i η_i · ⟨∇ℓ(w_{t_i}, z), ∇ℓ(w_{t_i}, z')⟩` over stored
+//! checkpoints `w_{t_i}` with step sizes `η_i`.
+//!
+//! TracSeq inserts a **time decay factor** `γ^{T − t_i}` (γ ∈ (0, 1]) so
+//! checkpoints further from the current time `T` contribute less:
+//!
+//! ```text
+//! TracSeq(z_t, z'_T) = Σ_i γ^(T − t_i) · η_i · ∇ℓ(w_{t_i}, z_t)·∇ℓ(w_{t_i}, z'_T)
+//! ```
+//!
+//! With sequential behavior data trained in time order, checkpoint `t_i`
+//! aligns with the data period being trained, so the decay concentrates
+//! influence mass on recent behavior — "more recent samples receive higher
+//! weights" (paper §3.1). An optional `decay_samples` switch additionally
+//! applies `γ^(T − t(z))` to each training sample's own period, the
+//! strictest reading of that sentence; γ = 1 in both places recovers
+//! vanilla TracInCP exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Gradients captured at one stored checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointGrads {
+    /// Step size η_i used around this checkpoint.
+    pub eta: f32,
+    /// Checkpoint time index t_i.
+    pub time: u32,
+    /// Per-training-sample gradient vectors `[n_train][p]`.
+    pub train: Vec<Vec<f32>>,
+    /// Per-test-sample gradient vectors `[n_test][p]`.
+    pub test: Vec<Vec<f32>>,
+}
+
+impl CheckpointGrads {
+    fn validate(&self) {
+        let p = self
+            .train
+            .first()
+            .or_else(|| self.test.first())
+            .map_or(0, Vec::len);
+        assert!(
+            self.train.iter().all(|g| g.len() == p) && self.test.iter().all(|g| g.len() == p),
+            "inconsistent gradient dimensions at checkpoint t={}",
+            self.time
+        );
+    }
+}
+
+/// TracSeq configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracConfig {
+    /// Time decay γ ∈ (0, 1]. γ = 1 is vanilla TracInCP weighting.
+    pub gamma: f32,
+    /// Current time `T` in Eq. 1.
+    pub current_time: u32,
+    /// Additionally decay each training sample by its own period age
+    /// `γ^(T − t(z))` (requires sample times).
+    pub decay_samples: bool,
+}
+
+impl Default for TracConfig {
+    fn default() -> Self {
+        TracConfig {
+            gamma: 0.9,
+            current_time: 0,
+            decay_samples: false,
+        }
+    }
+}
+
+impl TracConfig {
+    /// Vanilla TracInCP: γ = 1, no sample decay.
+    pub fn tracin() -> Self {
+        TracConfig {
+            gamma: 1.0,
+            current_time: 0,
+            decay_samples: false,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.gamma > 0.0 && self.gamma <= 1.0,
+            "gamma must lie in (0, 1], got {}",
+            self.gamma
+        );
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Influence of training sample `train_idx` on test sample `test_idx`
+/// (Eq. 1 for a single pair).
+pub fn influence_pair(
+    checkpoints: &[CheckpointGrads],
+    cfg: &TracConfig,
+    train_idx: usize,
+    test_idx: usize,
+) -> f32 {
+    cfg.validate();
+    let mut total = 0.0f32;
+    for ck in checkpoints {
+        ck.validate();
+        let decay = cfg
+            .gamma
+            .powi(cfg.current_time.saturating_sub(ck.time) as i32);
+        total += decay * ck.eta * dot(&ck.train[train_idx], &ck.test[test_idx]);
+    }
+    total
+}
+
+/// Per-training-sample influence scores, averaged over the test set
+/// (the selection criterion behind Eq. 2).
+///
+/// `sample_times[z]` is used only when `cfg.decay_samples` is set; pass
+/// `None` for non-sequential data.
+pub fn influence_scores(
+    checkpoints: &[CheckpointGrads],
+    cfg: &TracConfig,
+    sample_times: Option<&[u32]>,
+) -> Vec<f32> {
+    cfg.validate();
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let n_train = checkpoints[0].train.len();
+    let n_test = checkpoints[0].test.len();
+    assert!(n_test > 0, "need at least one test sample");
+    for ck in checkpoints {
+        ck.validate();
+        assert_eq!(ck.train.len(), n_train, "train count differs across checkpoints");
+        assert_eq!(ck.test.len(), n_test, "test count differs across checkpoints");
+    }
+    if cfg.decay_samples {
+        let times = sample_times.expect("decay_samples requires sample_times");
+        assert_eq!(times.len(), n_train, "sample_times length mismatch");
+    }
+    let mut scores = vec![0.0f32; n_train];
+    for ck in checkpoints {
+        let ck_decay = cfg
+            .gamma
+            .powi(cfg.current_time.saturating_sub(ck.time) as i32);
+        // Mean test gradient lets us turn n_train × n_test dots into
+        // n_train dots: Σ_test ⟨g, g'⟩ / n = ⟨g, mean g'⟩.
+        let p = ck.test[0].len();
+        let mut mean_test = vec![0.0f32; p];
+        for g in &ck.test {
+            for (m, &v) in mean_test.iter_mut().zip(g) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / n_test as f32;
+        for m in &mut mean_test {
+            *m *= inv;
+        }
+        for (z, g) in ck.train.iter().enumerate() {
+            scores[z] += ck_decay * ck.eta * dot(g, &mean_test);
+        }
+    }
+    if cfg.decay_samples {
+        let times = sample_times.expect("checked above");
+        for (s, &t) in scores.iter_mut().zip(times) {
+            *s *= cfg.gamma.powi(cfg.current_time.saturating_sub(t) as i32);
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ck(eta: f32, time: u32, train: Vec<Vec<f32>>, test: Vec<Vec<f32>>) -> CheckpointGrads {
+        CheckpointGrads {
+            eta,
+            time,
+            train,
+            test,
+        }
+    }
+
+    #[test]
+    fn single_checkpoint_is_scaled_dot() {
+        let cks = vec![ck(
+            0.1,
+            0,
+            vec![vec![1.0, 2.0], vec![0.0, 1.0]],
+            vec![vec![3.0, 4.0]],
+        )];
+        let cfg = TracConfig::tracin();
+        assert!((influence_pair(&cks, &cfg, 0, 0) - 0.1 * 11.0).abs() < 1e-6);
+        assert!((influence_pair(&cks, &cfg, 1, 0) - 0.1 * 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_one_recovers_tracin() {
+        let cks = vec![
+            ck(0.1, 0, vec![vec![1.0]], vec![vec![1.0]]),
+            ck(0.2, 5, vec![vec![2.0]], vec![vec![1.0]]),
+        ];
+        let seq = TracConfig {
+            gamma: 1.0,
+            current_time: 5,
+            decay_samples: false,
+        };
+        let plain = TracConfig::tracin();
+        assert_eq!(
+            influence_pair(&cks, &seq, 0, 0),
+            influence_pair(&cks, &plain, 0, 0)
+        );
+    }
+
+    #[test]
+    fn decay_downweights_old_checkpoints() {
+        let cks = vec![
+            ck(0.1, 0, vec![vec![1.0]], vec![vec![1.0]]), // old
+            ck(0.1, 10, vec![vec![1.0]], vec![vec![1.0]]), // current
+        ];
+        let cfg = TracConfig {
+            gamma: 0.5,
+            current_time: 10,
+            decay_samples: false,
+        };
+        let v = influence_pair(&cks, &cfg, 0, 0);
+        // old contributes 0.5^10 * 0.1, current contributes 0.1.
+        let expect = 0.1 * (1.0 + 0.5f32.powi(10));
+        assert!((v - expect).abs() < 1e-7);
+    }
+
+    #[test]
+    fn scores_average_over_test_set() {
+        let cks = vec![ck(
+            1.0,
+            0,
+            vec![vec![1.0, 0.0]],
+            vec![vec![2.0, 0.0], vec![4.0, 0.0]],
+        )];
+        let scores = influence_scores(&cks, &TracConfig::tracin(), None);
+        assert!((scores[0] - 3.0).abs() < 1e-6); // mean of 2 and 4
+    }
+
+    #[test]
+    fn scores_match_pairwise_mean() {
+        let cks = vec![ck(
+            0.3,
+            2,
+            vec![vec![1.0, -1.0], vec![0.5, 2.0]],
+            vec![vec![1.0, 1.0], vec![-2.0, 0.5]],
+        )];
+        let cfg = TracConfig {
+            gamma: 0.8,
+            current_time: 4,
+            decay_samples: false,
+        };
+        let scores = influence_scores(&cks, &cfg, None);
+        for (z, &score) in scores.iter().enumerate() {
+            let mean_pair =
+                (influence_pair(&cks, &cfg, z, 0) + influence_pair(&cks, &cfg, z, 1)) / 2.0;
+            assert!((score - mean_pair).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sample_decay_downweights_old_samples() {
+        let cks = vec![ck(
+            1.0,
+            3,
+            vec![vec![1.0], vec![1.0]],
+            vec![vec![1.0]],
+        )];
+        let cfg = TracConfig {
+            gamma: 0.5,
+            current_time: 3,
+            decay_samples: true,
+        };
+        let scores = influence_scores(&cks, &cfg, Some(&[0, 3]));
+        assert!(scores[1] > scores[0], "recent sample outranks old: {scores:?}");
+        assert!((scores[0] - 0.125).abs() < 1e-6); // 0.5^3
+        assert!((scores[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_influence_possible() {
+        // Opposing gradients: harmful sample gets a negative score.
+        let cks = vec![ck(1.0, 0, vec![vec![1.0]], vec![vec![-1.0]])];
+        let scores = influence_scores(&cks, &TracConfig::tracin(), None);
+        assert!(scores[0] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must lie in")]
+    fn invalid_gamma_panics() {
+        let cfg = TracConfig {
+            gamma: 0.0,
+            current_time: 0,
+            decay_samples: false,
+        };
+        influence_pair(&[], &cfg, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires sample_times")]
+    fn sample_decay_without_times_panics() {
+        let cks = vec![ck(1.0, 0, vec![vec![1.0]], vec![vec![1.0]])];
+        let cfg = TracConfig {
+            gamma: 0.9,
+            current_time: 1,
+            decay_samples: true,
+        };
+        influence_scores(&cks, &cfg, None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Answer parsing and Miss detection.
+//!
+//! A generated completion counts as a **Miss** (CALM's "missing" metric)
+//! when it cannot be matched to any admissible answer for the template.
+//! Matching is deliberately forgiving — case-insensitive, punctuation-
+//! tolerant, accepts the answer anywhere in the first clause — because the
+//! paper's baselines (Table 2) are judged the same way.
+
+/// Normalize an answer fragment: lowercase, strip punctuation, collapse
+/// whitespace.
+fn normalize(s: &str) -> String {
+    let lowered = s.to_ascii_lowercase();
+    let cleaned: String = lowered
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { ' ' })
+        .collect();
+    cleaned.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Match a generated completion against candidate answers.
+///
+/// Returns the index of the matched candidate, or `None` (a Miss). The
+/// first clause (up to the first period/newline) is searched for a whole-
+/// word occurrence of each candidate; if exactly one candidate occurs, it
+/// wins. Ambiguous or empty outputs are Misses.
+pub fn parse_answer(generated: &str, candidates: &[String]) -> Option<usize> {
+    let first_clause: &str = generated
+        .split(['\n', '.'])
+        .next()
+        .unwrap_or("")
+        .trim();
+    let norm = normalize(first_clause);
+    if norm.is_empty() {
+        return None;
+    }
+    let words: Vec<&str> = norm.split(' ').collect();
+    let mut hit: Option<usize> = None;
+    for (i, cand) in candidates.iter().enumerate() {
+        let cand_norm = normalize(cand);
+        if cand_norm.is_empty() {
+            continue;
+        }
+        let cand_words: Vec<&str> = cand_norm.split(' ').collect();
+        let occurs = words
+            .windows(cand_words.len())
+            .any(|w| w == cand_words.as_slice());
+        if occurs {
+            match hit {
+                None => hit = Some(i),
+                // Two different candidates matched: ambiguous -> Miss.
+                Some(prev) if prev != i => return None,
+                Some(_) => {}
+            }
+        }
+    }
+    hit
+}
+
+/// Binary convenience: map a completion to the positive/negative class.
+/// `candidates[1]` is positive by the `zg-instruct` rendering convention.
+pub fn parse_binary(generated: &str, negative: &str, positive: &str) -> zg_eval::Prediction {
+    let candidates = vec![negative.to_string(), positive.to_string()];
+    match parse_answer(generated, &candidates) {
+        Some(1) => zg_eval::Prediction::Label(true),
+        Some(_) => zg_eval::Prediction::Label(false),
+        None => zg_eval::Prediction::Miss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zg_eval::Prediction;
+
+    fn cands(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_match() {
+        assert_eq!(parse_answer("Yes", &cands(&["No", "Yes"])), Some(1));
+        assert_eq!(parse_answer("No", &cands(&["No", "Yes"])), Some(0));
+    }
+
+    #[test]
+    fn case_and_punctuation_tolerant() {
+        assert_eq!(parse_answer(" YES. ", &cands(&["No", "Yes"])), Some(1));
+        assert_eq!(parse_answer("good,", &cands(&["good", "bad"])), Some(0));
+    }
+
+    #[test]
+    fn answer_embedded_in_sentence() {
+        assert_eq!(
+            parse_answer("The answer is bad", &cands(&["good", "bad"])),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn only_first_clause_considered() {
+        // Second sentence contradicts; we read the first only.
+        assert_eq!(
+            parse_answer("Yes. Although maybe no", &cands(&["No", "Yes"])),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn ambiguous_is_miss() {
+        assert_eq!(parse_answer("good or bad", &cands(&["good", "bad"])), None);
+    }
+
+    #[test]
+    fn garbage_is_miss() {
+        assert_eq!(parse_answer("qwerty", &cands(&["No", "Yes"])), None);
+        assert_eq!(parse_answer("", &cands(&["No", "Yes"])), None);
+        assert_eq!(parse_answer("   \n", &cands(&["No", "Yes"])), None);
+    }
+
+    #[test]
+    fn whole_word_only() {
+        // "goodness" must not match "good".
+        assert_eq!(parse_answer("goodness", &cands(&["good", "bad"])), None);
+        // "no" inside "notable" must not match.
+        assert_eq!(parse_answer("notable", &cands(&["no", "yes"])), None);
+    }
+
+    #[test]
+    fn multiclass_sentiment() {
+        let c = cands(&["good", "neutral", "bad"]);
+        assert_eq!(parse_answer("neutral", &c), Some(1));
+        assert_eq!(parse_answer("It seems bad overall", &c), Some(2));
+    }
+
+    #[test]
+    fn parse_binary_maps_to_prediction() {
+        assert_eq!(parse_binary("Yes", "No", "Yes"), Prediction::Label(true));
+        assert_eq!(parse_binary("no!", "No", "Yes"), Prediction::Label(false));
+        assert_eq!(parse_binary("dunno", "No", "Yes"), Prediction::Miss);
+    }
+
+    #[test]
+    fn repeated_same_candidate_not_ambiguous() {
+        assert_eq!(
+            parse_answer("yes yes yes", &cands(&["No", "Yes"])),
+            Some(1)
+        );
+    }
+}

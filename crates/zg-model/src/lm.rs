@@ -1,0 +1,371 @@
+//! The decoder-only causal language model: embedding, N transformer
+//! blocks, final RMSNorm, LM head — plus training loss, generation with a
+//! KV cache, and continuation scoring (used for answer selection and for
+//! the probability scores behind the KS metric).
+
+use rand::Rng;
+use zg_tensor::{no_grad, Tensor, TensorStore};
+
+use crate::attention::LayerKvCache;
+use crate::block::TransformerBlock;
+use crate::config::ModelConfig;
+use crate::layers::{Embedding, Linear, RmsNorm};
+use crate::rope::RopeCache;
+
+/// Per-layer KV caches for one decoding session.
+pub struct KvCache {
+    layers: Vec<LayerKvCache>,
+    /// Absolute position of the next token to be fed.
+    pub pos: usize,
+}
+
+impl KvCache {
+    fn new(n_layers: usize) -> Self {
+        KvCache {
+            layers: (0..n_layers).map(|_| LayerKvCache::default()).collect(),
+            pos: 0,
+        }
+    }
+}
+
+/// Mistral-style causal LM.
+pub struct CausalLm {
+    /// Model configuration.
+    pub cfg: ModelConfig,
+    /// Token embedding.
+    pub embed: Embedding,
+    /// Decoder layers.
+    pub blocks: Vec<TransformerBlock>,
+    /// Final norm before the head.
+    pub final_norm: RmsNorm,
+    /// LM head projecting to vocabulary logits.
+    pub lm_head: Linear,
+    rope: RopeCache,
+}
+
+impl CausalLm {
+    /// Initialize a model from `cfg` with the given RNG.
+    pub fn new(cfg: ModelConfig, rng: &mut impl Rng) -> Self {
+        cfg.validate();
+        let blocks = (0..cfg.n_layers)
+            .map(|_| TransformerBlock::new(&cfg, rng))
+            .collect();
+        let rope = RopeCache::new(cfg.head_dim(), cfg.max_seq_len, cfg.rope_theta);
+        CausalLm {
+            embed: Embedding::new(cfg.vocab_size, cfg.d_model, rng),
+            blocks,
+            final_norm: RmsNorm::new(cfg.d_model, cfg.rms_eps),
+            lm_head: Linear::new(cfg.d_model, cfg.vocab_size, rng),
+            rope,
+            cfg,
+        }
+    }
+
+    /// Fresh KV cache for decoding.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.cfg.n_layers)
+    }
+
+    /// Forward over a `(batch, time)` grid of token ids -> logits
+    /// `(batch, time, vocab)`.
+    pub fn forward(&self, tokens: &[u32], batch: usize, time: usize) -> Tensor {
+        assert!(
+            time <= self.cfg.max_seq_len,
+            "sequence length {time} exceeds max {}",
+            self.cfg.max_seq_len
+        );
+        let mut h = self.embed.forward(tokens, batch, time);
+        for block in &self.blocks {
+            h = block.forward(&h, &self.rope, 0, None);
+        }
+        self.lm_head.forward(&self.final_norm.forward(&h))
+    }
+
+    /// Single decoding step through the KV cache (batch 1): returns logits
+    /// `(vocab,)` for the next-token distribution after `token`.
+    pub fn step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        no_grad(|| {
+            let mut h = self.embed.forward(&[token], 1, 1);
+            for (block, layer_cache) in self.blocks.iter().zip(&mut cache.layers) {
+                h = block.forward(&h, &self.rope, cache.pos, Some(layer_cache));
+            }
+            cache.pos += 1;
+            let logits = self.lm_head.forward(&self.final_norm.forward(&h));
+            logits.to_vec()
+        })
+    }
+
+    /// Next-token cross-entropy over a batch.
+    ///
+    /// `labels[b][t]` is the target for the prediction made at position `t`;
+    /// positions whose label equals `ignore` (typically `<pad>` = 0) are
+    /// masked from the loss — this is how prompt tokens are excluded in SFT.
+    pub fn sft_loss(
+        &self,
+        tokens: &[u32],
+        labels: &[u32],
+        batch: usize,
+        time: usize,
+        ignore: u32,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), labels.len());
+        let logits = self
+            .forward(tokens, batch, time)
+            .reshape([batch * time, self.cfg.vocab_size]);
+        let targets: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+        logits.cross_entropy_logits(&targets, Some(ignore as usize))
+    }
+
+    /// Sample a continuation of `prompt`. Greedy when `temperature == 0`.
+    /// Stops at `eos` or after `max_new` tokens. Returns only new tokens.
+    pub fn generate(
+        &self,
+        prompt: &[u32],
+        max_new: usize,
+        temperature: f32,
+        eos: u32,
+        rng: &mut impl Rng,
+    ) -> Vec<u32> {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let mut cache = self.new_cache();
+        // Prefill.
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.step(t, &mut cache);
+        }
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let next = sample_logits(&logits, temperature, rng);
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            logits = self.step(next, &mut cache);
+        }
+        out
+    }
+
+    /// Sum log-probability of `continuation` given `prompt` (teacher
+    /// forcing, no sampling). Used to rank candidate answers and to derive
+    /// the positive-class score for the KS metric.
+    pub fn score_continuation(&self, prompt: &[u32], continuation: &[u32]) -> f32 {
+        assert!(!prompt.is_empty() && !continuation.is_empty());
+        no_grad(|| {
+            let mut seq = prompt.to_vec();
+            seq.extend_from_slice(continuation);
+            let t = seq.len();
+            let logits = self.forward(&seq, 1, t);
+            let logp = logits.reshape([t, self.cfg.vocab_size]).log_softmax();
+            let lp = logp.data();
+            let v = self.cfg.vocab_size;
+            let mut total = 0.0f32;
+            for (i, &tok) in continuation.iter().enumerate() {
+                let pos = prompt.len() + i - 1; // logits at pos predict token pos+1
+                total += lp[pos * v + tok as usize];
+            }
+            total
+        })
+    }
+
+    /// All named parameters, including any attached LoRA adapters.
+    pub fn params(&self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        out.extend(self.embed.params("embed"));
+        for (i, b) in self.blocks.iter().enumerate() {
+            out.extend(b.params(&format!("layers.{i}")));
+        }
+        out.extend(self.final_norm.params("final_norm"));
+        out.extend(self.lm_head.params("lm_head"));
+        out
+    }
+
+    /// Only the parameters that require gradients (respects LoRA freezing).
+    pub fn trainable_params(&self) -> Vec<(String, Tensor)> {
+        self.params()
+            .into_iter()
+            .filter(|(_, p)| p.requires_grad())
+            .collect()
+    }
+
+    /// Snapshot all weights into a [`TensorStore`] checkpoint.
+    pub fn checkpoint(&self) -> TensorStore {
+        let mut store = TensorStore::new();
+        for (name, p) in self.params() {
+            store.insert(name, &p);
+        }
+        store
+    }
+
+    /// Restore weights from a checkpoint produced by [`CausalLm::checkpoint`].
+    /// Unknown names in the store are ignored; missing names panic.
+    pub fn restore(&self, store: &TensorStore) {
+        for (name, p) in self.params() {
+            let saved = store
+                .get(&name)
+                .unwrap_or_else(|| panic!("checkpoint missing parameter {name}"));
+            assert_eq!(saved.dims(), p.dims(), "shape mismatch for {name}");
+            p.set_data(&saved.data());
+        }
+    }
+}
+
+/// Sample from logits. `temperature == 0` is argmax.
+pub fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> u32 {
+    if temperature <= 0.0 {
+        return logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i as u32)
+            .expect("non-empty logits");
+    }
+    // Softmax with temperature, then inverse-CDF sampling.
+    let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| ((l - m) / temperature).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    let mut u: f32 = rng.gen::<f32>() * z;
+    for (i, &e) in exps.iter().enumerate() {
+        u -= e;
+        if u <= 0.0 {
+            return i as u32;
+        }
+    }
+    (exps.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_lm() -> CausalLm {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut cfg = ModelConfig::mistral_miniature(32);
+        cfg.n_layers = 1;
+        cfg.d_model = 16;
+        cfg.n_heads = 2;
+        cfg.n_kv_heads = 1;
+        cfg.d_ff = 32;
+        CausalLm::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn forward_logits_shape() {
+        let lm = tiny_lm();
+        let logits = lm.forward(&[1, 2, 3, 4, 5, 6], 2, 3);
+        assert_eq!(logits.dims(), &[2, 3, 32]);
+    }
+
+    #[test]
+    fn step_matches_forward() {
+        let lm = tiny_lm();
+        let seq = [1u32, 5, 9, 2];
+        let full = lm.forward(&seq, 1, 4).to_vec();
+        let mut cache = lm.new_cache();
+        let mut last = Vec::new();
+        for &t in &seq {
+            last = lm.step(t, &mut cache);
+        }
+        let v = lm.cfg.vocab_size;
+        for j in 0..v {
+            assert!(
+                (last[j] - full[3 * v + j]).abs() < 1e-3,
+                "logit {j}: {} vs {}",
+                last[j],
+                full[3 * v + j]
+            );
+        }
+    }
+
+    #[test]
+    fn sft_loss_masks_prompt() {
+        let lm = tiny_lm();
+        // All labels ignored -> loss computed over zero positions -> 0/1 = 0.
+        let loss = lm.sft_loss(&[1, 2, 3], &[0, 0, 0], 1, 3, 0);
+        assert_eq!(loss.item(), 0.0);
+        // One live label -> positive loss.
+        let loss = lm.sft_loss(&[1, 2, 3], &[0, 0, 7], 1, 3, 0);
+        assert!(loss.item() > 0.0);
+    }
+
+    #[test]
+    fn sft_loss_backward_reaches_params() {
+        let lm = tiny_lm();
+        let loss = lm.sft_loss(&[1, 2, 3, 4], &[2, 3, 4, 2], 1, 4, 0);
+        loss.backward();
+        let with_grad = lm
+            .params()
+            .iter()
+            .filter(|(_, p)| p.grad().is_some())
+            .count();
+        assert!(with_grad > 5, "only {with_grad} params got grads");
+    }
+
+    #[test]
+    fn generate_terminates_and_respects_eos() {
+        let lm = tiny_lm();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = lm.generate(&[1, 2, 3], 8, 0.0, 2, &mut rng);
+        assert!(out.len() <= 8);
+        assert!(!out.contains(&2), "eos must not appear in output");
+    }
+
+    #[test]
+    fn greedy_sampling_is_argmax() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = vec![0.1, 5.0, -3.0];
+        assert_eq!(sample_logits(&logits, 0.0, &mut rng), 1);
+    }
+
+    #[test]
+    fn temperature_sampling_covers_support() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = vec![1.0, 1.0];
+        let mut seen = [false; 2];
+        for _ in 0..50 {
+            seen[sample_logits(&logits, 1.0, &mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn score_continuation_is_log_prob() {
+        let lm = tiny_lm();
+        let s = lm.score_continuation(&[1, 2], &[3]);
+        assert!(s <= 0.0, "log-prob must be <= 0");
+        // Sum over full vocab of exp(score) == 1 at a single position.
+        let total: f32 = (0..32)
+            .map(|tok| lm.score_continuation(&[1, 2], &[tok]).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-3, "total prob {total}");
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let lm = tiny_lm();
+        let before = lm.forward(&[1, 2, 3], 1, 3).to_vec();
+        let ckpt = lm.checkpoint();
+        // Perturb all weights, then restore.
+        for (_, p) in lm.params() {
+            let d: Vec<f32> = p.data().iter().map(|v| v + 1.0).collect();
+            p.set_data(&d);
+        }
+        let perturbed = lm.forward(&[1, 2, 3], 1, 3).to_vec();
+        assert!(before.iter().zip(&perturbed).any(|(a, b)| (a - b).abs() > 1e-3));
+        lm.restore(&ckpt);
+        let after = lm.forward(&[1, 2, 3], 1, 3).to_vec();
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn trainable_params_respects_freezing() {
+        let lm = tiny_lm();
+        let all = lm.params().len();
+        assert_eq!(lm.trainable_params().len(), all);
+        lm.embed.weight.set_requires_grad(false);
+        assert_eq!(lm.trainable_params().len(), all - 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Rotary position embeddings (RoPE), implemented as a custom
+//! differentiable op: the backward pass is the inverse rotation.
+
+use zg_tensor::Tensor;
+
+/// Precomputed cos/sin tables for RoPE, indexed `[position][pair]`.
+pub struct RopeCache {
+    cos: Vec<f32>,
+    sin: Vec<f32>,
+    half: usize,
+    max_pos: usize,
+}
+
+impl RopeCache {
+    /// Build tables for head dimension `head_dim` (must be even) up to
+    /// `max_pos` positions with base frequency `theta`.
+    pub fn new(head_dim: usize, max_pos: usize, theta: f32) -> Self {
+        assert!(head_dim.is_multiple_of(2), "RoPE needs an even head dim");
+        let half = head_dim / 2;
+        let mut cos = Vec::with_capacity(max_pos * half);
+        let mut sin = Vec::with_capacity(max_pos * half);
+        for pos in 0..max_pos {
+            for i in 0..half {
+                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let angle = pos as f32 * freq;
+                cos.push(angle.cos());
+                sin.push(angle.sin());
+            }
+        }
+        RopeCache {
+            cos,
+            sin,
+            half,
+            max_pos,
+        }
+    }
+
+    /// Rotate `x` of shape `(batch, heads, time, head_dim)`, where sequence
+    /// position `t` maps to absolute position `pos_offset + t` (the offset
+    /// supports KV-cache decoding).
+    pub fn apply(&self, x: &Tensor, pos_offset: usize) -> Tensor {
+        let dims = x.dims().to_vec();
+        assert_eq!(dims.len(), 4, "RoPE expects (B, H, T, hd)");
+        let (b, h, t, hd) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(hd, self.half * 2, "head dim mismatch");
+        assert!(
+            pos_offset + t <= self.max_pos,
+            "position {} exceeds RoPE table {}",
+            pos_offset + t,
+            self.max_pos
+        );
+        let rotate = |src: &[f32], invert: bool| -> Vec<f32> {
+            let mut out = vec![0.0f32; src.len()];
+            for bi in 0..b * h {
+                for ti in 0..t {
+                    let base = (bi * t + ti) * hd;
+                    let tab = (pos_offset + ti) * self.half;
+                    for i in 0..self.half {
+                        let (c, mut s) = (self.cos[tab + i], self.sin[tab + i]);
+                        if invert {
+                            s = -s;
+                        }
+                        let x0 = src[base + 2 * i];
+                        let x1 = src[base + 2 * i + 1];
+                        out[base + 2 * i] = x0 * c - x1 * s;
+                        out[base + 2 * i + 1] = x0 * s + x1 * c;
+                    }
+                }
+            }
+            out
+        };
+        let data = rotate(&x.data(), false);
+        let cos = self.cos.clone();
+        let sin = self.sin.clone();
+        let half = self.half;
+        let parent = x.clone();
+        Tensor::custom(data, dims.clone(), vec![x.clone()], move |out| {
+            let g = out.grad().expect("missing output grad");
+            // Inverse rotation of the gradient.
+            let mut gx = vec![0.0f32; g.len()];
+            for bi in 0..b * h {
+                for ti in 0..t {
+                    let base = (bi * t + ti) * hd;
+                    let tab = (pos_offset + ti) * half;
+                    for i in 0..half {
+                        let (c, s) = (cos[tab + i], sin[tab + i]);
+                        let g0 = g[base + 2 * i];
+                        let g1 = g[base + 2 * i + 1];
+                        gx[base + 2 * i] = g0 * c + g1 * s;
+                        gx[base + 2 * i + 1] = -g0 * s + g1 * c;
+                    }
+                }
+            }
+            if parent.requires_grad() {
+                parent.accumulate_grad(&gx);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let cache = RopeCache::new(4, 8, 10_000.0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 1, 4]);
+        let y = cache.apply(&x, 0);
+        for (a, b) in x.to_vec().iter().zip(y.to_vec()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let cache = RopeCache::new(8, 16, 10_000.0);
+        let x = Tensor::from_vec((0..8).map(|i| i as f32 - 3.5).collect(), [1, 1, 1, 8]);
+        let y = cache.apply(&x, 7);
+        let nx: f32 = x.to_vec().iter().map(|v| v * v).sum();
+        let ny: f32 = y.to_vec().iter().map(|v| v * v).sum();
+        assert!((nx - ny).abs() < 1e-4);
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // <q_m, k_n> after RoPE depends only on (m - n): shift both by the
+        // same offset and the dot product is unchanged.
+        let cache = RopeCache::new(4, 32, 10_000.0);
+        let q = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.2], [1, 1, 1, 4]);
+        let k = Tensor::from_vec(vec![-0.5, 0.9, 0.4, -1.3], [1, 1, 1, 4]);
+        let dot = |a: &Tensor, b: &Tensor| -> f32 {
+            a.to_vec().iter().zip(b.to_vec()).map(|(x, y)| x * y).sum()
+        };
+        let d1 = dot(&cache.apply(&q, 5), &cache.apply(&k, 2));
+        let d2 = dot(&cache.apply(&q, 15), &cache.apply(&k, 12));
+        assert!((d1 - d2).abs() < 1e-4, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn backward_is_inverse_rotation() {
+        let cache = RopeCache::new(4, 8, 10_000.0);
+        let x = Tensor::param(vec![0.5, -0.5, 1.0, 2.0], [1, 1, 1, 4]);
+        let y = cache.apply(&x, 3);
+        // d(sum y)/dx: rotate the ones-vector backwards; norm preserved.
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        let norm: f32 = g.iter().map(|v| v * v).sum();
+        assert!((norm - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradcheck_numeric() {
+        let cache = RopeCache::new(4, 8, 10_000.0);
+        let xv = vec![0.2f32, 0.8, -0.3, 0.4];
+        let weights = [1.0f32, -2.0, 0.5, 3.0];
+        let f = |xv: &[f32]| -> f32 {
+            let x = Tensor::from_vec(xv.to_vec(), [1, 1, 1, 4]);
+            let y = cache.apply(&x, 2);
+            y.to_vec().iter().zip(&weights).map(|(&a, &w)| a * w).sum()
+        };
+        let x = Tensor::param(xv.clone(), [1, 1, 1, 4]);
+        let y = cache.apply(&x, 2);
+        y.mul(&Tensor::from_vec(weights.to_vec(), [1, 1, 1, 4]))
+            .sum()
+            .backward();
+        let g = x.grad().unwrap();
+        let h = 1e-3;
+        for i in 0..4 {
+            let mut p = xv.clone();
+            p[i] += h;
+            let mut m = xv.clone();
+            m[i] -= h;
+            let num = (f(&p) - f(&m)) / (2.0 * h);
+            assert!((g[i] - num).abs() < 1e-2, "{} vs {}", g[i], num);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds RoPE table")]
+    fn position_overflow_panics() {
+        let cache = RopeCache::new(4, 4, 10_000.0);
+        let x = Tensor::zeros([1, 1, 2, 4]);
+        cache.apply(&x, 3);
+    }
+}

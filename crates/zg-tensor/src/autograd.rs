@@ -1,0 +1,127 @@
+//! Reverse-mode sweep: topological ordering of the dynamically recorded
+//! graph and gradient propagation.
+
+use std::collections::HashSet;
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Backpropagate from this tensor, seeding its gradient with ones.
+    ///
+    /// Typically called on a scalar loss. For non-scalars the seed is a
+    /// ones-tensor of the same shape (i.e. the gradient of `sum(self)`).
+    pub fn backward(&self) {
+        let seed = vec![1.0; self.numel()];
+        self.backward_with(&seed);
+    }
+
+    /// Backpropagate with an explicit output gradient (vector-Jacobian seed).
+    pub fn backward_with(&self, seed: &[f32]) {
+        assert_eq!(seed.len(), self.numel(), "seed gradient shape mismatch");
+        let order = topo_order(self);
+        self.accumulate_grad(seed);
+        // Reverse topological order: every node's gradient is complete
+        // before its backward closure runs.
+        for node in order.iter().rev() {
+            if let Some(backward) = &node.0.backward {
+                if node.0.grad.borrow().is_some() {
+                    backward(node);
+                }
+            }
+        }
+        // Free intermediate gradients; leaves (parameters) keep theirs so
+        // gradient accumulation across micro-batches works.
+        for node in &order {
+            if !node.0.parents.is_empty() {
+                node.zero_grad();
+            }
+        }
+    }
+}
+
+/// Iterative DFS post-order over the graph rooted at `root`.
+///
+/// Iterative rather than recursive: transformer graphs are thousands of
+/// nodes deep and would overflow the stack otherwise.
+fn topo_order(root: &Tensor) -> Vec<Tensor> {
+    let mut order = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    // Stack of (node, child_cursor).
+    let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
+    visited.insert(root.id());
+    while let Some((node, cursor)) = stack.pop() {
+        if cursor < node.0.parents.len() {
+            let child = node.0.parents[cursor].clone();
+            stack.push((node, cursor + 1));
+            if child.requires_grad() && visited.insert(child.id()) {
+                stack.push((child, 0));
+            }
+        } else {
+            order.push(node);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_gradient() {
+        // y = (x * 3) + 2 ; dy/dx = 3
+        let x = Tensor::param(vec![1.0, 2.0], [2]);
+        let y = x.mul_scalar(3.0).add_scalar(2.0);
+        let s = y.sum();
+        s.backward();
+        assert_eq!(x.grad().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // y = x*x + x ; dy/dx = 2x + 1
+        let x = Tensor::param(vec![3.0], [1]);
+        let y = x.mul(&x).add(&x);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn backward_twice_accumulates_on_leaves() {
+        let x = Tensor::param(vec![1.0], [1]);
+        let y = x.mul_scalar(2.0);
+        y.sum().backward();
+        let y2 = x.mul_scalar(2.0);
+        y2.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn no_grad_leaves_untouched() {
+        let x = Tensor::param(vec![1.0], [1]);
+        crate::no_grad(|| {
+            let y = x.mul_scalar(2.0);
+            assert!(!y.requires_grad());
+        });
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let x = Tensor::param(vec![1.0], [1]);
+        let mut y = x.clone();
+        for _ in 0..20_000 {
+            y = y.add_scalar(0.0);
+        }
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn backward_with_custom_seed() {
+        let x = Tensor::param(vec![1.0, 1.0], [2]);
+        let y = x.mul_scalar(1.0);
+        y.backward_with(&[2.0, 5.0]);
+        assert_eq!(x.grad().unwrap(), vec![2.0, 5.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Numerical gradient checking: central finite differences against the
+//! autograd engine. Exposed publicly so downstream crates can verify
+//! their custom ops (`zg-model` uses it for RoPE in its tests).
+
+use crate::tensor::Tensor;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Index of the worst element.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst element.
+    pub analytic: f32,
+    /// Numeric gradient at the worst element.
+    pub numeric: f32,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at tolerance `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol
+    }
+}
+
+/// Check `d f(x) / dx` for a scalar-valued tensor function.
+///
+/// `f` must be a pure function of the input values: it is re-evaluated at
+/// perturbed inputs for the finite-difference quotient. `h` is the
+/// half-step (1e-3 is right for f32).
+pub fn gradcheck(f: impl Fn(&Tensor) -> Tensor, x0: &[f32], h: f32) -> GradCheckReport {
+    let n = x0.len();
+    assert!(n > 0, "empty input");
+    // Analytic gradient.
+    let x = Tensor::param(x0.to_vec(), [n]);
+    let y = f(&x);
+    assert_eq!(y.numel(), 1, "gradcheck needs a scalar-valued function");
+    y.backward();
+    let analytic = x.grad().expect("gradient must exist");
+
+    let eval = |vals: Vec<f32>| -> f32 { f(&Tensor::from_vec(vals, [n])).item() };
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        worst_index: 0,
+        analytic: analytic[0],
+        numeric: 0.0,
+    };
+    for i in 0..n {
+        let mut plus = x0.to_vec();
+        plus[i] += h;
+        let mut minus = x0.to_vec();
+        minus[i] -= h;
+        let numeric = (eval(plus) - eval(minus)) / (2.0 * h);
+        let err = (analytic[i] - numeric).abs();
+        if err > report.max_abs_err {
+            report.max_abs_err = err;
+            report.worst_index = i;
+            report.analytic = analytic[i];
+            report.numeric = numeric;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_on_composite_expression() {
+        let r = gradcheck(
+            |x| x.silu().mul(x).sum_axis(0, false).sqrt().sum(),
+            &[0.7, 1.3, 2.1],
+            1e-3,
+        );
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn passes_on_matmul_softmax_chain() {
+        let r = gradcheck(
+            |x| {
+                let m = x.reshape([2, 3]);
+                m.matmul(&m.t()).softmax().sum_axis(-1, false).mean()
+            },
+            &[0.1, -0.4, 0.9, 0.3, 0.2, -0.7],
+            1e-3,
+        );
+        assert!(r.passes(1e-2), "{r:?}");
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // A custom op with an intentionally wrong backward (factor 3
+        // instead of 2) must fail the check.
+        let r = gradcheck(
+            |x| {
+                let data: Vec<f32> = x.data().iter().map(|v| v * 2.0).collect();
+                let xc = x.clone();
+                Tensor::custom(data, [x.numel()], vec![x.clone()], move |out| {
+                    let g = out.grad().expect("grad");
+                    let wrong: Vec<f32> = g.iter().map(|v| v * 3.0).collect();
+                    if xc.requires_grad() {
+                        xc.accumulate_grad(&wrong);
+                    }
+                })
+                .sum()
+            },
+            &[1.0, 2.0],
+            1e-3,
+        );
+        assert!(!r.passes(1e-2), "wrong gradient must be detected: {r:?}");
+        assert!((r.analytic - 3.0).abs() < 1e-5);
+        assert!((r.numeric - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar-valued")]
+    fn non_scalar_rejected() {
+        gradcheck(|x| x.mul_scalar(2.0), &[1.0, 2.0], 1e-3);
+    }
+}

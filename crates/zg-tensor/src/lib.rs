@@ -1,0 +1,47 @@
+//! # zg-tensor
+//!
+//! A compact, dependency-light f32 tensor engine with tape-based
+//! reverse-mode automatic differentiation. This is the computational
+//! substrate for the ZiGong reproduction: the Mistral-style language model
+//! in `zg-model`, LoRA adapters in `zg-lora`, and the TracIn/TracSeq
+//! influence machinery in `zg-influence` are all built on it.
+//!
+//! Highlights:
+//! - NumPy-style broadcasting for binary ops, with gradient reduction over
+//!   broadcast axes.
+//! - Batched matmul with broadcastable batch dimensions.
+//! - Fused softmax / log-softmax / cross-entropy kernels.
+//! - [`Tensor::custom`] — define new differentiable ops downstream.
+//! - [`no_grad`] scopes for tape-free inference.
+//! - [`TensorStore`] — the `ZGT1` checkpoint format (TracIn replays
+//!   gradients at stored checkpoints, so checkpoints are load-bearing).
+//!
+//! ```
+//! use zg_tensor::Tensor;
+//! let w = Tensor::param(vec![0.5, -0.5], [2]);
+//! let x = Tensor::from_vec(vec![1.0, 2.0], [2]);
+//! let loss = w.mul(&x).sum().square();
+//! loss.backward();
+//! assert!(w.grad().is_some());
+//! ```
+
+mod autograd;
+mod gradcheck;
+mod init;
+mod ops_binary;
+mod ops_matmul;
+mod ops_nn;
+mod ops_reduce;
+mod ops_shape;
+mod ops_stats;
+mod ops_unary;
+mod shape;
+mod store;
+mod tensor;
+
+pub use gradcheck::{gradcheck, GradCheckReport};
+pub use ops_matmul::gemm;
+pub use shape::{Shape, StridedIter};
+pub use store::TensorStore;
+pub use tensor::{grad_enabled, no_grad, Tensor};
+pub use init::randn_sample;

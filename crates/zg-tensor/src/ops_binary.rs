@@ -1,0 +1,243 @@
+//! Binary elementwise operations with NumPy-style broadcasting and
+//! broadcast-aware gradient reduction.
+
+use crate::shape::{Shape, StridedIter};
+use crate::tensor::Tensor;
+
+/// Elementwise forward over the broadcast of two tensors.
+fn broadcast_forward(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f32>, Shape) {
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
+    let n = out_shape.numel();
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = Vec::with_capacity(n);
+    if *a.shape() == out_shape && *b.shape() == out_shape {
+        // Fast path: same shape, contiguous zip.
+        out.extend(ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)));
+    } else {
+        let sa = a.shape().broadcast_strides(&out_shape);
+        let sb = b.shape().broadcast_strides(&out_shape);
+        let ia = StridedIter::new(out_shape.dims(), &sa);
+        let ib = StridedIter::new(out_shape.dims(), &sb);
+        out.extend(ia.zip(ib).map(|(oa, ob)| f(ad[oa], bd[ob])));
+    }
+    (out, out_shape)
+}
+
+/// Backward for a broadcast binary op: accumulates `d(out)/d(a)`-weighted
+/// output gradient into each parent, summing over broadcast axes implicitly
+/// (repeated offsets accumulate).
+fn broadcast_backward(
+    out: &Tensor,
+    a: &Tensor,
+    b: &Tensor,
+    da: impl Fn(f32, f32) -> f32, // ∂f/∂a at (a_val, b_val)
+    db: impl Fn(f32, f32) -> f32, // ∂f/∂b at (a_val, b_val)
+) {
+    let g = out.0.grad.borrow();
+    let g = g.as_ref().expect("backward called without output grad");
+    let ad = a.data();
+    let bd = b.data();
+    let out_shape = out.shape();
+    let sa = a.shape().broadcast_strides(out_shape);
+    let sb = b.shape().broadcast_strides(out_shape);
+    let mut ga = vec![0.0f32; a.numel()];
+    let mut gb = vec![0.0f32; b.numel()];
+    let ia = StridedIter::new(out_shape.dims(), &sa);
+    let ib = StridedIter::new(out_shape.dims(), &sb);
+    for (i, (oa, ob)) in ia.zip(ib).enumerate() {
+        let (x, y) = (ad[oa], bd[ob]);
+        ga[oa] += g[i] * da(x, y);
+        gb[ob] += g[i] * db(x, y);
+    }
+    drop(ad);
+    drop(bd);
+    if a.requires_grad() {
+        a.accumulate_grad(&ga);
+    }
+    if b.requires_grad() {
+        b.accumulate_grad(&gb);
+    }
+}
+
+macro_rules! binary_op {
+    ($name:ident, $doc:literal, $f:expr, $da:expr, $db:expr) => {
+        #[doc = $doc]
+        pub fn $name(&self, other: &Tensor) -> Tensor {
+            let (data, shape) = broadcast_forward(self, other, $f);
+            let a = self.clone();
+            let b = other.clone();
+            Tensor::from_op(
+                data,
+                shape,
+                vec![self.clone(), other.clone()],
+                Box::new(move |out| broadcast_backward(out, &a, &b, $da, $db)),
+            )
+        }
+    };
+}
+
+impl Tensor {
+    binary_op!(
+        add,
+        "Elementwise `self + other` with broadcasting.",
+        |x, y| x + y,
+        |_, _| 1.0,
+        |_, _| 1.0
+    );
+
+    binary_op!(
+        sub,
+        "Elementwise `self - other` with broadcasting.",
+        |x, y| x - y,
+        |_, _| 1.0,
+        |_, _| -1.0
+    );
+
+    binary_op!(
+        mul,
+        "Elementwise `self * other` (Hadamard product) with broadcasting.",
+        |x, y| x * y,
+        |_, y| y,
+        |x, _| x
+    );
+
+    binary_op!(
+        div,
+        "Elementwise `self / other` with broadcasting.",
+        |x, y| x / y,
+        |_, y| 1.0 / y,
+        |x, y| -x / (y * y)
+    );
+
+    binary_op!(
+        maximum,
+        "Elementwise maximum with broadcasting. Ties route gradient to `self`.",
+        |x, y| x.max(y),
+        |x, y| if x >= y { 1.0 } else { 0.0 },
+        |x, y| if x >= y { 0.0 } else { 1.0 }
+    );
+
+    binary_op!(
+        minimum,
+        "Elementwise minimum with broadcasting. Ties route gradient to `self`.",
+        |x: f32, y: f32| x.min(y),
+        |x, y| if x <= y { 1.0 } else { 0.0 },
+        |x, y| if x <= y { 0.0 } else { 1.0 }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::param(v, s.to_vec())
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![10.0, 20.0], &[2]);
+        let c = a.add(&b);
+        assert_eq!(c.to_vec(), vec![11.0, 22.0]);
+        c.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0, 1.0]);
+        assert_eq!(b.grad().unwrap(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        // (2,3) + (3,) broadcasts the row vector.
+        let a = t(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let b = t(vec![1.0, 2.0, 3.0], &[3]);
+        let c = a.add(&b);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0, 2.0, 3.0, 4.0]);
+        c.sum().backward();
+        // b's gradient sums over the broadcast (row) axis.
+        assert_eq!(b.grad().unwrap(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_gradients() {
+        let a = t(vec![2.0, 3.0], &[2]);
+        let b = t(vec![5.0, 7.0], &[2]);
+        a.mul(&b).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![5.0, 7.0]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mul_with_self_doubles_grad() {
+        let a = t(vec![3.0], &[1]);
+        a.mul(&a).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn div_gradients() {
+        let a = t(vec![6.0], &[1]);
+        let b = t(vec![2.0], &[1]);
+        let c = a.div(&b);
+        assert_eq!(c.to_vec(), vec![3.0]);
+        c.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.5]);
+        assert_eq!(b.grad().unwrap(), vec![-1.5]);
+    }
+
+    #[test]
+    fn sub_broadcast_scalar_tensor() {
+        let a = t(vec![5.0, 8.0], &[2]);
+        let s = t(vec![3.0], &[]);
+        let c = a.sub(&s);
+        assert_eq!(c.to_vec(), vec![2.0, 5.0]);
+        c.sum().backward();
+        assert_eq!(s.grad().unwrap(), vec![-2.0]);
+    }
+
+    #[test]
+    fn maximum_routes_gradient() {
+        let a = t(vec![1.0, 5.0], &[2]);
+        let b = t(vec![3.0, 2.0], &[2]);
+        let c = a.maximum(&b);
+        assert_eq!(c.to_vec(), vec![3.0, 5.0]);
+        c.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.0, 1.0]);
+        assert_eq!(b.grad().unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn minimum_routes_gradient() {
+        let a = t(vec![1.0, 5.0], &[2]);
+        let b = t(vec![3.0, 2.0], &[2]);
+        let c = a.minimum(&b);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0]);
+        c.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0, 0.0]);
+        assert_eq!(b.grad().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn incompatible_shapes_panic() {
+        let a = t(vec![1.0; 3], &[3]);
+        let b = t(vec![1.0; 4], &[4]);
+        a.add(&b);
+    }
+
+    #[test]
+    fn broadcast_both_directions() {
+        // (3,1) * (1,4) -> (3,4)
+        let a = t(vec![1.0, 2.0, 3.0], &[3, 1]);
+        let b = t(vec![1.0, 10.0, 100.0, 1000.0], &[1, 4]);
+        let c = a.mul(&b);
+        assert_eq!(c.dims(), &[3, 4]);
+        assert_eq!(c.at(&[2, 3]), 3000.0);
+        c.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![1111.0, 1111.0, 1111.0]);
+        assert_eq!(b.grad().unwrap(), vec![6.0, 6.0, 6.0, 6.0]);
+    }
+}

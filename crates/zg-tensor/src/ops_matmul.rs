@@ -1,0 +1,329 @@
+//! Batched matrix multiplication with broadcastable leading (batch)
+//! dimensions, plus the small row-major GEMM kernels used throughout.
+
+use crate::shape::{Shape, StridedIter};
+use crate::tensor::Tensor;
+
+/// `c += op(a) · op(b)` for row-major matrices.
+///
+/// Logical dimensions are always `(m, k) · (k, n) -> (m, n)`; the `ta`/`tb`
+/// flags say the physical buffer is stored transposed. Loop orders are chosen
+/// per case for contiguous inner loops.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    match (ta, tb) {
+        (false, false) => {
+            // ikj: stream rows of b.
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // b physically (n, k): dot products of contiguous rows.
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *cv += acc;
+                }
+            }
+        }
+        (true, false) => {
+            // a physically (k, m): kij with axpy rows.
+            for kk in 0..k {
+                let arow = &a[kk * m..(kk + 1) * m];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (i, &aki) in arow.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut c[i * n..(i + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aki * bv;
+                    }
+                }
+            }
+        }
+        (true, true) => {
+            // Rare path: fall back to index arithmetic.
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a[kk * m + i] * b[j * k + kk];
+                    }
+                    c[i * n + j] += acc;
+                }
+            }
+        }
+    }
+}
+
+/// Split a shape into (batch dims, rows, cols) for matmul.
+fn split_matrix(shape: &Shape) -> (&[usize], usize, usize) {
+    let dims = shape.dims();
+    assert!(
+        dims.len() >= 2,
+        "matmul operand must have rank >= 2, got {shape}"
+    );
+    let (batch, mat) = dims.split_at(dims.len() - 2);
+    (batch, mat[0], mat[1])
+}
+
+/// Per-batch flat chunk offsets for both operands and the output.
+struct BatchPlan {
+    batch: Shape,
+    a_offsets: Vec<usize>,
+    b_offsets: Vec<usize>,
+}
+
+fn batch_plan(a_shape: &Shape, b_shape: &Shape) -> BatchPlan {
+    let (ab, m, k) = split_matrix(a_shape);
+    let (bb, _, n) = split_matrix(b_shape);
+    let ab = Shape::new(ab);
+    let bb = Shape::new(bb);
+    let batch = ab
+        .broadcast(&bb)
+        .unwrap_or_else(|| panic!("matmul batch dims {ab} and {bb} do not broadcast"));
+    // Batch strides measured in matrix chunks, then scaled to element offsets.
+    let sa = ab.broadcast_strides(&batch);
+    let sb = bb.broadcast_strides(&batch);
+    let a_offsets: Vec<usize> = StridedIter::new(batch.dims(), &sa)
+        .map(|o| o * m * k)
+        .collect();
+    let b_offsets: Vec<usize> = StridedIter::new(batch.dims(), &sb)
+        .map(|o| o * k * n)
+        .collect();
+    BatchPlan {
+        batch,
+        a_offsets,
+        b_offsets,
+    }
+}
+
+impl Tensor {
+    /// Matrix product. Last two dims multiply `(…, m, k) · (…, k, n) ->
+    /// (…, m, n)`; leading dims broadcast NumPy-style.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (_, m, k) = split_matrix(self.shape());
+        let (_, k2, n) = split_matrix(other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dims differ: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let plan = batch_plan(self.shape(), other.shape());
+        let nbatch = plan.batch.numel();
+        let mut out = vec![0.0f32; nbatch * m * n];
+        {
+            let ad = self.data();
+            let bd = other.data();
+            for (bi, (&ao, &bo)) in plan.a_offsets.iter().zip(&plan.b_offsets).enumerate() {
+                gemm(
+                    false,
+                    false,
+                    m,
+                    n,
+                    k,
+                    &ad[ao..ao + m * k],
+                    &bd[bo..bo + k * n],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                );
+            }
+        }
+        let mut out_dims = plan.batch.dims().to_vec();
+        out_dims.push(m);
+        out_dims.push(n);
+
+        let a = self.clone();
+        let b = other.clone();
+        Tensor::from_op(
+            out,
+            Shape(out_dims),
+            vec![self.clone(), other.clone()],
+            Box::new(move |outt| {
+                let g = outt.0.grad.borrow();
+                let g = g.as_ref().expect("missing output grad");
+                let plan = batch_plan(a.shape(), b.shape());
+                let ad = a.data();
+                let bd = b.data();
+                let mut ga = vec![0.0f32; a.numel()];
+                let mut gb = vec![0.0f32; b.numel()];
+                for (bi, (&ao, &bo)) in plan.a_offsets.iter().zip(&plan.b_offsets).enumerate() {
+                    let gchunk = &g[bi * m * n..(bi + 1) * m * n];
+                    // dA = dY · Bᵀ  (broadcast batches accumulate at the
+                    // same offset, which performs the required reduction).
+                    gemm(
+                        false,
+                        true,
+                        m,
+                        k,
+                        n,
+                        gchunk,
+                        &bd[bo..bo + k * n],
+                        &mut ga[ao..ao + m * k],
+                    );
+                    // dB = Aᵀ · dY
+                    gemm(
+                        true,
+                        false,
+                        k,
+                        n,
+                        m,
+                        &ad[ao..ao + m * k],
+                        gchunk,
+                        &mut gb[bo..bo + k * n],
+                    );
+                }
+                drop(ad);
+                drop(bd);
+                if a.requires_grad() {
+                    a.accumulate_grad(&ga);
+                }
+                if b.requires_grad() {
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_nn() {
+        // (2,3)·(3,2)
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut c = [0.0; 4];
+        gemm(false, false, 2, 2, 3, &a, &b, &mut c);
+        assert_eq!(c, [58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_transpose_variants_agree() {
+        // Random-ish small matrices; all four variants must agree with NN.
+        let m = 3;
+        let n = 4;
+        let k = 5;
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut c_ref = vec![0.0; m * n];
+        gemm(false, false, m, n, k, &a, &b, &mut c_ref);
+
+        // Physically transpose a -> at (k,m) and b -> bt (n,k).
+        let mut at = vec![0.0; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut bt = vec![0.0; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        for (ta, tb, pa, pb) in [
+            (true, false, &at, &b),
+            (false, true, &a, &bt),
+            (true, true, &at, &bt),
+        ] {
+            let mut c = vec![0.0; m * n];
+            gemm(ta, tb, m, n, k, pa, pb, &mut c);
+            for (x, y) in c.iter().zip(&c_ref) {
+                assert!((x - y).abs() < 1e-5, "({ta},{tb}) mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_2d_forward_backward() {
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::param(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+        c.sum().backward();
+        // dA = 1·Bᵀ summed: rows of ones times Bᵀ
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_batched_equal_batches() {
+        // (2,2,3)·(2,3,1)
+        let a = Tensor::param((0..12).map(|x| x as f32).collect(), [2, 2, 3]);
+        let b = Tensor::param(vec![1.0; 6], [2, 3, 1]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 1]);
+        assert_eq!(c.to_vec(), vec![3.0, 12.0, 21.0, 30.0]);
+    }
+
+    #[test]
+    fn matmul_broadcast_weight() {
+        // (2,2,3)·(3,2): shared weight across the batch.
+        let a = Tensor::param(vec![1.0; 12], [2, 2, 3]);
+        let w = Tensor::param(vec![0.5; 6], [3, 2]);
+        let c = a.matmul(&w);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert!(c.to_vec().iter().all(|&v| (v - 1.5).abs() < 1e-6));
+        c.sum().backward();
+        // Each weight element sees all 4 rows of ones.
+        assert_eq!(w.grad().unwrap(), vec![4.0; 6]);
+    }
+
+    #[test]
+    fn matmul_gradcheck_numeric() {
+        // Finite-difference check on a 2x3 · 3x2 product.
+        let av: Vec<f32> = vec![0.3, -0.5, 0.8, 1.1, -0.2, 0.4];
+        let bv: Vec<f32> = vec![0.7, 0.1, -0.3, 0.9, 0.2, -0.6];
+        let f = |av: &[f32], bv: &[f32]| -> f32 {
+            let a = Tensor::from_vec(av.to_vec(), [2, 3]);
+            let b = Tensor::from_vec(bv.to_vec(), [3, 2]);
+            a.matmul(&b).sum().item()
+        };
+        let a = Tensor::param(av.clone(), [2, 3]);
+        let b = Tensor::param(bv.clone(), [3, 2]);
+        a.matmul(&b).sum().backward();
+        let ga = a.grad().unwrap();
+        let h = 1e-2;
+        for i in 0..av.len() {
+            let mut ap = av.clone();
+            ap[i] += h;
+            let mut am = av.clone();
+            am[i] -= h;
+            let num = (f(&ap, &bv) - f(&am, &bv)) / (2.0 * h);
+            assert!((ga[i] - num).abs() < 1e-2, "a[{i}]: {} vs {num}", ga[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        a.matmul(&b);
+    }
+}

@@ -1,0 +1,355 @@
+//! Shape-manipulating operations: reshape, permute/transpose, slicing,
+//! concatenation, and broadcasting views (all materialized — the engine is
+//! contiguous-only, which keeps kernels and backward passes simple).
+
+use crate::shape::{Shape, StridedIter};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Reinterpret the data with a new shape of the same element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "reshape {} -> {shape} changes element count",
+            self.shape()
+        );
+        let parent = self.clone();
+        Tensor::from_op(
+            self.to_vec(),
+            shape,
+            vec![self.clone()],
+            Box::new(move |out| {
+                let g = out.0.grad.borrow();
+                let g = g.as_ref().expect("missing output grad");
+                if parent.requires_grad() {
+                    parent.accumulate_grad(g);
+                }
+            }),
+        )
+    }
+
+    /// Insert a size-1 dimension at `axis` (0..=rank).
+    pub fn unsqueeze(&self, axis: usize) -> Tensor {
+        let mut dims = self.dims().to_vec();
+        assert!(axis <= dims.len());
+        dims.insert(axis, 1);
+        self.reshape(dims)
+    }
+
+    /// Remove a size-1 dimension at `axis`.
+    pub fn squeeze(&self, axis: usize) -> Tensor {
+        let mut dims = self.dims().to_vec();
+        assert_eq!(dims[axis], 1, "squeeze on non-unit axis {axis}");
+        dims.remove(axis);
+        self.reshape(dims)
+    }
+
+    /// Reorder dimensions by `axes` (a permutation of `0..rank`).
+    pub fn permute(&self, axes: &[usize]) -> Tensor {
+        let rank = self.rank();
+        assert_eq!(axes.len(), rank, "permute needs all axes");
+        let mut seen = vec![false; rank];
+        for &a in axes {
+            assert!(a < rank && !seen[a], "invalid permutation {axes:?}");
+            seen[a] = true;
+        }
+        let src_dims = self.dims();
+        let src_strides = self.shape().strides();
+        let out_dims: Vec<usize> = axes.iter().map(|&a| src_dims[a]).collect();
+        let gather_strides: Vec<usize> = axes.iter().map(|&a| src_strides[a]).collect();
+        let data = self.data();
+        let out: Vec<f32> = StridedIter::new(&out_dims, &gather_strides)
+            .map(|o| data[o])
+            .collect();
+        drop(data);
+
+        let parent = self.clone();
+        let axes_owned = axes.to_vec();
+        Tensor::from_op(
+            out,
+            Shape(out_dims),
+            vec![self.clone()],
+            Box::new(move |outt| {
+                let g = outt.0.grad.borrow();
+                let g = g.as_ref().expect("missing output grad");
+                // Scatter back through the same index mapping.
+                let src_strides = parent.shape().strides();
+                let out_dims = outt.dims();
+                let gather_strides: Vec<usize> =
+                    axes_owned.iter().map(|&a| src_strides[a]).collect();
+                let mut gx = vec![0.0f32; parent.numel()];
+                for (i, o) in StridedIter::new(out_dims, &gather_strides).enumerate() {
+                    gx[o] += g[i];
+                }
+                if parent.requires_grad() {
+                    parent.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+
+    /// Swap two axes (negative indices allowed).
+    pub fn transpose(&self, a: isize, b: isize) -> Tensor {
+        let a = self.shape().resolve_axis(a);
+        let b = self.shape().resolve_axis(b);
+        let mut axes: Vec<usize> = (0..self.rank()).collect();
+        axes.swap(a, b);
+        self.permute(&axes)
+    }
+
+    /// Matrix transpose of the last two dims.
+    pub fn t(&self) -> Tensor {
+        self.transpose(-2, -1)
+    }
+
+    /// Slice `len` elements starting at `start` along `axis`.
+    pub fn narrow(&self, axis: isize, start: usize, len: usize) -> Tensor {
+        let ax = self.shape().resolve_axis(axis);
+        let dims = self.dims();
+        assert!(
+            start + len <= dims[ax],
+            "narrow [{start}, {start}+{len}) out of bounds for axis {ax} of {}",
+            self.shape()
+        );
+        let outer: usize = dims[..ax].iter().product();
+        let inner: usize = dims[ax + 1..].iter().product();
+        let axis_len = dims[ax];
+        let data = self.data();
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = (o * axis_len + start) * inner;
+            out.extend_from_slice(&data[base..base + len * inner]);
+        }
+        drop(data);
+        let mut out_dims = dims.to_vec();
+        out_dims[ax] = len;
+
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            Shape(out_dims),
+            vec![self.clone()],
+            Box::new(move |outt| {
+                let g = outt.0.grad.borrow();
+                let g = g.as_ref().expect("missing output grad");
+                let mut gx = vec![0.0f32; parent.numel()];
+                for o in 0..outer {
+                    let dst = (o * axis_len + start) * inner;
+                    let src = o * len * inner;
+                    gx[dst..dst + len * inner].copy_from_slice(&g[src..src + len * inner]);
+                }
+                if parent.requires_grad() {
+                    parent.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+
+    /// Concatenate tensors along `axis`. All other dims must match.
+    pub fn concat(tensors: &[Tensor], axis: isize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let ax = tensors[0].shape().resolve_axis(axis);
+        let rank = tensors[0].rank();
+        for t in tensors {
+            assert_eq!(t.rank(), rank, "concat rank mismatch");
+            for d in 0..rank {
+                if d != ax {
+                    assert_eq!(
+                        t.dims()[d],
+                        tensors[0].dims()[d],
+                        "concat non-axis dim mismatch at {d}"
+                    );
+                }
+            }
+        }
+        let dims = tensors[0].dims();
+        let outer: usize = dims[..ax].iter().product();
+        let inner: usize = dims[ax + 1..].iter().product();
+        let lens: Vec<usize> = tensors.iter().map(|t| t.dims()[ax]).collect();
+        let total_len: usize = lens.iter().sum();
+        let mut out = Vec::with_capacity(outer * total_len * inner);
+        for o in 0..outer {
+            for (t, &l) in tensors.iter().zip(&lens) {
+                let d = t.data();
+                let base = o * l * inner;
+                out.extend_from_slice(&d[base..base + l * inner]);
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[ax] = total_len;
+
+        let parents: Vec<Tensor> = tensors.to_vec();
+        let parents_cap = parents.clone();
+        Tensor::from_op(
+            out,
+            Shape(out_dims),
+            parents,
+            Box::new(move |outt| {
+                let g = outt.0.grad.borrow();
+                let g = g.as_ref().expect("missing output grad");
+                let mut grads: Vec<Vec<f32>> = parents_cap
+                    .iter()
+                    .map(|t| vec![0.0f32; t.numel()])
+                    .collect();
+                let mut cursor = 0usize;
+                for o in 0..outer {
+                    for (ti, &l) in lens.iter().enumerate() {
+                        let dst = o * l * inner;
+                        grads[ti][dst..dst + l * inner]
+                            .copy_from_slice(&g[cursor..cursor + l * inner]);
+                        cursor += l * inner;
+                    }
+                }
+                for (t, gx) in parents_cap.iter().zip(&grads) {
+                    if t.requires_grad() {
+                        t.accumulate_grad(gx);
+                    }
+                }
+            }),
+        )
+    }
+
+    /// Stack rank-equal tensors along a new leading axis.
+    pub fn stack(tensors: &[Tensor]) -> Tensor {
+        let unsqueezed: Vec<Tensor> = tensors.iter().map(|t| t.unsqueeze(0)).collect();
+        Tensor::concat(&unsqueezed, 0)
+    }
+
+    /// Materialize a broadcast of `self` to `target`.
+    pub fn broadcast_to(&self, target: impl Into<Shape>) -> Tensor {
+        let target = target.into();
+        assert!(
+            self.shape().broadcasts_to(&target),
+            "{} does not broadcast to {target}",
+            self.shape()
+        );
+        let strides = self.shape().broadcast_strides(&target);
+        let data = self.data();
+        let out: Vec<f32> = StridedIter::new(target.dims(), &strides)
+            .map(|o| data[o])
+            .collect();
+        drop(data);
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            target,
+            vec![self.clone()],
+            Box::new(move |outt| {
+                let g = outt.0.grad.borrow();
+                let g = g.as_ref().expect("missing output grad");
+                let strides = parent.shape().broadcast_strides(outt.shape());
+                let mut gx = vec![0.0f32; parent.numel()];
+                for (i, o) in StridedIter::new(outt.dims(), &strides).enumerate() {
+                    gx[o] += g[i];
+                }
+                if parent.requires_grad() {
+                    parent.accumulate_grad(&gx);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_roundtrip_grad() {
+        let x = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let y = x.reshape([4]);
+        assert_eq!(y.dims(), &[4]);
+        y.mul(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]))
+            .sum()
+            .backward();
+        assert_eq!(x.grad().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_bad_count_panics() {
+        Tensor::zeros([2, 2]).reshape([3]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let y = x.t();
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_batched_last_two() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), [2, 2, 3]);
+        let y = x.t();
+        assert_eq!(y.dims(), &[2, 3, 2]);
+        assert_eq!(y.at(&[1, 2, 0]), x.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn permute_grad_scatters() {
+        let x = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let y = x.t();
+        y.mul(&Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], [2, 2]))
+            .sum()
+            .backward();
+        // y[i,j] = x[j,i]; grads map back transposed.
+        assert_eq!(x.grad().unwrap(), vec![10.0, 30.0, 20.0, 40.0]);
+    }
+
+    #[test]
+    fn narrow_middle() {
+        let x = Tensor::param((0..12).map(|v| v as f32).collect(), [3, 4]);
+        let y = x.narrow(1, 1, 2);
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g, vec![0., 1., 1., 0., 0., 1., 1., 0., 0., 1., 1., 0.]);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::param(vec![1.0, 2.0], [1, 2]);
+        let b = Tensor::param(vec![3.0, 4.0], [1, 2]);
+        let c0 = Tensor::concat(&[a.clone(), b.clone()], 0);
+        assert_eq!(c0.dims(), &[2, 2]);
+        assert_eq!(c0.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let c1 = Tensor::concat(&[a.clone(), b.clone()], 1);
+        assert_eq!(c1.dims(), &[1, 4]);
+        assert_eq!(c1.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        c1.mul(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]))
+            .sum()
+            .backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(b.grad().unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], [2]);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let x = Tensor::param(vec![1.0, 2.0], [2, 1]);
+        let y = x.broadcast_to([2, 3]);
+        assert_eq!(y.to_vec(), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze() {
+        let x = Tensor::zeros([2, 3]);
+        assert_eq!(x.unsqueeze(1).dims(), &[2, 1, 3]);
+        assert_eq!(x.unsqueeze(1).squeeze(1).dims(), &[2, 3]);
+    }
+}

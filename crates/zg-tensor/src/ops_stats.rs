@@ -1,0 +1,146 @@
+//! Statistical reductions: variance, standard deviation, min, and
+//! argmax/argmin (the latter as plain index vectors — selection is not
+//! differentiable).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Variance along `axis` (population variance, divisor `n`).
+    /// Differentiable: composed from mean/square primitives.
+    pub fn var_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        let mean = self.mean_axis(axis, true);
+        let centered = self.sub(&mean);
+        centered.square().mean_axis(axis, keepdim)
+    }
+
+    /// Standard deviation along `axis` (population, divisor `n`).
+    pub fn std_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        // Epsilon keeps the sqrt gradient finite for constant rows.
+        self.var_axis(axis, keepdim).add_scalar(1e-12).sqrt()
+    }
+
+    /// Minimum along `axis`. Gradient flows to the (first) argmin.
+    pub fn min_axis(&self, axis: isize, keepdim: bool) -> Tensor {
+        self.neg().max_axis(axis, keepdim).neg()
+    }
+
+    /// Argmax along the last axis, returned as plain indices
+    /// (`outer`-shaped, one entry per row). Not differentiable.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        let dims = self.dims();
+        let len = *dims.last().expect("rank >= 1");
+        let outer = self.numel() / len;
+        let data = self.data();
+        (0..outer)
+            .map(|o| {
+                let row = &data[o * len..(o + 1) * len];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Argmin along the last axis, as plain indices.
+    pub fn argmin_last(&self) -> Vec<usize> {
+        let dims = self.dims();
+        let len = *dims.last().expect("rank >= 1");
+        let outer = self.numel() / len;
+        let data = self.data();
+        (0..outer)
+            .map(|o| {
+                let row = &data[o * len..(o + 1) * len];
+                row.iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// L2 norm of the whole tensor (rank-0 result). Differentiable.
+    pub fn l2_norm(&self) -> Tensor {
+        self.square().sum().add_scalar(1e-12).sqrt()
+    }
+
+    /// Reshape-free check helper: shape of the reduced result.
+    pub fn reduced_shape(&self, axis: isize, keepdim: bool) -> Shape {
+        let ax = self.shape().resolve_axis(axis);
+        let mut dims = self.dims().to_vec();
+        if keepdim {
+            dims[ax] = 1;
+        } else {
+            dims.remove(ax);
+        }
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_matches_manual() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]);
+        let v = x.var_axis(-1, false);
+        assert!((v.item() - 1.25).abs() < 1e-6); // population var of 1..4
+        let s = x.std_axis(-1, false);
+        assert!((s.item() - 1.25f32.sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn variance_grad_flows() {
+        let x = Tensor::param(vec![1.0, 3.0], [1, 2]);
+        x.var_axis(-1, false).sum().backward();
+        let g = x.grad().unwrap();
+        // d var/dx_i = 2 (x_i - mean)/n : [-1, 1]
+        assert!((g[0] + 1.0).abs() < 1e-5 && (g[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn min_axis_values_and_grad() {
+        let x = Tensor::param(vec![5.0, 2.0, 8.0, 1.0, 9.0, 4.0], [2, 3]);
+        let m = x.min_axis(1, false);
+        assert_eq!(m.to_vec(), vec![2.0, 1.0]);
+        m.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_argmin_rows() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 7.0, 2.0, 5.0], [2, 3]);
+        assert_eq!(x.argmax_last(), vec![1, 0]);
+        assert_eq!(x.argmin_last(), vec![0, 1]);
+    }
+
+    #[test]
+    fn l2_norm_pythagorean() {
+        let x = Tensor::param(vec![3.0, 4.0], [2]);
+        let n = x.l2_norm();
+        assert!((n.item() - 5.0).abs() < 1e-5);
+        n.backward();
+        let g = x.grad().unwrap();
+        assert!((g[0] - 0.6).abs() < 1e-5 && (g[1] - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn std_of_constant_row_is_zero_not_nan() {
+        let x = Tensor::param(vec![2.0, 2.0, 2.0], [1, 3]);
+        let s = x.std_axis(-1, false);
+        assert!(s.item() < 1e-5);
+        s.sum().backward();
+        assert!(x.grad().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn reduced_shape_helper() {
+        let x = Tensor::zeros([2, 3, 4]);
+        assert_eq!(x.reduced_shape(1, false).dims(), &[2, 4]);
+        assert_eq!(x.reduced_shape(-1, true).dims(), &[2, 3, 1]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Vocabulary layout: special tokens, the 256 byte tokens, then learned
+//! BPE merge tokens, in that order. Ids are stable across save/load.
+
+use serde::{Deserialize, Serialize};
+
+/// Reserved special tokens. Their ids are fixed and precede all byte tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Special {
+    /// Padding (id 0) — also the `ignore_index` for loss masking.
+    Pad,
+    /// Beginning-of-sequence (id 1).
+    Bos,
+    /// End-of-sequence (id 2).
+    Eos,
+    /// Unknown/fallback (id 3). Byte-level BPE never produces it during
+    /// normal encoding; it exists for robustness of downstream parsers.
+    Unk,
+}
+
+impl Special {
+    /// Token id of this special.
+    pub const fn id(self) -> u32 {
+        match self {
+            Special::Pad => 0,
+            Special::Bos => 1,
+            Special::Eos => 2,
+            Special::Unk => 3,
+        }
+    }
+
+    /// Surface string form (used in decoded text and template rendering).
+    pub const fn text(self) -> &'static str {
+        match self {
+            Special::Pad => "<pad>",
+            Special::Bos => "<s>",
+            Special::Eos => "</s>",
+            Special::Unk => "<unk>",
+        }
+    }
+
+    /// All specials in id order.
+    pub const ALL: [Special; 4] = [Special::Pad, Special::Bos, Special::Eos, Special::Unk];
+}
+
+/// Number of reserved special-token ids.
+pub const NUM_SPECIALS: u32 = 4;
+
+/// Id of the token for raw byte `b`.
+pub const fn byte_token(b: u8) -> u32 {
+    NUM_SPECIALS + b as u32
+}
+
+/// First id available for learned merge tokens.
+pub const fn first_merge_id() -> u32 {
+    NUM_SPECIALS + 256
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_ids_fixed() {
+        assert_eq!(Special::Pad.id(), 0);
+        assert_eq!(Special::Bos.id(), 1);
+        assert_eq!(Special::Eos.id(), 2);
+        assert_eq!(Special::Unk.id(), 3);
+    }
+
+    #[test]
+    fn byte_tokens_follow_specials() {
+        assert_eq!(byte_token(0), 4);
+        assert_eq!(byte_token(255), 259);
+        assert_eq!(first_merge_id(), 260);
+    }
+
+    #[test]
+    fn specials_distinct_text() {
+        let texts: Vec<&str> = Special::ALL.iter().map(|s| s.text()).collect();
+        let mut dedup = texts.clone();
+        dedup.dedup();
+        assert_eq!(texts.len(), dedup.len());
+    }
+}

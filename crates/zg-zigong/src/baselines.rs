@@ -1,0 +1,175 @@
+//! Measured baselines for the Table 2 benchmark: majority-class, random
+//! guess, the untrained base model (zero-shot), and a logistic-regression
+//! expert system — every one of these actually runs on the data.
+//! (External LLM columns that cannot be rerun are handled by
+//! [`crate::replay`].)
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use zg_data::Record;
+use zg_influence::{AgentConfig, AgentModel};
+
+use crate::evaluator::{CreditClassifier, EvalItem};
+
+/// Predicts the training majority class for every item.
+pub struct MajorityClass {
+    positive: bool,
+}
+
+impl MajorityClass {
+    /// Fit to training records (picks the majority label).
+    pub fn fit(train: &[&Record]) -> Self {
+        let pos = train.iter().filter(|r| r.label).count();
+        MajorityClass {
+            positive: pos * 2 > train.len(),
+        }
+    }
+}
+
+impl CreditClassifier for MajorityClass {
+    fn name(&self) -> String {
+        "Majority".into()
+    }
+
+    fn answer(&mut self, item: &EvalItem) -> String {
+        item.example.candidates[self.positive as usize].clone()
+    }
+
+    fn score(&mut self, _item: &EvalItem) -> f64 {
+        self.positive as u8 as f64
+    }
+}
+
+/// Uniform random answers (the floor every model must beat).
+pub struct RandomGuess {
+    rng: StdRng,
+}
+
+impl RandomGuess {
+    /// Seeded random guesser.
+    pub fn new(seed: u64) -> Self {
+        RandomGuess {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CreditClassifier for RandomGuess {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn answer(&mut self, item: &EvalItem) -> String {
+        let i = self.rng.gen_range(0..2usize);
+        item.example.candidates[i].clone()
+    }
+
+    fn score(&mut self, _item: &EvalItem) -> f64 {
+        self.rng.gen()
+    }
+}
+
+/// The SOTA-expert-system stand-in: logistic regression on the records'
+/// numeric features (CALM's comparison point; Table 2's "expert system
+/// models" row group).
+pub struct LogisticExpert {
+    model: AgentModel,
+    threshold: f64,
+}
+
+impl LogisticExpert {
+    /// Fit on training records. The decision threshold is the training
+    /// positive rate quantile, which handles imbalanced fraud data far
+    /// better than 0.5.
+    pub fn fit(train: &[&Record], seed: u64) -> Self {
+        let xs: Vec<Vec<f32>> = train.iter().map(|r| r.numeric_features()).collect();
+        let ys: Vec<bool> = train.iter().map(|r| r.label).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (model, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
+        // Threshold at the score quantile matching the class prior.
+        let mut probs: Vec<f64> = xs.iter().map(|x| model.predict_proba(x) as f64).collect();
+        probs.sort_by(|a, b| a.partial_cmp(b).expect("finite probs"));
+        let pos_rate = ys.iter().filter(|&&y| y).count() as f64 / ys.len() as f64;
+        let idx = (((1.0 - pos_rate) * probs.len() as f64) as usize).min(probs.len() - 1);
+        LogisticExpert {
+            model,
+            threshold: probs[idx],
+        }
+    }
+}
+
+impl CreditClassifier for LogisticExpert {
+    fn name(&self) -> String {
+        "Expert-LR".into()
+    }
+
+    fn answer(&mut self, item: &EvalItem) -> String {
+        let p = self.model.predict_proba(&item.record.numeric_features()) as f64;
+        item.example.candidates[(p >= self.threshold) as usize].clone()
+    }
+
+    fn score(&mut self, item: &EvalItem) -> f64 {
+        self.model.predict_proba(&item.record.numeric_features()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{eval_items, evaluate_classifier};
+    use zg_data::{ccfraud, german};
+
+    #[test]
+    fn majority_matches_prior_on_german() {
+        let ds = german(500, 1);
+        let (train, test) = ds.split(0.2);
+        let mut m = MajorityClass::fit(&train);
+        let items = eval_items(&ds, &test);
+        let r = evaluate_classifier(&mut m, &items);
+        // German is 70/30 good/bad: majority = negative, acc ≈ 0.7.
+        assert!(r.eval.acc > 0.6 && r.eval.acc < 0.8, "acc {}", r.eval.acc);
+        assert_eq!(r.eval.f1, 0.0);
+        assert_eq!(r.eval.miss, 0.0);
+    }
+
+    #[test]
+    fn random_guess_near_half_on_balanced() {
+        let ds = german(2000, 2);
+        let (_, test) = ds.split(0.5);
+        let items = eval_items(&ds, &test);
+        let mut m = RandomGuess::new(3);
+        let r = evaluate_classifier(&mut m, &items);
+        assert!((r.eval.acc - 0.5).abs() < 0.06, "acc {}", r.eval.acc);
+        assert!((r.auc - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn expert_beats_majority_on_german() {
+        let ds = german(1000, 3);
+        let (train, test) = ds.split(0.2);
+        let items = eval_items(&ds, &test);
+        let mut expert = LogisticExpert::fit(&train, 4);
+        let r_exp = evaluate_classifier(&mut expert, &items);
+        let mut maj = MajorityClass::fit(&train);
+        let r_maj = evaluate_classifier(&mut maj, &items);
+        assert!(
+            r_exp.eval.f1 > r_maj.eval.f1 + 0.2,
+            "expert F1 {} vs majority {}",
+            r_exp.eval.f1,
+            r_maj.eval.f1
+        );
+        assert!(r_exp.ks > 0.25, "expert KS {}", r_exp.ks);
+    }
+
+    #[test]
+    fn expert_finds_fraud_signal() {
+        let ds = ccfraud(3000, 5);
+        let (train, test) = ds.split(0.25);
+        let items = eval_items(&ds, &test);
+        let mut expert = LogisticExpert::fit(&train, 6);
+        let r = evaluate_classifier(&mut expert, &items);
+        assert!(r.auc > 0.7, "fraud AUC {}", r.auc);
+        assert!(r.eval.f1 > 0.2, "fraud F1 {}", r.eval.f1);
+    }
+}

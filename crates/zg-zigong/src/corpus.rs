@@ -1,0 +1,254 @@
+//! Tokenization of instruction examples into training tensors: prompt
+//! masking, truncation, padding, and batch assembly.
+
+use zg_instruct::InstructExample;
+use zg_tokenizer::{BpeTokenizer, Special};
+
+/// One tokenized SFT sample: `tokens[t]` is the input at position `t`,
+/// `labels[t]` is the target predicted *from* position `t` (`<pad>` = 0
+/// where masked). Both have equal length ≤ `max_len`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Input token ids.
+    pub tokens: Vec<u32>,
+    /// Aligned next-token labels (0 = ignored).
+    pub labels: Vec<u32>,
+    /// Index into the source example list.
+    pub source: usize,
+    /// Time period (sequential data), forwarded for TracSeq.
+    pub time: Option<u32>,
+}
+
+/// Train a BPE tokenizer over the rendered corpus.
+pub fn train_tokenizer(examples: &[InstructExample], vocab_size: usize) -> BpeTokenizer {
+    let texts: Vec<String> = examples.iter().map(|e| e.full_text()).collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    BpeTokenizer::train(&refs, vocab_size)
+}
+
+/// Tokenize one example.
+///
+/// Layout: `<s> prompt answer </s>`; labels cover the answer tokens and
+/// the closing `</s>` only (prompt positions are masked with `<pad>`),
+/// which is exactly the SFT objective. When the sequence exceeds
+/// `max_len`, the *front* of the prompt is dropped — the question and
+/// answer at the tail are what carry the supervision.
+pub fn tokenize_example(
+    tok: &BpeTokenizer,
+    example: &InstructExample,
+    source: usize,
+    max_len: usize,
+) -> Sample {
+    assert!(max_len >= 8, "max_len too small to hold question + answer");
+    let prompt_ids = tok.encode(&example.prompt);
+    let answer_ids = tok.encode(&format!(" {}", example.answer));
+
+    let mut tokens = Vec::with_capacity(prompt_ids.len() + answer_ids.len() + 2);
+    tokens.push(Special::Bos.id());
+    tokens.extend(&prompt_ids);
+    let answer_start = tokens.len();
+    tokens.extend(&answer_ids);
+    tokens.push(Special::Eos.id());
+
+    // Left-truncate, preserving BOS. When even the answer exceeds the
+    // budget, the clamp makes every kept position supervised — the least
+    // bad degradation for a pathological answer.
+    let (tokens, answer_start) = if tokens.len() > max_len {
+        let cut = tokens.len() - max_len + 1; // +1 to re-insert BOS
+        let mut t = Vec::with_capacity(max_len);
+        t.push(Special::Bos.id());
+        t.extend(&tokens[cut..]);
+        let start = (answer_start + 1).saturating_sub(cut).max(1);
+        (t, start)
+    } else {
+        (tokens, answer_start)
+    };
+
+    // labels[t] = tokens[t + 1] within the answer span (and EOS).
+    // labels[t] = tokens[t+1] for positions predicting the answer span.
+    let mut labels = vec![Special::Pad.id(); tokens.len()];
+    let first_supervised = answer_start.saturating_sub(1);
+    labels[first_supervised..tokens.len() - 1]
+        .copy_from_slice(&tokens[first_supervised + 1..]);
+    Sample {
+        tokens,
+        labels,
+        source,
+        time: example.time,
+    }
+}
+
+/// Tokenize a whole example list.
+pub fn tokenize_all(
+    tok: &BpeTokenizer,
+    examples: &[InstructExample],
+    max_len: usize,
+) -> Vec<Sample> {
+    examples
+        .iter()
+        .enumerate()
+        .map(|(i, e)| tokenize_example(tok, e, i, max_len))
+        .collect()
+}
+
+/// Convert an SFT sample to a pretraining sample: every next-token
+/// position is supervised (labels unmasked), which is the plain language-
+/// modeling objective used to simulate base-model pretraining.
+pub fn to_pretrain_sample(sample: &Sample) -> Sample {
+    let mut labels = vec![Special::Pad.id(); sample.tokens.len()];
+    for t in 0..sample.tokens.len().saturating_sub(1) {
+        labels[t] = sample.tokens[t + 1];
+    }
+    Sample {
+        tokens: sample.tokens.clone(),
+        labels,
+        source: sample.source,
+        time: sample.time,
+    }
+}
+
+/// Pad a batch of samples to a common length, returning
+/// `(tokens, labels, batch, time)` flattened row-major. Padding tokens are
+/// `<pad>` with `<pad>` labels (no loss).
+pub fn collate(samples: &[&Sample]) -> (Vec<u32>, Vec<u32>, usize, usize) {
+    assert!(!samples.is_empty(), "empty batch");
+    let time = samples.iter().map(|s| s.tokens.len()).max().expect("non-empty");
+    let batch = samples.len();
+    let mut tokens = vec![Special::Pad.id(); batch * time];
+    let mut labels = vec![Special::Pad.id(); batch * time];
+    for (b, s) in samples.iter().enumerate() {
+        tokens[b * time..b * time + s.tokens.len()].copy_from_slice(&s.tokens);
+        labels[b * time..b * time + s.labels.len()].copy_from_slice(&s.labels);
+    }
+    (tokens, labels, batch, time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(prompt: &str, answer: &str) -> InstructExample {
+        InstructExample {
+            prompt: prompt.to_string(),
+            answer: answer.to_string(),
+            candidates: vec!["No".into(), "Yes".into()],
+            dataset: "test".into(),
+            record_id: 0,
+            label: Some(true),
+            time: Some(3),
+            user: Some(1),
+        }
+    }
+
+    fn tok() -> BpeTokenizer {
+        BpeTokenizer::byte_level()
+    }
+
+    #[test]
+    fn answer_tokens_supervised_prompt_masked() {
+        let t = tok();
+        let ex = example("Q: risky? Answer:", "Yes");
+        let s = tokenize_example(&t, &ex, 0, 128);
+        // Labels before the answer span are pad.
+        let first_live = s.labels.iter().position(|&l| l != 0).expect("live labels");
+        // The supervised span decodes to " Yes" + eos.
+        let supervised: Vec<u32> = s.labels[first_live..]
+            .iter()
+            .copied()
+            .filter(|&l| l != 0)
+            .collect();
+        let text = t.decode(&supervised);
+        assert_eq!(text.trim(), "Yes");
+        assert_eq!(*s.labels.last().unwrap(), 0, "final position predicts nothing");
+        // The label at the last supervised position is EOS.
+        let eos_pos = s.labels.iter().rposition(|&l| l != 0).unwrap();
+        assert_eq!(s.labels[eos_pos], Special::Eos.id());
+    }
+
+    #[test]
+    fn labels_align_with_next_token() {
+        let t = tok();
+        let ex = example("ab Answer:", "No");
+        let s = tokenize_example(&t, &ex, 0, 64);
+        for pos in 0..s.tokens.len() - 1 {
+            if s.labels[pos] != 0 {
+                assert_eq!(s.labels[pos], s.tokens[pos + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_answer() {
+        let t = tok();
+        let long_prompt = format!("{} Answer:", "x".repeat(500));
+        let ex = example(&long_prompt, "Yes");
+        let s = tokenize_example(&t, &ex, 0, 64);
+        assert_eq!(s.tokens.len(), 64);
+        assert_eq!(s.tokens[0], Special::Bos.id());
+        // The answer must survive truncation.
+        let live: Vec<u32> = s.labels.iter().copied().filter(|&l| l != 0).collect();
+        assert!(t.decode(&live).contains("Yes"));
+    }
+
+    #[test]
+    fn oversized_answer_does_not_underflow() {
+        // Pathological: the answer alone exceeds the budget. Everything
+        // kept becomes supervised instead of panicking.
+        let t = tok();
+        let ex = example("Q Answer:", &"very long answer ".repeat(10));
+        let s = tokenize_example(&t, &ex, 0, 16);
+        assert_eq!(s.tokens.len(), 16);
+        assert!(s.labels.iter().filter(|&&l| l != 0).count() >= 14);
+    }
+
+    #[test]
+    fn collate_pads_to_max() {
+        let t = tok();
+        let a = tokenize_example(&t, &example("short Answer:", "No"), 0, 64);
+        let b = tokenize_example(&t, &example("a longer prompt here Answer:", "Yes"), 1, 64);
+        let (tokens, labels, batch, time) = collate(&[&a, &b]);
+        assert_eq!(batch, 2);
+        assert_eq!(time, b.tokens.len());
+        assert_eq!(tokens.len(), 2 * time);
+        // Padding region of the short row is <pad> with <pad> labels.
+        assert_eq!(tokens[a.tokens.len()..time], vec![0; time - a.tokens.len()]);
+        assert_eq!(labels[a.tokens.len()..time], vec![0; time - a.tokens.len()]);
+    }
+
+    #[test]
+    fn time_propagates() {
+        let t = tok();
+        let s = tokenize_example(&t, &example("p Answer:", "No"), 5, 32);
+        assert_eq!(s.time, Some(3));
+        assert_eq!(s.source, 5);
+    }
+
+    #[test]
+    fn pretrain_sample_unmasks_all_positions() {
+        let t = tok();
+        let s = tokenize_example(&t, &example("abc Answer:", "No"), 0, 64);
+        let p = to_pretrain_sample(&s);
+        assert_eq!(p.tokens, s.tokens);
+        // Every non-final position supervised with the next token.
+        for pos in 0..p.tokens.len() - 1 {
+            assert_eq!(p.labels[pos], p.tokens[pos + 1]);
+        }
+        assert_eq!(*p.labels.last().unwrap(), 0);
+        // Strictly more supervision than the SFT sample.
+        let live_sft = s.labels.iter().filter(|&&l| l != 0).count();
+        let live_pre = p.labels.iter().filter(|&&l| l != 0).count();
+        assert!(live_pre > live_sft);
+    }
+
+    #[test]
+    fn trained_tokenizer_compresses_corpus() {
+        let exs: Vec<InstructExample> = (0..40)
+            .map(|i| example(&format!("applicant number {i} Answer:"), "Yes"))
+            .collect();
+        let trained = train_tokenizer(&exs, 400);
+        let byte = BpeTokenizer::byte_level();
+        let s_trained = tokenize_example(&trained, &exs[0], 0, 256);
+        let s_byte = tokenize_example(&byte, &exs[0], 0, 256);
+        assert!(s_trained.tokens.len() < s_byte.tokens.len());
+    }
+}

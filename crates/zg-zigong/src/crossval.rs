@@ -1,0 +1,112 @@
+//! K-fold cross-validation for credit classifiers, with bootstrap
+//! confidence intervals. Miniature-scale test sets make single-split
+//! numbers noisy; EXPERIMENTS.md reports fold means and intervals.
+
+use zg_data::{Dataset, Record};
+use zg_eval::{bootstrap_ci, Interval};
+
+use crate::evaluator::{eval_items, evaluate_classifier, CellResult, CreditClassifier};
+
+/// Deterministic k-fold assignment: record `i` belongs to fold `i % k`.
+/// Returns `(train, test)` record refs for fold `fold`.
+pub fn kfold_split(ds: &Dataset, k: usize, fold: usize) -> (Vec<&Record>, Vec<&Record>) {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(fold < k, "fold {fold} out of range 0..{k}");
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, r) in ds.records.iter().enumerate() {
+        if i % k == fold {
+            test.push(r);
+        } else {
+            train.push(r);
+        }
+    }
+    (train, test)
+}
+
+/// Cross-validated results: one [`CellResult`] per fold.
+pub struct CrossValReport {
+    /// Per-fold results.
+    pub folds: Vec<CellResult>,
+}
+
+impl CrossValReport {
+    /// Mean accuracy across folds.
+    pub fn mean_acc(&self) -> f64 {
+        self.folds.iter().map(|f| f.eval.acc).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Mean F1 across folds.
+    pub fn mean_f1(&self) -> f64 {
+        self.folds.iter().map(|f| f.eval.f1).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Mean KS across folds.
+    pub fn mean_ks(&self) -> f64 {
+        self.folds.iter().map(|f| f.ks).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Bootstrap interval over fold accuracies.
+    pub fn acc_interval(&self, level: f64, seed: u64) -> Interval {
+        let accs: Vec<f64> = self.folds.iter().map(|f| f.eval.acc).collect();
+        bootstrap_ci(accs.len(), 500, level, seed, |idx| {
+            idx.iter().map(|&i| accs[i]).sum::<f64>() / idx.len() as f64
+        })
+    }
+}
+
+/// Run k-fold cross-validation. `fit` builds a fresh classifier from the
+/// fold's training records.
+pub fn cross_validate<C: CreditClassifier>(
+    ds: &Dataset,
+    k: usize,
+    mut fit: impl FnMut(&[&Record]) -> C,
+) -> CrossValReport {
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let (train, test) = kfold_split(ds, k, fold);
+        let mut model = fit(&train);
+        let items = eval_items(ds, &test);
+        folds.push(evaluate_classifier(&mut model, &items));
+    }
+    CrossValReport { folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::LogisticExpert;
+    use zg_data::german;
+
+    #[test]
+    fn folds_partition_exactly() {
+        let ds = german(100, 1);
+        let mut seen = vec![0usize; 100];
+        for fold in 0..5 {
+            let (train, test) = kfold_split(&ds, 5, fold);
+            assert_eq!(train.len() + test.len(), 100);
+            for r in test {
+                seen[r.id] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each record in exactly one test fold");
+    }
+
+    #[test]
+    fn cross_validation_runs_expert() {
+        let ds = german(400, 2);
+        let report = cross_validate(&ds, 4, |train| LogisticExpert::fit(train, 3));
+        assert_eq!(report.folds.len(), 4);
+        assert!(report.mean_acc() > 0.5, "mean acc {}", report.mean_acc());
+        assert!(report.mean_ks() > 0.1);
+        let ci = report.acc_interval(0.9, 4);
+        assert!(ci.lo <= report.mean_acc() + 1e-9 && report.mean_acc() <= ci.hi + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fold_panics() {
+        let ds = german(20, 3);
+        kfold_split(&ds, 4, 4);
+    }
+}

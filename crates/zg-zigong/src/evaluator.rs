@@ -1,0 +1,300 @@
+//! Evaluation harness: every Table 2 model implements
+//! [`CreditClassifier`], producing a raw text answer (parsed uniformly,
+//! so Miss is measured identically for all models) and a positive-class
+//! score (for KS/AUC).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use zg_data::{Dataset, Record};
+use zg_eval::{evaluate_binary, ks_statistic, roc_auc, EvalResult};
+use zg_instruct::{parse_binary, render_classification, InstructExample};
+use zg_model::CausalLm;
+use zg_tokenizer::{BpeTokenizer, Special};
+
+/// One evaluation item: the raw record (for feature-based expert systems)
+/// plus its rendered instruction example (for LMs).
+pub struct EvalItem<'a> {
+    /// Source record.
+    pub record: &'a Record,
+    /// Rendered prompt/answer pair.
+    pub example: InstructExample,
+}
+
+/// A model evaluated in the Table 2 benchmark.
+pub trait CreditClassifier {
+    /// Display name (Table 2 column).
+    fn name(&self) -> String;
+    /// Raw text answer to the item's prompt.
+    fn answer(&mut self, item: &EvalItem) -> String;
+    /// Positive-class score in [0, 1] (drives KS / AUC).
+    fn score(&mut self, item: &EvalItem) -> f64;
+}
+
+/// Metrics for one (model, dataset) cell, extending the paper's Acc/F1/
+/// Miss with the KS and AUC used in Figure 2 and the risk-control
+/// discussion.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Acc / F1 / Miss.
+    pub eval: EvalResult,
+    /// KS statistic of the score distribution.
+    pub ks: f64,
+    /// ROC-AUC of the scores.
+    pub auc: f64,
+}
+
+/// Build evaluation items from a dataset's records.
+pub fn eval_items<'a>(ds: &Dataset, records: &[&'a Record]) -> Vec<EvalItem<'a>> {
+    records
+        .iter()
+        .map(|r| EvalItem {
+            record: r,
+            example: render_classification(ds, r),
+        })
+        .collect()
+}
+
+/// Evaluate one classifier over items; answers are parsed with the shared
+/// Miss-aware parser.
+pub fn evaluate_classifier(
+    model: &mut dyn CreditClassifier,
+    items: &[EvalItem<'_>],
+) -> CellResult {
+    assert!(!items.is_empty(), "no evaluation items");
+    let mut preds = Vec::with_capacity(items.len());
+    let mut labels = Vec::with_capacity(items.len());
+    let mut scores = Vec::with_capacity(items.len());
+    for item in items {
+        let text = model.answer(item);
+        let neg = &item.example.candidates[0];
+        let pos = &item.example.candidates[1];
+        preds.push(parse_binary(&text, neg, pos));
+        labels.push(item.record.label);
+        scores.push(model.score(item));
+    }
+    CellResult {
+        eval: evaluate_binary(&preds, &labels),
+        ks: ks_statistic(&scores, &labels),
+        auc: roc_auc(&scores, &labels),
+    }
+}
+
+/// The trained ZiGong model (LM + tokenizer) as a classifier.
+pub struct ZiGongModel {
+    /// The fine-tuned causal LM.
+    pub lm: CausalLm,
+    /// Matching tokenizer.
+    pub tokenizer: BpeTokenizer,
+    /// Prompt budget (sequences are left-truncated to fit).
+    pub max_seq_len: usize,
+    /// Display name.
+    pub display_name: String,
+    rng: StdRng,
+}
+
+impl ZiGongModel {
+    /// Wrap a trained model.
+    pub fn new(lm: CausalLm, tokenizer: BpeTokenizer, max_seq_len: usize, name: &str) -> Self {
+        ZiGongModel {
+            lm,
+            tokenizer,
+            max_seq_len,
+            display_name: name.to_string(),
+            rng: StdRng::seed_from_u64(0xD1D1),
+        }
+    }
+
+    /// Encode a prompt with BOS, left-truncating to leave `reserve` tokens
+    /// of headroom.
+    pub fn prompt_ids(&self, prompt: &str, reserve: usize) -> Vec<u32> {
+        let ids = self.tokenizer.encode(prompt);
+        let budget = self.max_seq_len.saturating_sub(reserve + 1).max(1);
+        let start = ids.len().saturating_sub(budget);
+        let mut out = Vec::with_capacity(budget + 1);
+        out.push(Special::Bos.id());
+        out.extend(&ids[start..]);
+        out
+    }
+
+    /// Greedy generation of an answer string.
+    pub fn generate_answer(&mut self, prompt: &str, max_new: usize) -> String {
+        let ids = self.prompt_ids(prompt, max_new);
+        let out = self
+            .lm
+            .generate(&ids, max_new, 0.0, Special::Eos.id(), &mut self.rng);
+        self.tokenizer.decode(&out)
+    }
+
+    /// P(positive answer) normalized over the two candidates — the score
+    /// used for KS, mirroring how a risk model outputs a probability.
+    pub fn positive_probability(&self, example: &InstructExample) -> f64 {
+        let prompt = self.prompt_ids(&example.prompt, 8);
+        let neg = self
+            .tokenizer
+            .encode(&format!(" {}", example.candidates[0]));
+        let pos = self
+            .tokenizer
+            .encode(&format!(" {}", example.candidates[1]));
+        let lp_neg = self.lm.score_continuation(&prompt, &neg) as f64;
+        let lp_pos = self.lm.score_continuation(&prompt, &pos) as f64;
+        // Softmax over the two continuations (average per-token log-prob to
+        // remove length bias).
+        let a = lp_pos / pos.len() as f64;
+        let b = lp_neg / neg.len() as f64;
+        let m = a.max(b);
+        let (ea, eb) = ((a - m).exp(), (b - m).exp());
+        ea / (ea + eb)
+    }
+}
+
+impl CreditClassifier for ZiGongModel {
+    fn name(&self) -> String {
+        self.display_name.clone()
+    }
+
+    fn answer(&mut self, item: &EvalItem) -> String {
+        self.generate_answer(&item.example.prompt, 6)
+    }
+
+    fn score(&mut self, item: &EvalItem) -> f64 {
+        self.positive_probability(&item.example)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zg_data::german;
+
+    /// A classifier that always answers the negative class.
+    struct AlwaysNegative;
+    impl CreditClassifier for AlwaysNegative {
+        fn name(&self) -> String {
+            "AlwaysNegative".into()
+        }
+        fn answer(&mut self, item: &EvalItem) -> String {
+            item.example.candidates[0].clone()
+        }
+        fn score(&mut self, _item: &EvalItem) -> f64 {
+            0.0
+        }
+    }
+
+    /// An oracle that reads the label (upper bound sanity check).
+    struct Oracle;
+    impl CreditClassifier for Oracle {
+        fn name(&self) -> String {
+            "Oracle".into()
+        }
+        fn answer(&mut self, item: &EvalItem) -> String {
+            let i = item.record.label as usize;
+            item.example.candidates[i].clone()
+        }
+        fn score(&mut self, item: &EvalItem) -> f64 {
+            item.record.label as u8 as f64
+        }
+    }
+
+    /// Always answers garbage.
+    struct Gibberish;
+    impl CreditClassifier for Gibberish {
+        fn name(&self) -> String {
+            "Gibberish".into()
+        }
+        fn answer(&mut self, _item: &EvalItem) -> String {
+            "zxqw".into()
+        }
+        fn score(&mut self, _item: &EvalItem) -> f64 {
+            0.5
+        }
+    }
+
+    fn tiny_zigong() -> ZiGongModel {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use zg_model::ModelConfig;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = ModelConfig::mistral_miniature(280);
+        cfg.n_layers = 1;
+        cfg.d_model = 16;
+        cfg.n_heads = 2;
+        cfg.n_kv_heads = 1;
+        cfg.d_ff = 32;
+        let lm = CausalLm::new(cfg, &mut rng);
+        ZiGongModel::new(lm, BpeTokenizer::byte_level(), 64, "tiny")
+    }
+
+    #[test]
+    fn prompt_ids_truncates_from_left() {
+        let m = tiny_zigong();
+        let long = "x".repeat(500);
+        let ids = m.prompt_ids(&long, 8);
+        assert!(ids.len() <= 64 - 8);
+        assert_eq!(ids[0], Special::Bos.id());
+        // Short prompts pass through untruncated.
+        let short = m.prompt_ids("hi", 8);
+        assert_eq!(short.len(), 3); // BOS + 2 bytes
+    }
+
+    #[test]
+    fn positive_probability_in_unit_interval() {
+        let m = tiny_zigong();
+        let ds = german(5, 2);
+        let ex = render_classification(&ds, &ds.records[0]);
+        let p = m.positive_probability(&ex);
+        assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn generate_answer_returns_decodable_text() {
+        let mut m = tiny_zigong();
+        let out = m.generate_answer("Question: good or bad? Answer:", 4);
+        // Untrained model emits arbitrary (but valid) text of bounded length.
+        assert!(out.len() <= 4 * 4, "unexpectedly long: {out:?}");
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let ds = german(200, 1);
+        let (_, test) = ds.split(0.3);
+        let items = eval_items(&ds, &test);
+        let r = evaluate_classifier(&mut Oracle, &items);
+        assert_eq!(r.eval.acc, 1.0);
+        assert_eq!(r.eval.f1, 1.0);
+        assert_eq!(r.eval.miss, 0.0);
+        assert!((r.ks - 1.0).abs() < 1e-9);
+        assert!((r.auc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_negative_matches_prior() {
+        let ds = german(400, 2);
+        let (_, test) = ds.split(0.25);
+        let items = eval_items(&ds, &test);
+        let neg_rate = test.iter().filter(|r| !r.label).count() as f64 / test.len() as f64;
+        let r = evaluate_classifier(&mut AlwaysNegative, &items);
+        assert!((r.eval.acc - neg_rate).abs() < 1e-9);
+        assert_eq!(r.eval.f1, 0.0);
+    }
+
+    #[test]
+    fn gibberish_is_all_miss() {
+        let ds = german(50, 3);
+        let (_, test) = ds.split(0.2);
+        let items = eval_items(&ds, &test);
+        let r = evaluate_classifier(&mut Gibberish, &items);
+        assert_eq!(r.eval.miss, 1.0);
+        assert_eq!(r.eval.acc, 0.0);
+    }
+
+    #[test]
+    fn items_align_with_records() {
+        let ds = german(30, 4);
+        let (_, test) = ds.split(0.3);
+        let items = eval_items(&ds, &test);
+        for item in &items {
+            assert_eq!(item.example.label, Some(item.record.label));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Catastrophic-forgetting study (the paper's motivation, §1: LLMs in the
+//! financial credit domain "suffer from issues such as hallucinations and
+//! knowledge forgetting", citing Luo et al. 2023 — and its contribution 2:
+//! the hybrid Top-K + original-data mix "improves model robustness,
+//! mitigates hallucinations, and enhances generalization").
+//!
+//! Protocol:
+//! 1. Pretrain a base on the combined corpus; LoRA-SFT on **task A**;
+//!    measure A.
+//! 2. Branch the model state and continue SFT on **task B** two ways:
+//!    - *sequential*: pure task-B data (the forgetting-prone setting);
+//!    - *hybrid replay*: task-B data mixed with a fraction of
+//!      high-influence task-A samples (Eq. 2 selection), the paper's
+//!      mixed-training recipe.
+//! 3. Measure task A again in both branches. The A-accuracy drop is the
+//!    forgetting; the hybrid branch should forget less.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use zg_data::{Dataset, Record};
+use zg_influence::select_top_k;
+use zg_instruct::{render_classification, InstructExample};
+use zg_lora::attach;
+use zg_model::CausalLm;
+
+use crate::benchmark::agent_tracin_scores;
+use crate::config::ZiGongConfig;
+use crate::corpus::{to_pretrain_sample, tokenize_all, train_tokenizer};
+use crate::evaluator::{eval_items, evaluate_classifier, ZiGongModel};
+use crate::trainer::{train_sft, TrainOrder};
+
+/// Inputs to the forgetting study: two labeled tasks with their records.
+pub struct ForgettingSetup<'a> {
+    /// First task (learned first, then at risk of being forgotten).
+    pub task_a: &'a Dataset,
+    /// Training records of task A.
+    pub train_a: Vec<&'a Record>,
+    /// Held-out records of task A.
+    pub test_a: Vec<&'a Record>,
+    /// Second task (learned afterwards).
+    pub task_b: &'a Dataset,
+    /// Training records of task B.
+    pub train_b: Vec<&'a Record>,
+    /// Held-out records of task B.
+    pub test_b: Vec<&'a Record>,
+    /// Fraction of replayed task-A samples in the hybrid arm (paper: 0.3).
+    pub replay_fraction: f64,
+    /// Pipeline configuration.
+    pub config: ZiGongConfig,
+}
+
+/// Accuracy of task A and B at each stage of the study.
+#[derive(Debug, Clone, Copy)]
+pub struct ForgettingResult {
+    /// Task-A accuracy right after learning A.
+    pub acc_a_initial: f64,
+    /// Task-A accuracy after sequential training on B (no replay).
+    pub acc_a_sequential: f64,
+    /// Task-A accuracy after hybrid training on B + replayed A.
+    pub acc_a_hybrid: f64,
+    /// Task-B accuracy in the sequential arm.
+    pub acc_b_sequential: f64,
+    /// Task-B accuracy in the hybrid arm.
+    pub acc_b_hybrid: f64,
+}
+
+impl ForgettingResult {
+    /// Accuracy lost on A without replay.
+    pub fn forgetting_sequential(&self) -> f64 {
+        self.acc_a_initial - self.acc_a_sequential
+    }
+
+    /// Accuracy lost on A with hybrid replay.
+    pub fn forgetting_hybrid(&self) -> f64 {
+        self.acc_a_initial - self.acc_a_hybrid
+    }
+}
+
+/// Run the study. Deterministic in `setup.config.seed`.
+pub fn run_forgetting_study(setup: &ForgettingSetup<'_>) -> ForgettingResult {
+    let cfg = &setup.config;
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF02);
+
+    let ex_a: Vec<InstructExample> = setup
+        .train_a
+        .iter()
+        .map(|r| render_classification(setup.task_a, r))
+        .collect();
+    let ex_b: Vec<InstructExample> = setup
+        .train_b
+        .iter()
+        .map(|r| render_classification(setup.task_b, r))
+        .collect();
+
+    // Shared tokenizer + pretraining over both corpora (the base model has
+    // seen the world; only SFT order varies between arms).
+    let mut combined = ex_a.clone();
+    combined.extend(ex_b.iter().cloned());
+    combined.shuffle(&mut rng);
+    let tokenizer = train_tokenizer(&combined, cfg.vocab_size);
+    let mut model_cfg = cfg.model.clone();
+    model_cfg.vocab_size = tokenizer.vocab_size();
+    let mut lm = CausalLm::new(model_cfg, &mut rng);
+    if cfg.train.pretrain_epochs > 0 {
+        let pre: Vec<_> = tokenize_all(&tokenizer, &combined, cfg.train.max_seq_len)
+            .iter()
+            .map(to_pretrain_sample)
+            .collect();
+        let pre_cfg = crate::config::TrainConfig {
+            epochs: cfg.train.pretrain_epochs,
+            max_lr: cfg.train.pretrain_lr,
+            min_lr: cfg.train.pretrain_lr * 0.1,
+            checkpoint_every: 0,
+            ..cfg.train.clone()
+        };
+        train_sft(&lm, &pre, &pre_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x11);
+    }
+    attach(&mut lm, &cfg.lora, &mut rng);
+
+    // Stage 1: learn task A.
+    let samples_a = tokenize_all(&tokenizer, &ex_a, cfg.train.max_seq_len);
+    let sft_cfg = crate::config::TrainConfig {
+        checkpoint_every: 0,
+        ..cfg.train.clone()
+    };
+    train_sft(&lm, &samples_a, &sft_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x22);
+    let after_a = lm.checkpoint();
+
+    let eval_task = |lm: &CausalLm, ds: &Dataset, records: &[&Record]| -> f64 {
+        let model_lm = clone_like(lm, &tokenizer, cfg);
+        model_lm.restore(&lm.checkpoint());
+        let mut wrapped = ZiGongModel::new(model_lm, tokenizer.clone(), cfg.train.max_seq_len, "fg");
+        let items = eval_items(ds, records);
+        evaluate_classifier(&mut wrapped, &items).eval.acc
+    };
+    let acc_a_initial = eval_task(&lm, setup.task_a, &setup.test_a);
+
+    // Stage 2a: sequential — pure task B.
+    let samples_b = tokenize_all(&tokenizer, &ex_b, cfg.train.max_seq_len);
+    train_sft(&lm, &samples_b, &sft_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x33);
+    let acc_a_sequential = eval_task(&lm, setup.task_a, &setup.test_a);
+    let acc_b_sequential = eval_task(&lm, setup.task_b, &setup.test_b);
+
+    // Stage 2b: hybrid — task B mixed with high-influence replayed A.
+    lm.restore(&after_a);
+    let dev_a: Vec<&Record> = setup.train_a.iter().copied().take(30).collect();
+    let scores = agent_tracin_scores(&setup.train_a, &dev_a, cfg.seed ^ 0x44);
+    let n_replay = ((ex_b.len() as f64) * setup.replay_fraction).round() as usize;
+    let replay_idx = select_top_k(&scores, n_replay.min(ex_a.len()));
+    let mut hybrid: Vec<InstructExample> = ex_b.clone();
+    hybrid.extend(replay_idx.iter().map(|&i| ex_a[i].clone()));
+    hybrid.shuffle(&mut rng);
+    let samples_h = tokenize_all(&tokenizer, &hybrid, cfg.train.max_seq_len);
+    train_sft(&lm, &samples_h, &sft_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x55);
+    let acc_a_hybrid = eval_task(&lm, setup.task_a, &setup.test_a);
+    let acc_b_hybrid = eval_task(&lm, setup.task_b, &setup.test_b);
+
+    ForgettingResult {
+        acc_a_initial,
+        acc_a_sequential,
+        acc_a_hybrid,
+        acc_b_sequential,
+        acc_b_hybrid,
+    }
+}
+
+/// Fresh LM with the same architecture (weights then restored by caller).
+fn clone_like(lm: &CausalLm, tokenizer: &zg_tokenizer::BpeTokenizer, cfg: &ZiGongConfig) -> CausalLm {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model_cfg = cfg.model.clone();
+    model_cfg.vocab_size = tokenizer.vocab_size();
+    let mut fresh = CausalLm::new(model_cfg, &mut rng);
+    attach(&mut fresh, &cfg.lora, &mut rng);
+    let _ = lm;
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zg_data::{auditing_dataset, german};
+
+    #[test]
+    fn study_runs_and_reports_finite_accuracies() {
+        let a = german(160, 1);
+        let b = auditing_dataset(160, 2);
+        let (train_a, test_a) = a.split(0.25);
+        let (train_b, test_b) = b.split(0.25);
+        let mut cfg = ZiGongConfig::miniature(3);
+        cfg.vocab_size = 360;
+        cfg.model.vocab_size = 360;
+        cfg.model.d_model = 32;
+        cfg.model.n_layers = 1;
+        cfg.model.n_heads = 2;
+        cfg.model.n_kv_heads = 1;
+        cfg.model.d_ff = 64;
+        cfg.train.max_seq_len = 96;
+        cfg.train.epochs = 1;
+        cfg.train.pretrain_epochs = 2;
+        let setup = ForgettingSetup {
+            task_a: &a,
+            train_a: train_a.into_iter().take(40).collect(),
+            test_a: test_a.into_iter().take(20).collect(),
+            task_b: &b,
+            train_b: train_b.into_iter().take(40).collect(),
+            test_b: test_b.into_iter().take(20).collect(),
+            replay_fraction: 0.3,
+            config: cfg,
+        };
+        let r = run_forgetting_study(&setup);
+        for v in [
+            r.acc_a_initial,
+            r.acc_a_sequential,
+            r.acc_a_hybrid,
+            r.acc_b_sequential,
+            r.acc_b_hybrid,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "accuracy out of range: {v}");
+        }
+        // Forgetting deltas are well-defined.
+        assert!(r.forgetting_sequential().abs() <= 1.0);
+        assert!(r.forgetting_hybrid().abs() <= 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # zg-zigong
+//!
+//! The ZiGong pipeline — the paper's system, end to end:
+//!
+//! - [`config`]: Table 3 configuration (paper reference + CPU miniature).
+//! - [`corpus`]: instruction tokenization with prompt masking.
+//! - [`trainer`]: multi-task LoRA SFT with gradient accumulation, cosine
+//!   decay, clipping, and TracIn checkpoint capture.
+//! - [`pruning`]: the data-pruning pipeline — sequential agent training,
+//!   TracSeq scoring, Top-K, 70/30 hybrid mixing.
+//! - [`evaluator`] / [`baselines`] / [`replay`]: the Table 2 harness with
+//!   measured and calibrated-replay columns.
+//! - [`benchmark`]: the Table 2 runner and renderer.
+//! - [`behavior_card`]: the deployment-style Behavior Card service.
+
+pub mod baselines;
+pub mod behavior_card;
+pub mod benchmark;
+pub mod config;
+pub mod corpus;
+pub mod crossval;
+pub mod evaluator;
+pub mod forgetting;
+pub mod pruning;
+pub mod replay;
+pub mod trainer;
+
+pub use baselines::{LogisticExpert, MajorityClass, RandomGuess};
+pub use behavior_card::{behavior_card_meta, AuditEntry, BehaviorCardService, Decision};
+pub use benchmark::{
+    agent_tracin_scores, balanced_train_records, pruned_mix_records, render_table2, run_table2,
+    train_zigong, Table2, Table2Options, Table2Row,
+};
+pub use config::{TrainConfig, ZiGongConfig};
+pub use corpus::{
+    collate, to_pretrain_sample, tokenize_all, tokenize_example, train_tokenizer, Sample,
+};
+pub use crossval::{cross_validate, kfold_split, CrossValReport};
+pub use evaluator::{
+    eval_items, evaluate_classifier, CellResult, CreditClassifier, EvalItem, ZiGongModel,
+};
+pub use forgetting::{run_forgetting_study, ForgettingResult, ForgettingSetup};
+pub use pruning::{
+    agent_tracseq_scores, behavior_samples, fit_agent_sequential, hybrid_selection,
+    lm_tracseq_scores, split_behavior_by_user, BehaviorSample,
+};
+pub use replay::{calibrate, paper_table2, Calibration, OperatingPoint, ReplayBaseline};
+pub use trainer::{train_sft, TrainOrder, TrainReport};

@@ -1,0 +1,335 @@
+//! Multi-task supervised fine-tuning (SFT) of the LoRA-adapted model:
+//! micro-batching with gradient accumulation (paper: batch 32 = 8×4),
+//! cosine learning-rate decay with warmup, global-norm clipping, and
+//! TracIn checkpoint capture.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use zg_influence::LmCheckpoint;
+use zg_model::{clip_grad_norm, AdamW, CausalLm, CosineSchedule};
+
+use crate::config::TrainConfig;
+use crate::corpus::{collate, Sample};
+
+/// Sample ordering during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainOrder {
+    /// Uniform shuffling each epoch (default for tabular tasks).
+    Shuffled,
+    /// Ascending time order (sequential behavior data — this is what
+    /// aligns checkpoint indices with data periods for TracSeq).
+    Chronological,
+}
+
+/// Outcome of a training run.
+pub struct TrainReport {
+    /// Mean loss per optimizer step.
+    pub losses: Vec<f32>,
+    /// Stored checkpoints for influence replay (empty when
+    /// `checkpoint_every == 0`).
+    pub checkpoints: Vec<LmCheckpoint>,
+    /// Total optimizer steps taken.
+    pub steps: u64,
+}
+
+impl TrainReport {
+    /// Mean loss over the final quarter of training (a stable convergence
+    /// summary for tests and logs).
+    pub fn final_loss(&self) -> f32 {
+        if self.losses.is_empty() {
+            return f32::NAN;
+        }
+        let tail = &self.losses[self.losses.len() - self.losses.len().div_ceil(4)..];
+        tail.iter().sum::<f32>() / tail.len() as f32
+    }
+}
+
+/// Run SFT over `samples`. The model must already have its trainable set
+/// configured (typically LoRA-attached). Deterministic in `seed`.
+pub fn train_sft(
+    lm: &CausalLm,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    order: TrainOrder,
+    seed: u64,
+) -> TrainReport {
+    assert!(!samples.is_empty(), "no training samples");
+    let params = lm.trainable_params();
+    assert!(!params.is_empty(), "model has no trainable parameters");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let micro_per_epoch = samples.len().div_ceil(cfg.batch_size);
+    let steps_per_epoch = micro_per_epoch.div_ceil(cfg.grad_accum).max(1);
+    let total_steps = (steps_per_epoch * cfg.epochs) as u64;
+    let schedule = CosineSchedule {
+        max_lr: cfg.max_lr,
+        min_lr: cfg.min_lr,
+        warmup_steps: cfg.warmup_steps.min(total_steps / 2),
+        total_steps,
+    };
+    let mut opt = AdamW::new(cfg.max_lr, cfg.weight_decay);
+
+    let mut indices: Vec<usize> = (0..samples.len()).collect();
+    if order == TrainOrder::Chronological {
+        indices.sort_by_key(|&i| samples[i].time.unwrap_or(0));
+    }
+
+    let mut report = TrainReport {
+        losses: Vec::new(),
+        checkpoints: Vec::new(),
+        steps: 0,
+    };
+    let mut step: u64 = 0;
+    for _epoch in 0..cfg.epochs {
+        if order == TrainOrder::Shuffled {
+            indices.shuffle(&mut rng);
+        }
+        let mut micro_in_step = 0usize;
+        let mut loss_acc = 0.0f32;
+        let mut last_time: u32 = 0;
+        for chunk in indices.chunks(cfg.batch_size) {
+            let batch: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+            last_time = batch
+                .iter()
+                .filter_map(|s| s.time)
+                .max()
+                .unwrap_or(step as u32);
+            let (tokens, labels, b, t) = collate(&batch);
+            let loss = lm.sft_loss(&tokens, &labels, b, t, 0);
+            loss_acc += loss.item();
+            // Scale so accumulated gradients average over micro-batches.
+            loss.mul_scalar(1.0 / cfg.grad_accum as f32).backward();
+            micro_in_step += 1;
+            if micro_in_step == cfg.grad_accum {
+                optimizer_step(
+                    lm,
+                    &params,
+                    &mut opt,
+                    &schedule,
+                    cfg,
+                    step,
+                    last_time,
+                    loss_acc / micro_in_step as f32,
+                    &mut report,
+                );
+                step += 1;
+                micro_in_step = 0;
+                loss_acc = 0.0;
+            }
+        }
+        if micro_in_step > 0 {
+            optimizer_step(
+                lm,
+                &params,
+                &mut opt,
+                &schedule,
+                cfg,
+                step,
+                last_time,
+                loss_acc / micro_in_step as f32,
+                &mut report,
+            );
+            step += 1;
+        }
+    }
+    report.steps = step;
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn optimizer_step(
+    lm: &CausalLm,
+    params: &[(String, zg_tensor::Tensor)],
+    opt: &mut AdamW,
+    schedule: &CosineSchedule,
+    cfg: &TrainConfig,
+    step: u64,
+    data_time: u32,
+    mean_loss: f32,
+    report: &mut TrainReport,
+) {
+    clip_grad_norm(params, cfg.clip_norm);
+    opt.lr = schedule.lr_at(step);
+    opt.step(params);
+    report.losses.push(mean_loss);
+    if cfg.checkpoint_every > 0 && (step + 1).is_multiple_of(cfg.checkpoint_every as u64) {
+        report.checkpoints.push(LmCheckpoint {
+            store: lm.checkpoint(),
+            eta: opt.lr,
+            time: data_time,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{tokenize_all, train_tokenizer};
+    use zg_instruct::InstructExample;
+    use zg_lora::{attach, LoraConfig};
+    use zg_model::ModelConfig;
+
+    fn toy_examples(n: usize) -> Vec<InstructExample> {
+        // Learnable rule: "risk high" -> Yes, "risk low" -> No.
+        (0..n)
+            .map(|i| {
+                let positive = i % 2 == 0;
+                InstructExample {
+                    prompt: format!(
+                        "risk {}\nQuestion: default? Answer:",
+                        if positive { "high" } else { "low" }
+                    ),
+                    answer: if positive { "Yes" } else { "No" }.to_string(),
+                    candidates: vec!["No".into(), "Yes".into()],
+                    dataset: "toy".into(),
+                    record_id: i,
+                    label: Some(positive),
+                    time: Some((i % 5) as u32),
+                    user: Some(i),
+                }
+            })
+            .collect()
+    }
+
+    fn toy_lm(vocab: usize, seed: u64) -> CausalLm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = ModelConfig::mistral_miniature(vocab);
+        cfg.n_layers = 1;
+        cfg.d_model = 32;
+        cfg.n_heads = 4;
+        cfg.n_kv_heads = 2;
+        cfg.d_ff = 64;
+        let mut lm = CausalLm::new(cfg, &mut rng);
+        attach(&mut lm, &LoraConfig::default(), &mut rng);
+        lm
+    }
+
+    fn train_cfg() -> TrainConfig {
+        TrainConfig {
+            max_lr: 5e-3,
+            min_lr: 5e-4,
+            batch_size: 8,
+            grad_accum: 2,
+            epochs: 3,
+            warmup_steps: 2,
+            clip_norm: 1.0,
+            weight_decay: 0.0,
+            max_seq_len: 64,
+            checkpoint_every: 2,
+            pretrain_epochs: 0,
+            pretrain_lr: 0.0,
+        }
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let examples = toy_examples(64);
+        let tok = train_tokenizer(&examples, 320);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 1);
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..train_cfg()
+        };
+        let report = train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 2);
+        assert!(report.steps > 0);
+        let first = report.losses[0];
+        let last = report.final_loss();
+        assert!(
+            last < first * 0.8,
+            "loss failed to decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_captured() {
+        let examples = toy_examples(32);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 3);
+        let report = train_sft(&lm, &samples, &train_cfg(), TrainOrder::Shuffled, 4);
+        assert!(!report.checkpoints.is_empty());
+        // Snapshots contain the LoRA params.
+        let ck = &report.checkpoints[0];
+        assert!(ck.store.names().any(|n| n.contains("lora")));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let examples = toy_examples(24);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let run = |seed| {
+            let lm = toy_lm(tok.vocab_size(), 5);
+            train_sft(&lm, &samples, &train_cfg(), TrainOrder::Shuffled, seed).losses
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn chronological_order_sorts_by_time() {
+        // With chronological order and checkpoint_every=1, checkpoint times
+        // must be non-decreasing data periods.
+        let examples = toy_examples(32);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 6);
+        let cfg = TrainConfig {
+            checkpoint_every: 1,
+            epochs: 1,
+            ..train_cfg()
+        };
+        let report = train_sft(&lm, &samples, &cfg, TrainOrder::Chronological, 7);
+        let times: Vec<u32> = report.checkpoints.iter().map(|c| c.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "checkpoint times must ascend: {times:?}");
+    }
+
+    #[test]
+    fn training_actually_teaches_the_rule() {
+        let examples = toy_examples(64);
+        let tok = train_tokenizer(&examples, 320);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 8);
+        let cfg = TrainConfig {
+            epochs: 8,
+            ..train_cfg()
+        };
+        train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 9);
+        // Score "Yes" vs "No" continuations for a held-out high-risk prompt.
+        let prompt = {
+            let mut ids = vec![zg_tokenizer::Special::Bos.id()];
+            ids.extend(tok.encode("risk high\nQuestion: default? Answer:"));
+            ids
+        };
+        let yes = tok.encode(" Yes");
+        let no = tok.encode(" No");
+        let s_yes = lm.score_continuation(&prompt, &yes);
+        let s_no = lm.score_continuation(&prompt, &no);
+        assert!(
+            s_yes > s_no,
+            "model failed to learn the toy rule: Yes={s_yes} No={s_no}"
+        );
+    }
+
+    #[test]
+    fn grad_accum_changes_nothing_structurally() {
+        // Same data, accum 1 vs 2: both must converge (not equality, just
+        // sanity that accumulation path works).
+        let examples = toy_examples(32);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        for accum in [1usize, 2, 4] {
+            let lm = toy_lm(tok.vocab_size(), 11);
+            let cfg = TrainConfig {
+                grad_accum: accum,
+                ..train_cfg()
+            };
+            let report = train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 12);
+            assert!(report.final_loss().is_finite());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The two remaining task families: financial distress identification
+//! (CALM's fourth task, paper §4) and financial auditing (Figure 1).
+//! Compares the expert system against majority on both, with the
+//! risk-control views (KS, gains table) a review committee would read.
+//!
+//! ```bash
+//! cargo run --release --example audit_distress
+//! ```
+
+use zigong::data::{auditing_dataset, polish_distress};
+use zigong::eval::{gains_table, precision_at_k};
+use zigong::zigong::{
+    eval_items, evaluate_classifier, CreditClassifier, EvalItem, LogisticExpert, MajorityClass,
+};
+
+fn report(name: &str, ds: &zigong::data::Dataset) {
+    let (train, test) = ds.split(0.25);
+    println!("== {name}: {} train / {} test, positive rate {:.1}% ==",
+        train.len(), test.len(), ds.positive_rate() * 100.0);
+    println!("sample: {}\n", ds.records[0].feature_text());
+
+    let items = eval_items(ds, &test);
+    let mut expert = LogisticExpert::fit(&train, 3);
+    let re = evaluate_classifier(&mut expert, &items);
+    let mut majority = MajorityClass::fit(&train);
+    let rm = evaluate_classifier(&mut majority, &items);
+    println!("expert   acc={:.3} f1={:.3} ks={:.3} auc={:.3}", re.eval.acc, re.eval.f1, re.ks, re.auc);
+    println!("majority acc={:.3} f1={:.3}", rm.eval.acc, rm.eval.f1);
+
+    // Gains table over the expert's scores — how much review effort finds
+    // how many irregular cases.
+    let scores: Vec<f64> = items.iter().map(|it: &EvalItem| expert.score(it)).collect();
+    let labels: Vec<bool> = test.iter().map(|r| r.label).collect();
+    let gains = gains_table(&scores, &labels, 5);
+    println!("\nband  count  positives  cum.capture  cum.lift");
+    for b in &gains {
+        println!(
+            "{:>4}  {:>5}  {:>9}  {:>11.2}  {:>8.2}",
+            b.band, b.count, b.positives, b.cumulative_capture, b.cumulative_lift
+        );
+    }
+    let k = test.len() / 10;
+    println!(
+        "reviewing the top decile ({k} entries) yields precision {:.2}\n",
+        precision_at_k(&scores, &labels, k)
+    );
+}
+
+fn main() {
+    report("Financial Auditing", &auditing_dataset(2000, 11));
+    report("Polish Distress", &polish_distress(2000, 12));
+}

@@ -1,0 +1,39 @@
+//! # zigong — reproduction of *ZiGong 1.0: A Large Language Model for
+//! Financial Credit* (ICDE 2025)
+//!
+//! This umbrella crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — tape-based autograd engine (`zg-tensor`)
+//! - [`model`] — Mistral-style causal LM (`zg-model`)
+//! - [`tokenizer`] — byte-level BPE (`zg-tokenizer`)
+//! - [`lora`] — low-rank adapters (`zg-lora`)
+//! - [`data`] — synthetic CALM-style financial datasets (`zg-data`)
+//! - [`instruct`] — Table 1 templates and answer parsing (`zg-instruct`)
+//! - [`influence`] — TracInCP / TracSeq / agent model (`zg-influence`)
+//! - [`eval`] — Acc / F1 / Miss / KS / AUC metrics (`zg-eval`)
+//! - [`zigong`] — the end-to-end pipeline (`zg-zigong`)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zigong::data::german;
+//! use zigong::instruct::render_classification;
+//!
+//! let ds = german(100, 42);
+//! let example = render_classification(&ds, &ds.records[0]);
+//! assert!(example.prompt.ends_with("Answer:"));
+//! ```
+//!
+//! See `examples/` for end-to-end training, pruning, and the Behavior
+//! Card service, and DESIGN.md / EXPERIMENTS.md for the experiment map.
+
+pub use zg_data as data;
+pub use zg_eval as eval;
+pub use zg_influence as influence;
+pub use zg_instruct as instruct;
+pub use zg_lora as lora;
+pub use zg_model as model;
+pub use zg_tensor as tensor;
+pub use zg_tokenizer as tokenizer;
+pub use zg_zigong as zigong;

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full ZiGong pipeline at smoke scale
+//! — data generation → instruction rendering → tokenizer → pretraining →
+//! LoRA SFT → evaluation → Behavior Card deployment.
+
+use zigong::data::{behavior_sequences, german, BehaviorConfig};
+use zigong::instruct::render_classification;
+use zigong::model::ModelConfig;
+use zigong::zigong::{
+    eval_items, evaluate_classifier, split_behavior_by_user, train_zigong, BehaviorCardService, LogisticExpert, TrainOrder, ZiGongConfig,
+};
+
+/// A toy-but-real SFT config that trains in a few seconds.
+fn smoke_config(seed: u64) -> ZiGongConfig {
+    let mut cfg = ZiGongConfig::miniature(seed);
+    cfg.vocab_size = 380;
+    cfg.model.vocab_size = 380;
+    cfg.model.d_model = 32;
+    cfg.model.n_layers = 1;
+    cfg.model.n_heads = 4;
+    cfg.model.n_kv_heads = 2;
+    cfg.model.d_ff = 64;
+    cfg.train.max_seq_len = 96;
+    cfg.train.epochs = 3;
+    cfg.train.pretrain_epochs = 6;
+    cfg.train.checkpoint_every = 0;
+    cfg
+}
+
+#[test]
+fn pipeline_trains_and_answers_parseably() {
+    let ds = german(300, 1);
+    let (train, test) = ds.split(0.2);
+    let examples: Vec<_> = train
+        .iter()
+        .take(96)
+        .map(|r| render_classification(&ds, r))
+        .collect();
+    let (mut model, report) = train_zigong(&examples, &smoke_config(1), TrainOrder::Shuffled, "it");
+    assert!(report.steps > 0);
+    assert!(report.final_loss().is_finite());
+
+    let capped: Vec<_> = test.into_iter().take(30).collect();
+    let items = eval_items(&ds, &capped);
+    let r = evaluate_classifier(&mut model, &items);
+    // After pretraining on the corpus the model must at least emit
+    // parseable answers on most prompts.
+    assert!(r.eval.miss < 0.5, "miss {} too high", r.eval.miss);
+    assert!(r.eval.acc > 0.0);
+    assert!((0.0..=1.0).contains(&r.ks));
+}
+
+#[test]
+fn pretraining_reduces_miss_vs_raw_base() {
+    let ds = german(200, 2);
+    let (train, test) = ds.split(0.2);
+    let examples: Vec<_> = train
+        .iter()
+        .take(64)
+        .map(|r| render_classification(&ds, r))
+        .collect();
+    // Raw base: no pretraining, no SFT steps.
+    let mut raw_cfg = smoke_config(3);
+    raw_cfg.train.pretrain_epochs = 0;
+    raw_cfg.train.epochs = 0;
+    let (mut raw, _) = train_zigong(&examples, &raw_cfg, TrainOrder::Shuffled, "raw");
+    // Trained model.
+    let (mut tuned, _) = train_zigong(&examples, &smoke_config(3), TrainOrder::Shuffled, "tuned");
+
+    let capped: Vec<_> = test.into_iter().take(25).collect();
+    let items = eval_items(&ds, &capped);
+    let r_raw = evaluate_classifier(&mut raw, &items);
+    let r_tuned = evaluate_classifier(&mut tuned, &items);
+    assert!(
+        r_tuned.eval.miss <= r_raw.eval.miss,
+        "training must not increase miss: {} vs {}",
+        r_tuned.eval.miss,
+        r_raw.eval.miss
+    );
+}
+
+#[test]
+fn behavior_card_serves_trained_zigong() {
+    // Deploy an actual ZiGongModel (not just the expert) in the service.
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: 60,
+            periods: 4,
+            ..Default::default()
+        },
+        4,
+    );
+    let (train, incoming) = split_behavior_by_user(&ds, 0.2);
+    let examples: Vec<_> = train
+        .iter()
+        .take(80)
+        .map(|r| render_classification(&ds, r))
+        .collect();
+    let (model, _) = train_zigong(&examples, &smoke_config(5), TrainOrder::Chronological, "svc");
+    let mut service = BehaviorCardService::new(model, &ds, 0.5);
+    let decisions = service.score_batch(&incoming);
+    assert_eq!(decisions.len(), incoming.len());
+    assert!(decisions.iter().all(|d| (0.0..=1.0).contains(&d.risk_score)));
+    assert_eq!(service.audit_log().len(), incoming.len());
+}
+
+#[test]
+fn expert_system_interoperates_with_service() {
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: 80,
+            periods: 4,
+            ..Default::default()
+        },
+        6,
+    );
+    let (train, incoming) = split_behavior_by_user(&ds, 0.2);
+    let expert = LogisticExpert::fit(&train, 7);
+    let mut service = BehaviorCardService::new(expert, &ds, 0.5);
+    let decisions = service.score_batch(&incoming);
+    // The trained expert should separate classes: mean risk of true
+    // defaulters above mean risk of good users.
+    let (mut bad_sum, mut bad_n, mut good_sum, mut good_n) = (0.0, 0usize, 0.0, 0usize);
+    for (r, d) in incoming.iter().zip(&decisions) {
+        if r.label {
+            bad_sum += d.risk_score;
+            bad_n += 1;
+        } else {
+            good_sum += d.risk_score;
+            good_n += 1;
+        }
+    }
+    assert!(bad_n > 0 && good_n > 0);
+    assert!(
+        bad_sum / bad_n as f64 > good_sum / good_n as f64,
+        "defaulters must score riskier"
+    );
+}
+
+#[test]
+fn lm_architecture_variants_train() {
+    // GQA vs MHA vs narrow-window configs all must train without panics.
+    for (kv, window) in [(2usize, 128usize), (4, 128), (2, 16)] {
+        let ds = german(80, 8);
+        let examples: Vec<_> = ds
+            .records
+            .iter()
+            .take(32)
+            .map(|r| render_classification(&ds, r))
+            .collect();
+        let mut cfg = smoke_config(9);
+        cfg.model = ModelConfig {
+            vocab_size: cfg.vocab_size,
+            d_model: 32,
+            n_layers: 1,
+            n_heads: 4,
+            n_kv_heads: kv,
+            d_ff: 64,
+            max_seq_len: 128,
+            sliding_window: window,
+            rope_theta: 10_000.0,
+            rms_eps: 1e-5,
+        };
+        cfg.train.epochs = 1;
+        cfg.train.pretrain_epochs = 1;
+        let (_, report) = train_zigong(&examples, &cfg, TrainOrder::Shuffled, "variant");
+        assert!(report.final_loss().is_finite(), "kv={kv} window={window}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) on the core invariants:
+//! tokenizer losslessness, metric bounds, autograd linearity, KS/AUC
+//! ranges, influence-selection consistency, and parser totality.
+
+use proptest::prelude::*;
+use zigong::eval::{evaluate_binary, ks_statistic, roc_auc, Prediction};
+use zigong::influence::{select_bottom_k, select_top_k};
+use zigong::instruct::parse_answer;
+use zigong::tensor::Tensor;
+use zigong::tokenizer::BpeTokenizer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte-level BPE round-trips arbitrary UTF-8 losslessly.
+    #[test]
+    fn tokenizer_roundtrip_lossless(text in "\\PC{0,200}") {
+        let tok = BpeTokenizer::byte_level();
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    /// A tokenizer trained on any corpus still round-trips unseen text.
+    #[test]
+    fn trained_tokenizer_roundtrip(corpus in prop::collection::vec("[a-z ]{1,40}", 1..6),
+                                   probe in "\\PC{0,120}") {
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        let tok = BpeTokenizer::train(&refs, 300);
+        prop_assert_eq!(tok.decode(&tok.encode(&probe)), probe);
+    }
+
+    /// Accuracy, F1, and Miss always land in [0, 1] and miss counts match.
+    #[test]
+    fn metric_bounds(preds in prop::collection::vec(0..3usize, 1..60),
+                     labels in prop::collection::vec(any::<bool>(), 60)) {
+        let n = preds.len();
+        let preds: Vec<Prediction> = preds.into_iter().map(|p| match p {
+            0 => Prediction::Label(false),
+            1 => Prediction::Label(true),
+            _ => Prediction::Miss,
+        }).collect();
+        let labels = &labels[..n];
+        let r = evaluate_binary(&preds, labels);
+        prop_assert!((0.0..=1.0).contains(&r.acc));
+        prop_assert!((0.0..=1.0).contains(&r.f1));
+        prop_assert!((0.0..=1.0).contains(&r.miss));
+        let miss_count = preds.iter().filter(|p| **p == Prediction::Miss).count();
+        prop_assert!((r.miss - miss_count as f64 / n as f64).abs() < 1e-12);
+    }
+
+    /// KS ∈ [0, 1] and AUC ∈ [0, 1] for any finite score vector.
+    #[test]
+    fn ks_auc_bounds(scores in prop::collection::vec(-1e3f64..1e3, 2..80),
+                     labels in prop::collection::vec(any::<bool>(), 80)) {
+        let labels = &labels[..scores.len()];
+        let ks = ks_statistic(&scores, labels);
+        let auc = roc_auc(&scores, labels);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ks));
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&auc));
+    }
+
+    /// Shifting all scores by a constant never changes KS or AUC
+    /// (threshold metrics are shift-invariant).
+    #[test]
+    fn ks_shift_invariant(scores in prop::collection::vec(-100f64..100.0, 4..40),
+                          labels in prop::collection::vec(any::<bool>(), 40),
+                          shift in -50f64..50.0) {
+        let labels = &labels[..scores.len()];
+        let shifted: Vec<f64> = scores.iter().map(|s| s + shift).collect();
+        prop_assert!((ks_statistic(&scores, labels) - ks_statistic(&shifted, labels)).abs() < 1e-9);
+        prop_assert!((roc_auc(&scores, labels) - roc_auc(&shifted, labels)).abs() < 1e-9);
+    }
+
+    /// Top-k and bottom-k partition consistently: the worst top-k score is
+    /// >= the best bottom-k score, and the sets are disjoint when 2k <= n.
+    #[test]
+    fn topk_bottomk_consistent(scores in prop::collection::vec(-1e3f32..1e3, 2..50)) {
+        let k = scores.len() / 2;
+        let top = select_top_k(&scores, k);
+        let bottom = select_bottom_k(&scores, k);
+        if k > 0 {
+            let worst_top = top.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+            let best_bottom = bottom.iter().map(|&i| scores[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(worst_top >= best_bottom);
+            for i in &top {
+                prop_assert!(!bottom.contains(i) || scores.len() < 2 * k);
+            }
+        }
+    }
+
+    /// The answer parser is total: any input yields Some(valid index) or None.
+    #[test]
+    fn parser_total(text in "\\PC{0,80}") {
+        let candidates = vec!["Yes".to_string(), "No".to_string(), "maybe so".to_string()];
+        if let Some(i) = parse_answer(&text, &candidates) {
+            prop_assert!(i < candidates.len());
+        }
+    }
+
+    /// Autograd: d(sum(a*x))/dx == a for arbitrary tensors (linearity).
+    #[test]
+    fn autograd_linear_gradient(xs in prop::collection::vec(-10f32..10.0, 1..20),
+                                scale in -5f32..5.0) {
+        let n = xs.len();
+        let x = Tensor::param(xs, [n]);
+        x.mul_scalar(scale).sum().backward();
+        let g = x.grad().unwrap();
+        for v in g {
+            prop_assert!((v - scale).abs() < 1e-5);
+        }
+    }
+
+    /// Autograd: gradients accumulate additively across backward calls.
+    #[test]
+    fn autograd_grad_accumulation(xs in prop::collection::vec(-5f32..5.0, 1..10)) {
+        let n = xs.len();
+        let x = Tensor::param(xs, [n]);
+        x.sum().backward();
+        x.sum().backward();
+        let g = x.grad().unwrap();
+        for v in g {
+            prop_assert!((v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    /// Softmax rows always sum to 1 and stay in (0, 1].
+    #[test]
+    fn softmax_simplex(xs in prop::collection::vec(-30f32..30.0, 2..24)) {
+        let n = xs.len();
+        let x = Tensor::from_vec(xs, [1, n]);
+        let y = x.softmax().to_vec();
+        let sum: f32 = y.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(y.iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Verifies the Table 2 replay machinery against every published cell:
+//! the calibrated (TPR, TNR) must reproduce each external model's
+//! reported (Acc, F1) under the matching dataset prior, within grid
+//! tolerance — except the handful of cells that are mathematically
+//! inconsistent with any operating point (documented below).
+
+use zigong::data::all_datasets;
+use zigong::zigong::{calibrate, paper_table2};
+
+/// Predicted (acc, f1) under the harness scoring rules.
+fn predicted(tpr: f64, tnr: f64, prior: f64, miss: f64) -> (f64, f64) {
+    let live = 1.0 - miss;
+    let acc = live * (prior * tpr + (1.0 - prior) * tnr);
+    let tp = live * prior * tpr;
+    let fp = live * (1.0 - prior) * (1.0 - tnr);
+    let fn_ = prior * (miss + live * (1.0 - tpr));
+    let f1 = if tp == 0.0 {
+        0.0
+    } else {
+        2.0 * tp / (2.0 * tp + fp + fn_)
+    };
+    (acc, f1)
+}
+
+#[test]
+fn all_feasible_cells_calibrate() {
+    let datasets = all_datasets(1);
+    let priors: Vec<f64> = datasets.iter().map(|d| d.positive_rate()).collect();
+    let mut feasible = 0usize;
+    let mut infeasible: Vec<String> = Vec::new();
+    for (model, cells) in paper_table2() {
+        for (di, cell) in cells.iter().enumerate() {
+            let Some(op) = cell else { continue };
+            // FinMA's ccFraud F1 is reported negative (the paper notes the
+            // oddity); clamp to 0 for calibration purposes.
+            let target_f1 = op.f1.max(0.0);
+            let cal = calibrate(op, priors[di]);
+            let (acc, f1) = predicted(cal.tpr, cal.tnr, priors[di], op.miss);
+            let err = (acc - op.acc).abs() + (f1 - target_f1).abs();
+            if err < 0.08 {
+                feasible += 1;
+            } else {
+                infeasible.push(format!(
+                    "{model}/{}: target acc={} f1={} got acc={acc:.3} f1={f1:.3}",
+                    datasets[di].name, op.acc, op.f1
+                ));
+            }
+        }
+    }
+    // The published table contains a few cells no (TPR, TNR) pair can
+    // produce under *our* synthetic priors (the paper's test sets were
+    // partially balanced, footnote of Table 2). Those cells still replay
+    // at the nearest feasible point; we only require that the vast
+    // majority calibrate tightly.
+    assert!(
+        feasible >= 40,
+        "only {feasible} cells calibrated; failures:\n{}",
+        infeasible.join("\n")
+    );
+}
+
+#[test]
+fn zigong_paper_row_is_transcribed() {
+    let table = paper_table2();
+    let (name, cells) = table.last().expect("non-empty");
+    assert!(name.starts_with("ZiGong"));
+    let german = cells[0].expect("german cell");
+    assert_eq!(german.acc, 0.590);
+    assert_eq!(german.f1, 0.587);
+    let australia = cells[1].expect("australia cell");
+    assert_eq!(australia.acc, 0.779);
+    assert_eq!(australia.miss, 0.014);
+}
+
+#[test]
+fn paper_best_per_dataset_matches_bold() {
+    // Sanity on transcription: per the paper, ZiGong is best or
+    // second-best on Australia and ccFraud by accuracy.
+    let table = paper_table2();
+    let zigong = &table.last().expect("rows").1;
+    for (di, name) in [(1usize, "Australia"), (3, "ccFraud")] {
+        let z = zigong[di].expect("cell").acc;
+        let better = table
+            .iter()
+            .filter(|(m, _)| !m.starts_with("ZiGong"))
+            .filter_map(|(_, cells)| cells[di])
+            .filter(|op| op.acc > z)
+            .count();
+        assert!(better <= 1, "{name}: {better} models beat ZiGong's acc");
+    }
+}
