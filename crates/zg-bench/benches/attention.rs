@@ -52,5 +52,10 @@ fn bench_lm_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_attention_forward, bench_kv_cache_decode, bench_lm_step);
+criterion_group!(
+    benches,
+    bench_attention_forward,
+    bench_kv_cache_decode,
+    bench_lm_step
+);
 criterion_main!(benches);

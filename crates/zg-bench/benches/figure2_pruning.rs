@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zg_data::{behavior_sequences, BehaviorConfig};
-use zg_influence::{select_top_k, AgentConfig, AgentModel};
-use zg_zigong::{agent_tracseq_scores, behavior_samples, split_behavior_by_user};
+use zg_influence::{select_top_k, AgentConfig, AgentModel, ParallelConfig};
+use zg_zigong::{agent_tracseq_scores_with, behavior_samples, split_behavior_by_user};
 
 fn bench_pruning_arm(c: &mut Criterion) {
     let ds = behavior_sequences(
@@ -24,9 +24,12 @@ fn bench_pruning_arm(c: &mut Criterion) {
         .iter()
         .map(|r| (r.numeric_features(), r.label))
         .collect();
+    // The sweep's hot path runs through the parallel engine; auto uses
+    // every available core and is bit-identical to serial.
+    let par = ParallelConfig::auto();
     c.bench_function("figure2_one_arm_score_select_retrain", |b| {
         b.iter(|| {
-            let scores = agent_tracseq_scores(&train_s, &test_s, 0.9, false, 2);
+            let scores = agent_tracseq_scores_with(&train_s, &test_s, 0.9, false, 2, &par);
             let picks = select_top_k(&scores, train_s.len() / 2);
             let xs: Vec<Vec<f32>> = picks.iter().map(|&i| train_s[i].0.clone()).collect();
             let ys: Vec<bool> = picks.iter().map(|&i| train_s[i].1).collect();

@@ -1,14 +1,86 @@
-//! Influence-machinery benchmarks: TracSeq scoring throughput (agent
-//! analytic gradients) and LM per-sample gradient extraction.
+//! Influence-machinery benchmarks: TracSeq scoring throughput through
+//! the parallel engine (serial / multi-worker / sketched), the agent
+//! pipeline, and LM per-sample gradient extraction.
+//!
+//! Unlike the other benches this one has a custom `main`: after the
+//! timed runs it derives speedup ratios and writes them (with the
+//! machine's available parallelism, for context) to
+//! `results/influence_parallel.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
 use zg_data::{behavior_sequences, BehaviorConfig};
-use zg_influence::lm_sample_gradient;
+use zg_influence::{
+    influence_scores_with, lm_sample_gradient, CheckpointGrads, ParallelConfig, Sketcher,
+    TracConfig, DEFAULT_SKETCH_SEED,
+};
 use zg_lora::{attach, LoraConfig};
 use zg_model::{CausalLm, ModelConfig};
-use zg_zigong::{agent_tracseq_scores, behavior_samples, split_behavior_by_user};
+use zg_zigong::{agent_tracseq_scores_with, behavior_samples, split_behavior_by_user};
+
+const SKETCH_DIM: usize = 256;
+
+/// Seeded synthetic gradients sized like a LoRA-subspace problem:
+/// 3 checkpoints × (600 train + 40 test) × p=4096.
+fn synth_grads() -> Vec<CheckpointGrads> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (n_train, n_test, p) = (600usize, 40usize, 4096usize);
+    (0..3)
+        .map(|t| CheckpointGrads {
+            eta: 0.1,
+            time: t as u32,
+            train: (0..n_train)
+                .map(|_| (0..p).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect(),
+            test: (0..n_test)
+                .map(|_| (0..p).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_scoring_engine(c: &mut Criterion) {
+    let cks = synth_grads();
+    let cfg = TracConfig {
+        gamma: 0.9,
+        current_time: 2,
+        decay_samples: false,
+    };
+    c.bench_function("influence_exact_serial", |b| {
+        b.iter(|| {
+            black_box(influence_scores_with(
+                &cks,
+                &cfg,
+                None,
+                &ParallelConfig::serial(),
+            ))
+        })
+    });
+    c.bench_function("influence_exact_workers8", |b| {
+        let par = ParallelConfig::serial().with_workers(8);
+        b.iter(|| black_box(influence_scores_with(&cks, &cfg, None, &par)))
+    });
+    c.bench_function("influence_sketch256_inclusive", |b| {
+        // Projection + scoring, both inside the timed region.
+        let par = ParallelConfig::serial().with_sketch(SKETCH_DIM);
+        b.iter(|| black_box(influence_scores_with(&cks, &cfg, None, &par)))
+    });
+    c.bench_function("influence_sketch256_presketched", |b| {
+        // The γ-sweep regime: gradients are projected once, then scored
+        // many times (each sweep arm re-scores with a different decay).
+        let sketched = Sketcher::new(SKETCH_DIM, DEFAULT_SKETCH_SEED).sketch_checkpoints(&cks);
+        b.iter(|| {
+            black_box(influence_scores_with(
+                &sketched,
+                &cfg,
+                None,
+                &ParallelConfig::serial(),
+            ))
+        })
+    });
+}
 
 fn bench_agent_tracseq(c: &mut Criterion) {
     let ds = behavior_sequences(
@@ -25,8 +97,29 @@ fn bench_agent_tracseq(c: &mut Criterion) {
         .iter()
         .map(|r| (r.numeric_features(), r.label))
         .collect();
-    c.bench_function("agent_tracseq_800train_40test", |b| {
-        b.iter(|| black_box(agent_tracseq_scores(&train_s, &test_s, 0.9, false, 2)))
+    c.bench_function("agent_tracseq_800train_40test_serial", |b| {
+        b.iter(|| {
+            black_box(agent_tracseq_scores_with(
+                &train_s,
+                &test_s,
+                0.9,
+                false,
+                2,
+                &ParallelConfig::serial(),
+            ))
+        })
+    });
+    c.bench_function("agent_tracseq_800train_40test_auto", |b| {
+        b.iter(|| {
+            black_box(agent_tracseq_scores_with(
+                &train_s,
+                &test_s,
+                0.9,
+                false,
+                2,
+                &ParallelConfig::auto(),
+            ))
+        })
     });
 }
 
@@ -38,16 +131,79 @@ fn bench_lm_gradient(c: &mut Criterion) {
     attach(&mut lm, &LoraConfig::default(), &mut rng);
     let sample = (
         (0..48).map(|i| (i % 250) as u32 + 4).collect::<Vec<u32>>(),
-        (0..48).map(|i| ((i + 1) % 250) as u32 + 4).collect::<Vec<u32>>(),
+        (0..48)
+            .map(|i| ((i + 1) % 250) as u32 + 4)
+            .collect::<Vec<u32>>(),
     );
     c.bench_function("lm_sample_gradient_t48_lora", |b| {
         b.iter(|| black_box(lm_sample_gradient(&lm, &sample)))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_agent_tracseq, bench_lm_gradient
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    bench_scoring_engine(&mut criterion);
+    bench_agent_tracseq(&mut criterion);
+    bench_lm_gradient(&mut criterion);
+    write_results(&criterion);
 }
-criterion_main!(benches);
+
+/// Derive speedups from the recorded medians and persist the evidence.
+fn write_results(criterion: &Criterion) {
+    let median = |name: &str| -> Option<f64> {
+        criterion
+            .records()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    };
+    let serial = median("influence_exact_serial");
+    let speedup_over_serial = |name: &str| -> serde_json::Value {
+        match (serial, median(name)) {
+            (Some(s), Some(v)) if v > 0.0 => json!(s / v),
+            _ => json!(null),
+        }
+    };
+    let rows: Vec<serde_json::Value> = criterion
+        .records()
+        .iter()
+        .map(|r| {
+            json!({
+                "name": r.name.clone(),
+                "min_ns": r.min_ns,
+                "median_ns": r.median_ns,
+                "mean_ns": r.mean_ns,
+                "samples": r.samples as f64,
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return; // filtered run; nothing representative to persist
+    }
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let out = json!({
+        "bench": "influence_parallel",
+        "available_parallelism": available as f64,
+        "sketch_dim": SKETCH_DIM as f64,
+        "note": "speedups are measured wall-clock on this machine; thread \
+                 speedup is bounded by available_parallelism, sketch speedup \
+                 is algorithmic (p -> sketch_dim per dot)",
+        "speedup_exact_workers8_vs_serial": speedup_over_serial("influence_exact_workers8"),
+        "speedup_sketch_inclusive_vs_serial": speedup_over_serial("influence_sketch256_inclusive"),
+        "speedup_sketch_presketched_vs_serial": speedup_over_serial("influence_sketch256_presketched"),
+        "rows": rows,
+    });
+    // cargo runs benches with the package dir as CWD; anchor the artifact
+    // at the workspace root.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = format!("{dir}/influence_parallel.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&out).expect("serialize results"),
+    )
+    .expect("write results JSON");
+    println!("wrote {path}");
+}

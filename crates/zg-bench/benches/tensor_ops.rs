@@ -53,5 +53,10 @@ fn bench_backward(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_elementwise_and_softmax, bench_backward);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_elementwise_and_softmax,
+    bench_backward
+);
 criterion_main!(benches);

@@ -160,7 +160,10 @@ fn ablation_drift() -> String {
         "{:<22}{:>8}{:>12}{:>12}{:>14}{:>14}\n",
         "data", "method", "test AUC", "test Acc", "recent-share", "(k=20%)"
     ));
-    for (label, persistence) in [("drifting (rho=0.5)", 0.5f32), ("stationary (rho=1.0)", 1.0)] {
+    for (label, persistence) in [
+        ("drifting (rho=0.5)", 0.5f32),
+        ("stationary (rho=1.0)", 1.0),
+    ] {
         let (train_s, test_s, _) = drifting_setup(persistence, SEED ^ 7);
         let k = train_s.len() / 5;
         for (method, gamma, sample_decay) in [
@@ -171,11 +174,8 @@ fn ablation_drift() -> String {
             let scores = agent_tracseq_scores(&train_s, &test_s, gamma, sample_decay, SEED ^ 8);
             let picks = select_top_k(&scores, k);
             let auc = downstream_auc(&train_s, &picks, &test_s, SEED ^ 9);
-            let recent = picks
-                .iter()
-                .filter(|&&i| train_s[i].2 >= 4)
-                .count() as f64
-                / picks.len() as f64;
+            let recent =
+                picks.iter().filter(|&&i| train_s[i].2 >= 4).count() as f64 / picks.len() as f64;
             out.push_str(&format!(
                 "{:<22}{:>8}{:>12}{:>12}{:>14}\n",
                 label,
@@ -220,7 +220,10 @@ fn ablation_forgetting() -> String {
         config: cfg,
     };
     let r = run_forgetting_study(&setup);
-    out.push_str(&format!("task A (German) acc after learning A : {}\n", cell(r.acc_a_initial)));
+    out.push_str(&format!(
+        "task A (German) acc after learning A : {}\n",
+        cell(r.acc_a_initial)
+    ));
     out.push_str(&format!(
         "  after sequential SFT on B          : {}  (forgot {})\n",
         cell(r.acc_a_sequential),

@@ -74,7 +74,11 @@ fn main() {
         "Figure 2 pruning study: {} train records, {} test users, trainee={}",
         train.len(),
         test.len(),
-        if trainee == Trainee::Lm { "LM (LoRA SFT)" } else { "agent model" }
+        if trainee == Trainee::Lm {
+            "LM (LoRA SFT)"
+        } else {
+            "agent model"
+        }
     );
 
     // TracSeq scores over the full training pool (paper Eq. 1 + 2).

@@ -21,7 +21,10 @@ fn main() {
     out.push_str("{sentence}\nQuestion: {question}? Answer: {Yes/No}\n\n");
     let ds = german(3, 7);
     let ex = render_classification(&ds, &ds.records[0]);
-    out.push_str(&format!("Example (German credit scoring):\n{} {}\n\n", ex.prompt, ex.answer));
+    out.push_str(&format!(
+        "Example (German credit scoring):\n{} {}\n\n",
+        ex.prompt, ex.answer
+    ));
 
     out.push_str("-- Generative / QA --\n");
     out.push_str("{user profile}\nQuestion: what is the user's expected income level, low, medium or high? Answer: {low/medium/high}\n\n");

@@ -59,7 +59,10 @@ fn main() {
             report.final_loss()
         ));
     }
-    out.push_str(&format!("\nWall time: {:.1}s\n", t0.elapsed().as_secs_f64()));
+    out.push_str(&format!(
+        "\nWall time: {:.1}s\n",
+        t0.elapsed().as_secs_f64()
+    ));
     print!("{out}");
     write_result("table2.txt", &out);
     write_result("table2.json", &table.to_json());

@@ -12,9 +12,15 @@ fn render(cfg: &ZiGongConfig, title: &str) -> String {
     o.push_str("Base Model          : Mistral-style decoder-only transformer\n");
     o.push_str("Fine-tuning Method  : LoRA (Low-Rank Adaptation)\n");
     o.push_str("Task Type           : Text Generation & Classification\n");
-    o.push_str(&format!("Context Length      : {} tokens\n", cfg.model.max_seq_len));
+    o.push_str(&format!(
+        "Context Length      : {} tokens\n",
+        cfg.model.max_seq_len
+    ));
     o.push_str(&format!("Hidden Dimension    : {}\n", cfg.model.d_model));
-    o.push_str(&format!("Attention Heads     : {} (kv heads: {})\n", cfg.model.n_heads, cfg.model.n_kv_heads));
+    o.push_str(&format!(
+        "Attention Heads     : {} (kv heads: {})\n",
+        cfg.model.n_heads, cfg.model.n_kv_heads
+    ));
     o.push_str(&format!("Layers              : {}\n", cfg.model.n_layers));
     o.push_str("Activation Function : SiLU (SwiGLU MLP)\n");
     o.push_str(&format!(
@@ -28,7 +34,10 @@ fn render(cfg: &ZiGongConfig, title: &str) -> String {
     ));
     o.push_str("Optimizer           : AdamW (beta1 = 0.9, beta2 = 0.999)\n");
     o.push_str("LR Schedule         : Cosine Decay (with warmup)\n");
-    o.push_str(&format!("Max Sequence Length : {} tokens\n", cfg.train.max_seq_len));
+    o.push_str(&format!(
+        "Max Sequence Length : {} tokens\n",
+        cfg.train.max_seq_len
+    ));
     o.push_str(&format!("LoRA Rank           : {}\n", cfg.lora.rank));
     o.push_str(&format!("LoRA Alpha          : {}\n", cfg.lora.alpha));
     o.push_str(&format!("Target Modules      : {:?}\n", cfg.lora.targets));
@@ -43,7 +52,10 @@ fn main() {
     let mut out = String::new();
     out.push_str("Table 3: Configuration Details of ZiGong Model\n");
     out.push_str("==============================================\n\n");
-    out.push_str(&render(&ZiGongConfig::paper_reference(), "Paper reference (Mistral 7B)"));
+    out.push_str(&render(
+        &ZiGongConfig::paper_reference(),
+        "Paper reference (Mistral 7B)",
+    ));
     out.push_str(&render(
         &ZiGongConfig::miniature(0),
         "This reproduction (CPU miniature; see DESIGN.md for the scaling argument)",

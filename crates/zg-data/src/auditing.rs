@@ -125,7 +125,11 @@ mod tests {
     fn schema_and_prior() {
         let d = auditing_dataset(2000, 1);
         assert_eq!(d.records[0].features.len(), 7);
-        assert!((d.positive_rate() - 0.12).abs() < 0.03, "{}", d.positive_rate());
+        assert!(
+            (d.positive_rate() - 0.12).abs() < 0.03,
+            "{}",
+            d.positive_rate()
+        );
         assert_eq!(d.task, TaskKind::FinancialAuditing);
     }
 
@@ -136,9 +140,7 @@ mod tests {
             let recs: Vec<&Record> = d.records.iter().filter(|r| r.label == label).collect();
             let manual = recs
                 .iter()
-                .filter(|r| {
-                    matches!(&r.features[5].1, FeatureValue::Cat(s) if s == "manual")
-                })
+                .filter(|r| matches!(&r.features[5].1, FeatureValue::Cat(s) if s == "manual"))
                 .count();
             manual as f64 / recs.len() as f64
         };

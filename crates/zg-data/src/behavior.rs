@@ -79,10 +79,7 @@ pub fn behavior_sequences(cfg: &BehaviorConfig, seed: u64) -> Dataset {
                 r = cfg.persistence * r + innov * zg_tensor::randn_sample(&mut rng);
             }
             let mut feats = Vec::with_capacity(FEATURES.len() + 1);
-            feats.push((
-                "period".to_string(),
-                FeatureValue::Num(t as f32),
-            ));
+            feats.push(("period".to_string(), FeatureValue::Num(t as f32)));
             for &(name, coef, offset, scale, round) in &FEATURES {
                 let raw = coef * r + cfg.noise_std * zg_tensor::randn_sample(&mut rng);
                 let mut v = (offset + scale * raw).max(0.0);

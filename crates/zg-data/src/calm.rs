@@ -234,7 +234,13 @@ pub fn australia(n: usize, seed: u64) -> Dataset {
     });
     features.push(FeatureSpec::Categorical {
         name: "A6",
-        choices: &[("ff", 0.4), ("dd", 0.1), ("j", 0.05), ("bb", -0.1), ("v", -0.3)],
+        choices: &[
+            ("ff", 0.4),
+            ("dd", 0.1),
+            ("j", 0.05),
+            ("bb", -0.1),
+            ("v", -0.3),
+        ],
     });
     features.push(FeatureSpec::Numeric {
         name: "A7",
@@ -310,8 +316,8 @@ pub fn credit_card_fraud(n: usize, seed: u64) -> Dataset {
     // PCA components: the first few carry the fraud signal (as in the real
     // data, where V1–V14 dominate importance).
     const V_WEIGHTS: [f32; 28] = [
-        0.9, -0.8, 0.7, 0.65, -0.5, 0.4, -0.6, 0.3, -0.45, 0.5, 0.35, -0.55, 0.2, -0.7, 0.1,
-        -0.15, 0.25, -0.1, 0.05, -0.05, 0.1, -0.08, 0.04, -0.03, 0.02, -0.02, 0.01, -0.01,
+        0.9, -0.8, 0.7, 0.65, -0.5, 0.4, -0.6, 0.3, -0.45, 0.5, 0.35, -0.55, 0.2, -0.7, 0.1, -0.15,
+        0.25, -0.1, 0.05, -0.05, 0.1, -0.08, 0.04, -0.03, 0.02, -0.02, 0.01, -0.01,
     ];
     // Leak the per-component weights into static storage for the schema.
     for (i, &w) in V_WEIGHTS.iter().enumerate() {
@@ -347,9 +353,8 @@ pub fn credit_card_fraud(n: usize, seed: u64) -> Dataset {
 }
 
 static V_NAMES: [&str; 28] = [
-    "V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8", "V9", "V10", "V11", "V12", "V13", "V14",
-    "V15", "V16", "V17", "V18", "V19", "V20", "V21", "V22", "V23", "V24", "V25", "V26", "V27",
-    "V28",
+    "V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8", "V9", "V10", "V11", "V12", "V13", "V14", "V15",
+    "V16", "V17", "V18", "V19", "V20", "V21", "V22", "V23", "V24", "V25", "V26", "V27", "V28",
 ];
 
 /// ccFraud: 7 features (gender, state, cardholder, balance, numTrans,
@@ -533,7 +538,11 @@ mod tests {
         let d = german(1000, 1);
         assert_eq!(d.records.len(), 1000);
         assert_eq!(d.records[0].features.len(), 20);
-        assert!((d.positive_rate() - 0.30).abs() < 0.02, "{}", d.positive_rate());
+        assert!(
+            (d.positive_rate() - 0.30).abs() < 0.02,
+            "{}",
+            d.positive_rate()
+        );
         assert_eq!(d.positive_name, "bad");
     }
 

@@ -134,7 +134,11 @@ mod tests {
     fn schema_and_prior() {
         let d = polish_distress(3000, 1);
         assert_eq!(d.records[0].features.len(), 12);
-        assert!((d.positive_rate() - 0.048).abs() < 0.01, "{}", d.positive_rate());
+        assert!(
+            (d.positive_rate() - 0.048).abs() < 0.01,
+            "{}",
+            d.positive_rate()
+        );
         assert_eq!(d.task, TaskKind::DistressIdentification);
     }
 

@@ -71,7 +71,8 @@ impl IncomeBucket {
     }
 
     /// All buckets in order.
-    pub const ALL: [IncomeBucket; 3] = [IncomeBucket::Low, IncomeBucket::Medium, IncomeBucket::High];
+    pub const ALL: [IncomeBucket; 3] =
+        [IncomeBucket::Low, IncomeBucket::Medium, IncomeBucket::High];
 }
 
 /// `(brand, model, base price, price premium factor on income)`
@@ -136,10 +137,7 @@ pub fn income_dataset(n: usize, seed: u64) -> Vec<IncomeRecord> {
                         "residential area".into(),
                         FeatureValue::Cat(district.into()),
                     ),
-                    (
-                        "past job earnings".into(),
-                        FeatureValue::Num(past_earnings),
-                    ),
+                    ("past job earnings".into(), FeatureValue::Num(past_earnings)),
                     ("phone brand".into(), FeatureValue::Cat(brand.into())),
                     ("phone model".into(), FeatureValue::Cat(model.into())),
                     ("phone price".into(), FeatureValue::Num(price)),

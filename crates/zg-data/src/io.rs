@@ -47,8 +47,8 @@ pub fn read_jsonl(r: &mut impl BufRead) -> io::Result<Dataset> {
     }
     let mut line = String::new();
     r.read_line(&mut line)?;
-    let header: Header = serde_json::from_str(&line)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let header: Header =
+        serde_json::from_str(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let mut records = Vec::with_capacity(header.n_records);
     line.clear();
     while r.read_line(&mut line)? > 0 {
@@ -126,8 +126,7 @@ pub fn dataset_stats(ds: &Dataset) -> DatasetStats {
         }
         features.push(FeatureStats {
             name,
-            numeric: (num_count > 0)
-                .then(|| (min, (sum / num_count.max(1) as f64) as f32, max)),
+            numeric: (num_count > 0).then(|| (min, (sum / num_count.max(1) as f64) as f32, max)),
             cardinality: (!cats.is_empty()).then_some(cats.len()),
         });
     }

@@ -21,8 +21,8 @@ mod auditing;
 mod behavior;
 mod calm;
 mod distress;
-mod io;
 mod income;
+mod io;
 mod record;
 mod sentiment;
 mod synth;
@@ -33,8 +33,8 @@ pub use calm::{
     all_datasets, australia, ccfraud, credit_card_fraud, default_sizes, german, travel_insurance,
 };
 pub use distress::{polish_distress, DEFAULT_SIZE as DISTRESS_DEFAULT_SIZE};
-pub use io::{dataset_stats, read_jsonl, write_jsonl, DatasetStats, FeatureStats};
 pub use income::{income_dataset, IncomeBucket, IncomeRecord};
+pub use io::{dataset_stats, read_jsonl, write_jsonl, DatasetStats, FeatureStats};
 pub use record::{Dataset, FeatureValue, Record, TaskKind};
 pub use sentiment::{sentiment_dataset, Sentiment, SentimentExample};
 pub use synth::{FeatureSpec, SynthSpec};

@@ -149,7 +149,11 @@ mod tests {
     #[test]
     fn positive_rate_matches_exactly_ish() {
         let d = demo_spec().generate(2000, 1);
-        assert!((d.positive_rate() - 0.3).abs() < 0.01, "{}", d.positive_rate());
+        assert!(
+            (d.positive_rate() - 0.3).abs() < 0.01,
+            "{}",
+            d.positive_rate()
+        );
     }
 
     #[test]
@@ -178,17 +182,17 @@ mod tests {
         // A one-split decision stump on the categorical feature must beat
         // chance by a margin, i.e. the planted signal exists.
         let d = demo_spec().generate(4000, 7);
-        let (late_pos, late_tot, clean_pos, clean_tot) = d.records.iter().fold(
-            (0usize, 0usize, 0usize, 0usize),
-            |(lp, lt, cp, ct), r| {
-                let late = matches!(&r.features[1].1, FeatureValue::Cat(s) if s == "late");
-                if late {
-                    (lp + r.label as usize, lt + 1, cp, ct)
-                } else {
-                    (lp, lt, cp + r.label as usize, ct + 1)
-                }
-            },
-        );
+        let (late_pos, late_tot, clean_pos, clean_tot) =
+            d.records
+                .iter()
+                .fold((0usize, 0usize, 0usize, 0usize), |(lp, lt, cp, ct), r| {
+                    let late = matches!(&r.features[1].1, FeatureValue::Cat(s) if s == "late");
+                    if late {
+                        (lp + r.label as usize, lt + 1, cp, ct)
+                    } else {
+                        (lp, lt, cp + r.label as usize, ct + 1)
+                    }
+                });
         let p_late = late_pos as f64 / late_tot as f64;
         let p_clean = clean_pos as f64 / clean_tot as f64;
         assert!(

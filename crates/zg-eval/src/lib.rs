@@ -14,9 +14,7 @@ mod lift;
 mod metrics;
 
 pub use bootstrap::{bootstrap_ci, Interval};
-pub use calibration::{
-    brier_score, expected_calibration_error, reliability_bins, ReliabilityBin,
-};
+pub use calibration::{brier_score, expected_calibration_error, reliability_bins, ReliabilityBin};
 pub use confusion::ConfusionMatrix;
 pub use ks::{ks_statistic, roc_auc};
 pub use lift::{gains_table, precision_at_k, recall_at_k, GainsBand};

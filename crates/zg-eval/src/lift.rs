@@ -23,7 +23,10 @@ pub struct GainsBand {
 /// Build a gains table with `n_bands` equal-size score-ordered bands.
 pub fn gains_table(scores: &[f64], labels: &[bool], n_bands: usize) -> Vec<GainsBand> {
     assert_eq!(scores.len(), labels.len());
-    assert!(n_bands >= 1 && scores.len() >= n_bands, "too few observations");
+    assert!(
+        n_bands >= 1 && scores.len() >= n_bands,
+        "too few observations"
+    );
     let total_pos = labels.iter().filter(|&&l| l).count();
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {

@@ -34,7 +34,11 @@ pub struct EvalResult {
 
 /// Evaluate binary predictions against labels.
 pub fn evaluate_binary(preds: &[Prediction], labels: &[bool]) -> EvalResult {
-    assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
+    assert_eq!(
+        preds.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
     assert!(!preds.is_empty(), "cannot evaluate zero examples");
     let n = preds.len();
     let mut cm = ConfusionMatrix::default();
@@ -107,7 +111,11 @@ pub fn evaluate_multiclass(
         } else {
             tp[c] as f64 / (tp[c] + fn_[c]) as f64
         };
-        f1_sum += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        f1_sum += if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
     }
     EvalResult {
         acc: correct as f64 / n as f64,

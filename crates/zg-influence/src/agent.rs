@@ -11,6 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::parallel::{par_map, ParallelConfig};
 use crate::tracin::CheckpointGrads;
 
 /// Logistic-regression agent model (bias folded in as the last weight).
@@ -180,6 +181,20 @@ pub fn agent_checkpoint_grads(
     train: &[(Vec<f32>, bool)],
     test: &[(Vec<f32>, bool)],
 ) -> Vec<CheckpointGrads> {
+    agent_checkpoint_grads_with(model, checkpoints, train, test, &ParallelConfig::serial())
+}
+
+/// [`agent_checkpoint_grads`] fanned across `par.workers` threads. The
+/// closed-form gradient is pure per sample, so results are bit-identical
+/// to serial for every worker count.
+pub fn agent_checkpoint_grads_with(
+    model: &AgentModel,
+    checkpoints: &[AgentCheckpoint],
+    train: &[(Vec<f32>, bool)],
+    test: &[(Vec<f32>, bool)],
+    par: &ParallelConfig,
+) -> Vec<CheckpointGrads> {
+    let workers = par.resolved_workers();
     let train_std: Vec<(Vec<f32>, bool)> = train
         .iter()
         .map(|(x, y)| (model.standardize(x), *y))
@@ -193,14 +208,12 @@ pub fn agent_checkpoint_grads(
         .map(|ck| CheckpointGrads {
             eta: ck.eta,
             time: ck.time,
-            train: train_std
-                .iter()
-                .map(|(x, y)| AgentModel::sample_gradient(&ck.weights, x, *y))
-                .collect(),
-            test: test_std
-                .iter()
-                .map(|(x, y)| AgentModel::sample_gradient(&ck.weights, x, *y))
-                .collect(),
+            train: par_map(&train_std, workers, |(x, y)| {
+                AgentModel::sample_gradient(&ck.weights, x, *y)
+            }),
+            test: par_map(&test_std, workers, |(x, y)| {
+                AgentModel::sample_gradient(&ck.weights, x, *y)
+            }),
         })
         .collect()
 }
@@ -270,8 +283,7 @@ mod tests {
         ys.push(false);
         let mut rng = StdRng::seed_from_u64(6);
         let (model, cks) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
-        let train: Vec<(Vec<f32>, bool)> =
-            xs.iter().cloned().zip(ys.iter().copied()).collect();
+        let train: Vec<(Vec<f32>, bool)> = xs.iter().cloned().zip(ys.iter().copied()).collect();
         let test = vec![(vec![0.9f32, -0.9], true)];
         let grads = agent_checkpoint_grads(&model, &cks, &train, &test);
         let scores =

@@ -9,6 +9,8 @@
 use zg_model::CausalLm;
 use zg_tensor::TensorStore;
 
+use crate::parallel::{par_map_init, ParallelConfig};
+use crate::sketch::{GradSplit, GradStore};
 use crate::tracin::CheckpointGrads;
 
 /// A tokenized training/test sample: `(input tokens, aligned labels)`,
@@ -69,6 +71,102 @@ pub fn lm_checkpoint_grads(
             time: ck.time,
             train: train.iter().map(|s| lm_sample_gradient(lm, s)).collect(),
             test: test.iter().map(|s| lm_sample_gradient(lm, s)).collect(),
+        });
+    }
+    lm.restore(&current);
+    out
+}
+
+/// [`lm_checkpoint_grads`] fanned across `par.workers` threads.
+///
+/// The autograd `Tensor` is `Rc`-based and not `Send`, so the model
+/// cannot be shared across threads; instead each worker builds its own
+/// replica via `make_lm` (architecture + tokenizer only — weights are
+/// overwritten) and receives the checkpoint snapshot as serialized ZGT1
+/// bytes. Gradients depend only on (weights, sample), so the result is
+/// **bit-identical** to the serial path for every worker count.
+pub fn lm_checkpoint_grads_with<F>(
+    make_lm: F,
+    checkpoints: &[LmCheckpoint],
+    train: &[TokenizedSample],
+    test: &[TokenizedSample],
+    par: &ParallelConfig,
+) -> Vec<CheckpointGrads>
+where
+    F: Fn() -> CausalLm + Sync,
+{
+    let workers = par.resolved_workers();
+    if workers <= 1 {
+        let lm = make_lm();
+        return lm_checkpoint_grads(&lm, checkpoints, train, test);
+    }
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for ck in checkpoints {
+        let mut blob = Vec::new();
+        ck.store
+            .write_to(&mut blob)
+            .expect("serialize checkpoint for worker threads");
+        let blob = &blob;
+        let make_lm = &make_lm;
+        let replica = || {
+            let lm = make_lm();
+            let store = TensorStore::read_from(&mut blob.as_slice())
+                .expect("deserialize checkpoint in worker");
+            lm.restore(&store);
+            lm
+        };
+        out.push(CheckpointGrads {
+            eta: ck.eta,
+            time: ck.time,
+            train: par_map_init(train, workers, replica, |lm, s| lm_sample_gradient(lm, s)),
+            test: par_map_init(test, workers, replica, |lm, s| lm_sample_gradient(lm, s)),
+        });
+    }
+    out
+}
+
+/// [`lm_checkpoint_grads`] backed by a [`GradStore`]: each
+/// `(checkpoint, sample)` gradient is computed at most once across every
+/// call sharing `store`, so γ-sweeps and repeated selection arms replay
+/// checkpoints for free after the first pass.
+///
+/// Cache keys use `checkpoint.time` — callers must give checkpoints
+/// distinct time indices (they already must for TracSeq decay to make
+/// sense). The model's current weights are restored on return.
+pub fn lm_checkpoint_grads_cached(
+    lm: &CausalLm,
+    checkpoints: &[LmCheckpoint],
+    train: &[TokenizedSample],
+    test: &[TokenizedSample],
+    store: &GradStore,
+) -> Vec<CheckpointGrads> {
+    let current = lm.checkpoint();
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for ck in checkpoints {
+        let mut restored = false;
+        let mut grads_for = |samples: &[TokenizedSample], split: GradSplit| -> Vec<Vec<f32>> {
+            samples
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    store
+                        .get_or_compute((ck.time, i, split), || {
+                            if !restored {
+                                lm.restore(&ck.store);
+                                restored = true;
+                            }
+                            lm_sample_gradient(lm, s)
+                        })
+                        .as_ref()
+                        .clone()
+                })
+                .collect()
+        };
+        out.push(CheckpointGrads {
+            eta: ck.eta,
+            time: ck.time,
+            train: grads_for(train, GradSplit::Train),
+            test: grads_for(test, GradSplit::Test),
         });
     }
     lm.restore(&current);
@@ -173,6 +271,73 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grads_bit_identical_to_serial() {
+        let lm = lora_lm(6);
+        let ck1 = lm.checkpoint();
+        for (name, p) in lm.trainable_params() {
+            if name.ends_with("lora_b") {
+                p.set_data(&vec![0.03; p.numel()]);
+            }
+        }
+        let ck2 = lm.checkpoint();
+        let cks = [
+            LmCheckpoint {
+                store: ck1,
+                eta: 0.1,
+                time: 0,
+            },
+            LmCheckpoint {
+                store: ck2,
+                eta: 0.05,
+                time: 1,
+            },
+        ];
+        let train: Vec<TokenizedSample> = (0..5)
+            .map(|i| (vec![1 + i, 5, 7, 3 + i], vec![5, 7, 3 + i, 2]))
+            .collect();
+        let test = vec![(vec![2u32, 6, 8], vec![6u32, 8, 2])];
+        let serial = lm_checkpoint_grads(&lm, &cks, &train, &test);
+        for workers in [2usize, 4] {
+            let par = lm_checkpoint_grads_with(
+                || lora_lm(6),
+                &cks,
+                &train,
+                &test,
+                &ParallelConfig::serial().with_workers(workers),
+            );
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.train, b.train, "workers={workers}");
+                assert_eq!(a.test, b.test, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_grads_match_and_hit_cache() {
+        let lm = lora_lm(7);
+        let cks = [LmCheckpoint {
+            store: lm.checkpoint(),
+            eta: 0.1,
+            time: 0,
+        }];
+        let train = vec![(vec![1u32, 5, 7], vec![5u32, 7, 2])];
+        let test = vec![(vec![2u32, 6, 8], vec![6u32, 8, 2])];
+        let store = GradStore::new();
+        let first = lm_checkpoint_grads_cached(&lm, &cks, &train, &test, &store);
+        assert_eq!(store.len(), 2, "one train + one test gradient cached");
+        assert_eq!(
+            first[0].train,
+            lm_checkpoint_grads(&lm, &cks, &train, &test)[0].train
+        );
+        // Second pass must be served from the cache (same store size) and
+        // agree exactly.
+        let second = lm_checkpoint_grads_cached(&lm, &cks, &train, &test, &store);
+        assert_eq!(store.len(), 2);
+        assert_eq!(first[0].train, second[0].train);
+        assert_eq!(first[0].test, second[0].test);
+    }
+
+    #[test]
     fn influence_pipeline_end_to_end() {
         // TracIn over LM gradients: a training sample identical to the test
         // sample should receive a higher score than an unrelated one.
@@ -180,7 +345,9 @@ mod tests {
         // Make adapters slightly non-trivial so gradients are informative.
         for (name, p) in lm.trainable_params() {
             if name.ends_with("lora_b") {
-                let d: Vec<f32> = (0..p.numel()).map(|i| 0.02 * ((i % 5) as f32 - 2.0)).collect();
+                let d: Vec<f32> = (0..p.numel())
+                    .map(|i| 0.02 * ((i % 5) as f32 - 2.0))
+                    .collect();
                 p.set_data(&d);
             }
         }

@@ -18,11 +18,7 @@ pub fn select_bottom_k(scores: &[f32], k: usize) -> Vec<usize> {
     rank_by(scores, k, |a, b| a.partial_cmp(&b).expect("finite scores"))
 }
 
-fn rank_by(
-    scores: &[f32],
-    k: usize,
-    cmp: impl Fn(f32, f32) -> std::cmp::Ordering,
-) -> Vec<usize> {
+fn rank_by(scores: &[f32], k: usize, cmp: impl Fn(f32, f32) -> std::cmp::Ordering) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     // Stable sort + index tiebreak keeps selection deterministic.
     idx.sort_by(|&a, &b| cmp(scores[a], scores[b]).then(a.cmp(&b)));
@@ -117,7 +113,10 @@ mod tests {
         // 30 pruned picks come from the top-30 ranked ids (0..30); random
         // picks span 0..1000.
         let from_top30 = mix.iter().filter(|&&i| i < 30).count();
-        assert!(from_top30 >= 30, "expected >= 30 high-influence, got {from_top30}");
+        assert!(
+            from_top30 >= 30,
+            "expected >= 30 high-influence, got {from_top30}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub fn self_influence_scores(checkpoints: &[CheckpointGrads], cfg: &TracConfig) 
 
 /// Indices of suspected mislabeled/memorized samples: the `k` highest
 /// self-influence scores, highest first.
-pub fn suspect_mislabeled(checkpoints: &[CheckpointGrads], cfg: &TracConfig, k: usize) -> Vec<usize> {
+pub fn suspect_mislabeled(
+    checkpoints: &[CheckpointGrads],
+    cfg: &TracConfig,
+    k: usize,
+) -> Vec<usize> {
     let scores = self_influence_scores(checkpoints, cfg);
     crate::select::select_top_k(&scores, k)
 }

@@ -35,7 +35,7 @@ pub struct CheckpointGrads {
 }
 
 impl CheckpointGrads {
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         let p = self
             .train
             .first()
@@ -81,7 +81,7 @@ impl TracConfig {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(
             self.gamma > 0.0 && self.gamma <= 1.0,
             "gamma must lie in (0, 1], got {}",
@@ -90,8 +90,31 @@ impl TracConfig {
     }
 }
 
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// The checkpoint decay factor `γ^(T − t_i)` from Eq. 1.
+pub(crate) fn checkpoint_weight(cfg: &TracConfig, ck_time: u32) -> f32 {
+    cfg.gamma
+        .powi(cfg.current_time.saturating_sub(ck_time) as i32)
+}
+
+/// Mean test gradient of one checkpoint — the trick that turns
+/// `n_train × n_test` dots into `n_train`: `Σ_test ⟨g, g'⟩ / n = ⟨g, mean g'⟩`.
+pub(crate) fn mean_test_gradient(ck: &CheckpointGrads) -> Vec<f32> {
+    let p = ck.test[0].len();
+    let mut mean = vec![0.0f32; p];
+    for g in &ck.test {
+        for (m, &v) in mean.iter_mut().zip(g) {
+            *m += v;
+        }
+    }
+    let inv = 1.0 / ck.test.len() as f32;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    mean
 }
 
 /// Influence of training sample `train_idx` on test sample `test_idx`
@@ -119,54 +142,22 @@ pub fn influence_pair(
 ///
 /// `sample_times[z]` is used only when `cfg.decay_samples` is set; pass
 /// `None` for non-sequential data.
+///
+/// This is the serial reference path — exactly
+/// [`influence_scores_with`](crate::influence_scores_with) at
+/// `ParallelConfig::serial()`; the parallel engine is bit-identical for
+/// every worker count.
 pub fn influence_scores(
     checkpoints: &[CheckpointGrads],
     cfg: &TracConfig,
     sample_times: Option<&[u32]>,
 ) -> Vec<f32> {
-    cfg.validate();
-    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
-    let n_train = checkpoints[0].train.len();
-    let n_test = checkpoints[0].test.len();
-    assert!(n_test > 0, "need at least one test sample");
-    for ck in checkpoints {
-        ck.validate();
-        assert_eq!(ck.train.len(), n_train, "train count differs across checkpoints");
-        assert_eq!(ck.test.len(), n_test, "test count differs across checkpoints");
-    }
-    if cfg.decay_samples {
-        let times = sample_times.expect("decay_samples requires sample_times");
-        assert_eq!(times.len(), n_train, "sample_times length mismatch");
-    }
-    let mut scores = vec![0.0f32; n_train];
-    for ck in checkpoints {
-        let ck_decay = cfg
-            .gamma
-            .powi(cfg.current_time.saturating_sub(ck.time) as i32);
-        // Mean test gradient lets us turn n_train × n_test dots into
-        // n_train dots: Σ_test ⟨g, g'⟩ / n = ⟨g, mean g'⟩.
-        let p = ck.test[0].len();
-        let mut mean_test = vec![0.0f32; p];
-        for g in &ck.test {
-            for (m, &v) in mean_test.iter_mut().zip(g) {
-                *m += v;
-            }
-        }
-        let inv = 1.0 / n_test as f32;
-        for m in &mut mean_test {
-            *m *= inv;
-        }
-        for (z, g) in ck.train.iter().enumerate() {
-            scores[z] += ck_decay * ck.eta * dot(g, &mean_test);
-        }
-    }
-    if cfg.decay_samples {
-        let times = sample_times.expect("checked above");
-        for (s, &t) in scores.iter_mut().zip(times) {
-            *s *= cfg.gamma.powi(cfg.current_time.saturating_sub(t) as i32);
-        }
-    }
-    scores
+    crate::parallel::influence_scores_with(
+        checkpoints,
+        cfg,
+        sample_times,
+        &crate::parallel::ParallelConfig::serial(),
+    )
 }
 
 #[cfg(test)]
@@ -216,7 +207,7 @@ mod tests {
     #[test]
     fn decay_downweights_old_checkpoints() {
         let cks = vec![
-            ck(0.1, 0, vec![vec![1.0]], vec![vec![1.0]]), // old
+            ck(0.1, 0, vec![vec![1.0]], vec![vec![1.0]]),  // old
             ck(0.1, 10, vec![vec![1.0]], vec![vec![1.0]]), // current
         ];
         let cfg = TracConfig {
@@ -265,19 +256,17 @@ mod tests {
 
     #[test]
     fn sample_decay_downweights_old_samples() {
-        let cks = vec![ck(
-            1.0,
-            3,
-            vec![vec![1.0], vec![1.0]],
-            vec![vec![1.0]],
-        )];
+        let cks = vec![ck(1.0, 3, vec![vec![1.0], vec![1.0]], vec![vec![1.0]])];
         let cfg = TracConfig {
             gamma: 0.5,
             current_time: 3,
             decay_samples: true,
         };
         let scores = influence_scores(&cks, &cfg, Some(&[0, 3]));
-        assert!(scores[1] > scores[0], "recent sample outranks old: {scores:?}");
+        assert!(
+            scores[1] > scores[0],
+            "recent sample outranks old: {scores:?}"
+        );
         assert!((scores[0] - 0.125).abs() < 1e-6); // 0.5^3
         assert!((scores[1] - 1.0).abs() < 1e-6);
     }

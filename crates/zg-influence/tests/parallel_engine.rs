@@ -1,0 +1,178 @@
+//! Integration tests for the parallel influence engine: worker-count
+//! determinism (bit-identical scores), sketch reproducibility, and
+//! top-K rank preservation under sketching.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zg_influence::{
+    influence_scores, influence_scores_with, select_top_k, CheckpointGrads, ParallelConfig,
+    Sketcher, TracConfig,
+};
+
+/// Unstructured random gradients (noise floor for determinism checks).
+fn synth_grads(
+    seed: u64,
+    n_ck: usize,
+    n_train: usize,
+    n_test: usize,
+    p: usize,
+) -> Vec<CheckpointGrads> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ck)
+        .map(|t| CheckpointGrads {
+            eta: rng.gen_range(0.01..0.2),
+            time: t as u32,
+            train: (0..n_train)
+                .map(|_| (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect(),
+            test: (0..n_test)
+                .map(|_| (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Structured gradients: every train gradient is `α_z · m + noise` where
+/// `m` is the shared test direction, so exact influence is ordered by
+/// `α_z` with a clear spread — the regime where sketched rankings must
+/// survive.
+fn structured_grads(seed: u64, n_train: usize, n_test: usize, p: usize) -> Vec<CheckpointGrads> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m: Vec<f32> = (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let train: Vec<Vec<f32>> = (0..n_train)
+        .map(|z| {
+            let alpha = -1.0 + 2.0 * z as f32 / n_train as f32;
+            m.iter()
+                .map(|&mv| alpha * mv + rng.gen_range(-0.3f32..0.3))
+                .collect()
+        })
+        .collect();
+    let test: Vec<Vec<f32>> = (0..n_test)
+        .map(|_| {
+            m.iter()
+                .map(|&mv| mv + rng.gen_range(-0.1f32..0.1))
+                .collect()
+        })
+        .collect();
+    vec![CheckpointGrads {
+        eta: 0.1,
+        time: 0,
+        train,
+        test,
+    }]
+}
+
+#[test]
+fn scores_bit_identical_across_worker_counts() {
+    let cks = synth_grads(42, 4, 403, 17, 96);
+    let cfg = TracConfig {
+        gamma: 0.9,
+        current_time: 3,
+        decay_samples: false,
+    };
+    let serial = influence_scores(&cks, &cfg, None);
+    for workers in [1usize, 2, 8] {
+        let scores = influence_scores_with(
+            &cks,
+            &cfg,
+            None,
+            &ParallelConfig::serial().with_workers(workers),
+        );
+        // Bit-identical: exact Vec<f32> equality, no tolerance.
+        assert_eq!(scores, serial, "workers={workers} diverged from serial");
+    }
+    // Auto (machine parallelism) is also exact.
+    let auto = influence_scores_with(&cks, &cfg, None, &ParallelConfig::auto());
+    assert_eq!(auto, serial);
+}
+
+#[test]
+fn decayed_sample_scores_bit_identical_across_worker_counts() {
+    let cks = synth_grads(7, 3, 211, 5, 32);
+    let times: Vec<u32> = (0..211).map(|z| (z % 4) as u32).collect();
+    let cfg = TracConfig {
+        gamma: 0.8,
+        current_time: 3,
+        decay_samples: true,
+    };
+    let serial = influence_scores(&cks, &cfg, Some(&times));
+    for workers in [2usize, 8] {
+        let scores = influence_scores_with(
+            &cks,
+            &cfg,
+            Some(&times),
+            &ParallelConfig::serial().with_workers(workers),
+        );
+        assert_eq!(
+            scores, serial,
+            "workers={workers} diverged with sample decay"
+        );
+    }
+}
+
+#[test]
+fn sketch_reproducible_across_runs_and_workers() {
+    let cks = synth_grads(9, 2, 100, 8, 128);
+    let cfg = TracConfig::tracin();
+    let par = ParallelConfig::serial()
+        .with_sketch(32)
+        .with_sketch_seed(77);
+    let a = influence_scores_with(&cks, &cfg, None, &par);
+    let b = influence_scores_with(&cks, &cfg, None, &par);
+    assert_eq!(a, b, "fixed sketch seed must reproduce exactly");
+    for workers in [2usize, 8] {
+        let c = influence_scores_with(&cks, &cfg, None, &par.with_workers(workers));
+        assert_eq!(a, c, "sketched scores must be worker-count independent");
+    }
+    // The projection itself is reproducible vector-by-vector too.
+    let g: Vec<f32> = (0..500).map(|i| (i as f32 * 0.37).sin()).collect();
+    assert_eq!(
+        Sketcher::new(64, 5).sketch_vec(&g),
+        Sketcher::new(64, 5).sketch_vec(&g)
+    );
+}
+
+#[test]
+fn sketched_top_30pct_overlaps_exact_at_least_90pct() {
+    // 200-sample seeded problem, p = 512 → sketch 256: the top-30% set
+    // selected from sketched scores must overlap the exact top-30% by
+    // ≥ 90% (the Lin et al. rank-preservation regime).
+    let n_train = 200;
+    let cks = structured_grads(1234, n_train, 10, 512);
+    let cfg = TracConfig::tracin();
+    let exact = influence_scores_with(&cks, &cfg, None, &ParallelConfig::serial());
+    let sketched =
+        influence_scores_with(&cks, &cfg, None, &ParallelConfig::serial().with_sketch(256));
+    assert_eq!(exact.len(), n_train);
+    let k = (n_train * 30) / 100; // top 30% = 60 samples
+    let top_exact: std::collections::HashSet<usize> = select_top_k(&exact, k).into_iter().collect();
+    let top_sketched: std::collections::HashSet<usize> =
+        select_top_k(&sketched, k).into_iter().collect();
+    let overlap = top_exact.intersection(&top_sketched).count();
+    assert!(
+        overlap * 10 >= k * 9,
+        "sketched top-{k} overlaps exact by only {overlap} (need >= {})",
+        k * 9 / 10
+    );
+}
+
+#[test]
+fn sketched_scores_approximate_exact_dots() {
+    // Beyond ranking: with a healthy sketch dim the scores themselves
+    // stay close in relative terms on structured data.
+    let cks = structured_grads(99, 50, 5, 256);
+    let cfg = TracConfig::tracin();
+    let exact = influence_scores(&cks, &cfg, None);
+    let sketched =
+        influence_scores_with(&cks, &cfg, None, &ParallelConfig::serial().with_sketch(128));
+    let scale = exact.iter().map(|s| s.abs()).fold(0.0f32, f32::max);
+    let max_err = exact
+        .iter()
+        .zip(&sketched)
+        .map(|(e, s)| (e - s).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_err < 0.5 * scale,
+        "sketched scores drifted: max_err {max_err} vs scale {scale}"
+    );
+}

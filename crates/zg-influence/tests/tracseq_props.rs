@@ -1,0 +1,150 @@
+//! Property tests for TracSeq invariants (paper Eq. 1–2):
+//!
+//! - γ = 1 with `decay_samples = false` reduces **exactly** to vanilla
+//!   TracInCP, for any `current_time` / checkpoint times.
+//! - Scores are linear in the step sizes η_i.
+//! - `select_top_k` / `select_bottom_k` agree with a naive sort oracle,
+//!   including ties (index tiebreak) and truncation.
+//! - The parallel engine is bit-identical to serial for arbitrary inputs
+//!   and worker counts.
+
+use proptest::prelude::*;
+use zg_influence::{
+    influence_scores, influence_scores_with, select_bottom_k, select_top_k, CheckpointGrads,
+    ParallelConfig, TracConfig,
+};
+
+/// Deterministically shape a flat pool of sampled floats into checkpoint
+/// gradients (sizes come from the same proptest case).
+fn shape_grads(
+    pool: &[f32],
+    n_ck: usize,
+    n_train: usize,
+    n_test: usize,
+    p: usize,
+) -> Vec<CheckpointGrads> {
+    let mut cursor = 0usize;
+    let mut next = || {
+        let v = pool[cursor % pool.len()];
+        cursor += 1;
+        v
+    };
+    (0..n_ck)
+        .map(|t| CheckpointGrads {
+            eta: 0.01 + 0.1 * ((t + 1) as f32),
+            time: t as u32,
+            train: (0..n_train)
+                .map(|_| (0..p).map(|_| next()).collect())
+                .collect(),
+            test: (0..n_test)
+                .map(|_| (0..p).map(|_| next()).collect())
+                .collect(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// γ = 1 (no checkpoint decay, no sample decay) is exactly vanilla
+    /// TracInCP — bit-equal, not approximately equal — regardless of the
+    /// nominal `current_time`.
+    #[test]
+    fn gamma_one_is_exactly_tracin(
+        pool in prop::collection::vec(-1.0f32..1.0, 16..200usize),
+        n_ck in 1..4usize,
+        n_train in 1..10usize,
+        n_test in 1..4usize,
+        p in 1..8usize,
+        current_time in 0u32..50,
+    ) {
+        let cks = shape_grads(&pool, n_ck, n_train, n_test, p);
+        let seq = TracConfig { gamma: 1.0, current_time, decay_samples: false };
+        let a = influence_scores(&cks, &seq, None);
+        let b = influence_scores(&cks, &TracConfig::tracin(), None);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scaling every η_i by `c` scales every score by `c` (to float
+    /// tolerance): influence is linear in the step sizes.
+    #[test]
+    fn scores_linear_in_eta(
+        pool in prop::collection::vec(-1.0f32..1.0, 16..200usize),
+        n_ck in 1..4usize,
+        n_train in 1..10usize,
+        n_test in 1..4usize,
+        p in 1..8usize,
+        c in 0.25f32..4.0,
+    ) {
+        let cks = shape_grads(&pool, n_ck, n_train, n_test, p);
+        let cfg = TracConfig { gamma: 0.9, current_time: 3, decay_samples: false };
+        let base = influence_scores(&cks, &cfg, None);
+        let scaled_cks: Vec<CheckpointGrads> = cks
+            .iter()
+            .map(|ck| CheckpointGrads { eta: ck.eta * c, ..ck.clone() })
+            .collect();
+        let scaled = influence_scores(&scaled_cks, &cfg, None);
+        for (s, b) in scaled.iter().zip(&base) {
+            let want = c * b;
+            prop_assert!(
+                (s - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                "eta scaling broke linearity: {} vs {}", s, want
+            );
+        }
+    }
+
+    /// Top-K selection agrees with a naive stable-sort oracle (descending
+    /// score, ascending index on ties) and bottom-K with its mirror.
+    #[test]
+    fn selection_matches_sort_oracle(
+        raw in prop::collection::vec(-5i32..5, 0..40usize),
+        k in 0..50usize,
+    ) {
+        // Integer-valued scores force plenty of exact ties.
+        let scores: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        let mut oracle: Vec<usize> = (0..scores.len()).collect();
+        oracle.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+        });
+        let kk = k.min(scores.len());
+        prop_assert_eq!(select_top_k(&scores, k), oracle[..kk].to_vec());
+        let mut oracle_bot: Vec<usize> = (0..scores.len()).collect();
+        oracle_bot.sort_by(|&a, &b| {
+            scores[a].partial_cmp(&scores[b]).unwrap().then(a.cmp(&b))
+        });
+        prop_assert_eq!(select_bottom_k(&scores, k), oracle_bot[..kk].to_vec());
+        // Dominance: every selected top score >= every unselected score.
+        let top = select_top_k(&scores, k);
+        let chosen: std::collections::HashSet<usize> = top.iter().copied().collect();
+        if let Some(&floor) = top.last() {
+            for i in 0..scores.len() {
+                if !chosen.contains(&i) {
+                    prop_assert!(scores[i] <= scores[floor]);
+                }
+            }
+        }
+    }
+
+    /// The parallel engine returns bit-identical scores to serial for any
+    /// input shape and worker count (chunk-ordered reduction).
+    #[test]
+    fn parallel_bit_identical_for_any_workers(
+        pool in prop::collection::vec(-1.0f32..1.0, 16..200usize),
+        n_ck in 1..3usize,
+        n_train in 1..24usize,
+        n_test in 1..4usize,
+        p in 1..10usize,
+        workers in 1..9usize,
+    ) {
+        let cks = shape_grads(&pool, n_ck, n_train, n_test, p);
+        let cfg = TracConfig { gamma: 0.85, current_time: 2, decay_samples: false };
+        let serial = influence_scores(&cks, &cfg, None);
+        let par = influence_scores_with(
+            &cks,
+            &cfg,
+            None,
+            &ParallelConfig::serial().with_workers(workers),
+        );
+        prop_assert_eq!(serial, par);
+    }
+}

@@ -24,11 +24,7 @@ fn normalize(s: &str) -> String {
 /// word occurrence of each candidate; if exactly one candidate occurs, it
 /// wins. Ambiguous or empty outputs are Misses.
 pub fn parse_answer(generated: &str, candidates: &[String]) -> Option<usize> {
-    let first_clause: &str = generated
-        .split(['\n', '.'])
-        .next()
-        .unwrap_or("")
-        .trim();
+    let first_clause: &str = generated.split(['\n', '.']).next().unwrap_or("").trim();
     let norm = normalize(first_clause);
     if norm.is_empty() {
         return None;
@@ -141,9 +137,6 @@ mod tests {
 
     #[test]
     fn repeated_same_candidate_not_ambiguous() {
-        assert_eq!(
-            parse_answer("yes yes yes", &cands(&["No", "Yes"])),
-            Some(1)
-        );
+        assert_eq!(parse_answer("yes yes yes", &cands(&["No", "Yes"])), Some(1));
     }
 }

@@ -110,7 +110,10 @@ pub fn render_sentiment(ex: &SentimentExample, id: usize) -> InstructExample {
     InstructExample {
         prompt: format!("{}\nQuestion: what is the sentiment? Answer:", ex.text),
         answer: ex.label.text().to_string(),
-        candidates: Sentiment::ALL.iter().map(|s| s.text().to_string()).collect(),
+        candidates: Sentiment::ALL
+            .iter()
+            .map(|s| s.text().to_string())
+            .collect(),
         dataset: "Sentiment".to_string(),
         record_id: id,
         label: None,

@@ -60,10 +60,7 @@ fn make_adapter(linear: &Linear, cfg: &LoraConfig, rng: &mut impl Rng) -> Adapte
     }
 }
 
-fn targeted<'a>(
-    projections: [&'a mut Linear; 4],
-    targets: &[TargetModule],
-) -> Vec<&'a mut Linear> {
+fn targeted<'a>(projections: [&'a mut Linear; 4], targets: &[TargetModule]) -> Vec<&'a mut Linear> {
     let [q, k, v, o] = projections;
     let mut out = Vec::new();
     // Preserve q/k/v/o order regardless of target order in the config.
@@ -125,7 +122,16 @@ pub fn merge(lm: &mut CausalLm) {
             let (fin, fout) = (linear.in_features(), linear.out_features());
             let rank = ad.a.dims()[1];
             let mut delta = vec![0.0f32; fin * fout];
-            gemm(false, false, fin, fout, rank, &ad.a.data(), &ad.b.data(), &mut delta);
+            gemm(
+                false,
+                false,
+                fin,
+                fout,
+                rank,
+                &ad.a.data(),
+                &ad.b.data(),
+                &mut delta,
+            );
             let mut w = linear.weight.data_mut();
             for (wv, dv) in w.iter_mut().zip(&delta) {
                 *wv += ad.scale * dv;

@@ -46,7 +46,11 @@ impl TransformerBlock {
         pos_offset: usize,
         cache: Option<&mut LayerKvCache>,
     ) -> Tensor {
-        let h = x.add(&self.attn.forward(&self.attn_norm.forward(x), rope, pos_offset, cache));
+        let h = x.add(
+            &self
+                .attn
+                .forward(&self.attn_norm.forward(x), rope, pos_offset, cache),
+        );
         h.add(&self.mlp.forward(&self.mlp_norm.forward(&h)))
     }
 

@@ -221,7 +221,10 @@ pub fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> u3
     }
     // Softmax with temperature, then inverse-CDF sampling.
     let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&l| ((l - m) / temperature).exp()).collect();
+    let exps: Vec<f32> = logits
+        .iter()
+        .map(|&l| ((l - m) / temperature).exp())
+        .collect();
     let z: f32 = exps.iter().sum();
     let mut u: f32 = rng.gen::<f32>() * z;
     for (i, &e) in exps.iter().enumerate() {
@@ -352,7 +355,10 @@ mod tests {
             p.set_data(&d);
         }
         let perturbed = lm.forward(&[1, 2, 3], 1, 3).to_vec();
-        assert!(before.iter().zip(&perturbed).any(|(a, b)| (a - b).abs() > 1e-3));
+        assert!(before
+            .iter()
+            .zip(&perturbed)
+            .any(|(a, b)| (a - b).abs() > 1e-3));
         lm.restore(&ckpt);
         let after = lm.forward(&[1, 2, 3], 1, 3).to_vec();
         for (a, b) in before.iter().zip(&after) {

@@ -84,10 +84,7 @@ mod tests {
         let x = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1], [1, 1, 4]);
         let y1 = mlp.forward(&x).to_vec();
         let y2 = mlp.forward(&x.mul_scalar(2.0)).to_vec();
-        let linear = y1
-            .iter()
-            .zip(&y2)
-            .all(|(a, b)| (2.0 * a - b).abs() < 1e-6);
+        let linear = y1.iter().zip(&y2).all(|(a, b)| (2.0 * a - b).abs() < 1e-6);
         assert!(!linear, "SwiGLU must not be linear");
     }
 }

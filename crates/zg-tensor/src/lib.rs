@@ -40,8 +40,8 @@ mod store;
 mod tensor;
 
 pub use gradcheck::{gradcheck, GradCheckReport};
+pub use init::randn_sample;
 pub use ops_matmul::gemm;
 pub use shape::{Shape, StridedIter};
 pub use store::TensorStore;
 pub use tensor::{grad_enabled, no_grad, Tensor};
-pub use init::randn_sample;

@@ -65,9 +65,7 @@ impl Tensor {
                     let yr = &y[o * len..(o + 1) * len];
                     let gr = &g[o * len..(o + 1) * len];
                     let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-                    for ((gx, &yi), &gi) in
-                        gx[o * len..(o + 1) * len].iter_mut().zip(yr).zip(gr)
-                    {
+                    for ((gx, &yi), &gi) in gx[o * len..(o + 1) * len].iter_mut().zip(yr).zip(gr) {
                         *gx = yi * (gi - dot);
                     }
                 }
@@ -107,9 +105,7 @@ impl Tensor {
                     let yr = &y[o * len..(o + 1) * len];
                     let gr = &g[o * len..(o + 1) * len];
                     let gsum: f32 = gr.iter().sum();
-                    for ((gx, &yi), &gi) in
-                        gx[o * len..(o + 1) * len].iter_mut().zip(yr).zip(gr)
-                    {
+                    for ((gx, &yi), &gi) in gx[o * len..(o + 1) * len].iter_mut().zip(yr).zip(gr) {
                         *gx = gi - yi.exp() * gsum;
                     }
                 }

@@ -7,11 +7,7 @@ use crate::tensor::Tensor;
 /// `f` computes the forward value; `df` computes the local derivative given
 /// `(input, output)` — passing the output lets activations like tanh and
 /// sigmoid reuse the forward result.
-fn unary_op(
-    x: &Tensor,
-    f: impl Fn(f32) -> f32,
-    df: impl Fn(f32, f32) -> f32 + 'static,
-) -> Tensor {
+fn unary_op(x: &Tensor, f: impl Fn(f32) -> f32, df: impl Fn(f32, f32) -> f32 + 'static) -> Tensor {
     let data: Vec<f32> = x.data().iter().map(|&v| f(v)).collect();
     let parent = x.clone();
     Tensor::from_op(
@@ -216,7 +212,11 @@ mod tests {
     #[test]
     fn scalar_arith() {
         let x = Tensor::param(vec![2.0], [1]);
-        let y = x.mul_scalar(3.0).add_scalar(1.0).sub_scalar(2.0).div_scalar(5.0);
+        let y = x
+            .mul_scalar(3.0)
+            .add_scalar(1.0)
+            .sub_scalar(2.0)
+            .div_scalar(5.0);
         assert!((y.item() - 1.0).abs() < 1e-6);
         y.sum().backward();
         assert!((x.grad().unwrap()[0] - 0.6).abs() < 1e-6);

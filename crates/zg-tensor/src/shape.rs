@@ -249,7 +249,9 @@ mod tests {
     #[test]
     fn broadcast_incompatible() {
         assert!(Shape::new(&[3]).broadcast(&Shape::new(&[4])).is_none());
-        assert!(Shape::new(&[2, 3]).broadcast(&Shape::new(&[3, 2])).is_none());
+        assert!(Shape::new(&[2, 3])
+            .broadcast(&Shape::new(&[3, 2]))
+            .is_none());
     }
 
     #[test]

@@ -144,9 +144,8 @@ impl BpeTokenizer {
         let mut bytes = Vec::new();
         for &id in ids {
             match id {
-                x if x == Special::Pad.id()
-                    || x == Special::Bos.id()
-                    || x == Special::Eos.id() => {}
+                x if x == Special::Pad.id() || x == Special::Bos.id() || x == Special::Eos.id() => {
+                }
                 _ => bytes.extend(self.token_bytes(id)),
             }
         }
@@ -238,8 +237,7 @@ mod tests {
 
     #[test]
     fn compression_reduces_token_count() {
-        let corpus: Vec<String> =
-            (0..50).map(|i| format!("Answer: Yes number {i}")).collect();
+        let corpus: Vec<String> = (0..50).map(|i| format!("Answer: Yes number {i}")).collect();
         let refs: Vec<&str> = corpus.iter().map(|s| &**s).collect();
         let tok = BpeTokenizer::train(&refs, 500);
         let text = "Answer: Yes number 7";

@@ -167,7 +167,13 @@ pub fn train_zigong(
             checkpoint_every: 0,
             ..cfg.train.clone()
         };
-        train_sft(&lm, &pretrain_samples, &pretrain_cfg, order, cfg.seed ^ 0x9BE);
+        train_sft(
+            &lm,
+            &pretrain_samples,
+            &pretrain_cfg,
+            order,
+            cfg.seed ^ 0x9BE,
+        );
     }
     attach(&mut lm, &cfg.lora, &mut rng);
     let report = train_sft(&lm, &samples, &cfg.train, order, cfg.seed ^ 0x7EA1);
@@ -183,8 +189,7 @@ pub fn run_table2(opts: &Table2Options) -> Table2 {
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
     // Per-dataset splits.
-    let splits: Vec<(Vec<&Record>, Vec<&Record>)> =
-        datasets.iter().map(|d| d.split(0.2)).collect();
+    let splits: Vec<(Vec<&Record>, Vec<&Record>)> = datasets.iter().map(|d| d.split(0.2)).collect();
 
     // ---- ZiGong training data: multi-task 70/30 pruned mix. ----
     let mut zigong_examples: Vec<InstructExample> = Vec::new();
@@ -193,7 +198,13 @@ pub fn run_table2(opts: &Table2Options) -> Table2 {
         // A slice of the *train* side acts as the influence dev set —
         // never the test records.
         let dev: Vec<&Record> = train.iter().copied().take(40).collect();
-        let mixed = pruned_mix_records(ds, train, &dev, opts.train_cap, opts.seed ^ ds.records.len() as u64);
+        let mixed = pruned_mix_records(
+            ds,
+            train,
+            &dev,
+            opts.train_cap,
+            opts.seed ^ ds.records.len() as u64,
+        );
         zigong_examples.extend(mixed.iter().map(|r| render_classification(ds, r)));
         // Ablation arm: plain balanced random of the same size.
         let plain = balanced_train_records(train, opts.train_cap, &mut rng);
@@ -307,9 +318,18 @@ pub fn run_table2(opts: &Table2Options) -> Table2 {
     });
 
     for (model, label) in [
-        (&mut base as &mut dyn CreditClassifier, "Base zero-shot (measured)"),
-        (&mut sft_random as &mut dyn CreditClassifier, "SFT-random (measured)"),
-        (&mut zigong as &mut dyn CreditClassifier, "ZiGong (measured)"),
+        (
+            &mut base as &mut dyn CreditClassifier,
+            "Base zero-shot (measured)",
+        ),
+        (
+            &mut sft_random as &mut dyn CreditClassifier,
+            "SFT-random (measured)",
+        ),
+        (
+            &mut zigong as &mut dyn CreditClassifier,
+            "ZiGong (measured)",
+        ),
     ] {
         let cells: Vec<Option<CellResult>> = eval_sets
             .iter()
@@ -368,7 +388,11 @@ pub fn render_table2(table: &Table2) -> String {
     let col_w = 26usize;
     out.push_str(&format!("{:<22}{:<8}", "Dataset", "Metric"));
     for row in &table.rows {
-        out.push_str(&format!("{:>w$}", truncate(&row.model, col_w - 2), w = col_w));
+        out.push_str(&format!(
+            "{:>w$}",
+            truncate(&row.model, col_w - 2),
+            w = col_w
+        ));
     }
     out.push('\n');
     for (di, ds) in table.datasets.iter().enumerate() {

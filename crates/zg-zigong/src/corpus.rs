@@ -68,8 +68,7 @@ pub fn tokenize_example(
     // labels[t] = tokens[t+1] for positions predicting the answer span.
     let mut labels = vec![Special::Pad.id(); tokens.len()];
     let first_supervised = answer_start.saturating_sub(1);
-    labels[first_supervised..tokens.len() - 1]
-        .copy_from_slice(&tokens[first_supervised + 1..]);
+    labels[first_supervised..tokens.len() - 1].copy_from_slice(&tokens[first_supervised + 1..]);
     Sample {
         tokens,
         labels,
@@ -96,9 +95,8 @@ pub fn tokenize_all(
 /// modeling objective used to simulate base-model pretraining.
 pub fn to_pretrain_sample(sample: &Sample) -> Sample {
     let mut labels = vec![Special::Pad.id(); sample.tokens.len()];
-    for t in 0..sample.tokens.len().saturating_sub(1) {
-        labels[t] = sample.tokens[t + 1];
-    }
+    let shifted = sample.tokens.len().saturating_sub(1);
+    labels[..shifted].copy_from_slice(&sample.tokens[1..]);
     Sample {
         tokens: sample.tokens.clone(),
         labels,
@@ -112,7 +110,11 @@ pub fn to_pretrain_sample(sample: &Sample) -> Sample {
 /// `<pad>` with `<pad>` labels (no loss).
 pub fn collate(samples: &[&Sample]) -> (Vec<u32>, Vec<u32>, usize, usize) {
     assert!(!samples.is_empty(), "empty batch");
-    let time = samples.iter().map(|s| s.tokens.len()).max().expect("non-empty");
+    let time = samples
+        .iter()
+        .map(|s| s.tokens.len())
+        .max()
+        .expect("non-empty");
     let batch = samples.len();
     let mut tokens = vec![Special::Pad.id(); batch * time];
     let mut labels = vec![Special::Pad.id(); batch * time];
@@ -159,7 +161,11 @@ mod tests {
             .collect();
         let text = t.decode(&supervised);
         assert_eq!(text.trim(), "Yes");
-        assert_eq!(*s.labels.last().unwrap(), 0, "final position predicts nothing");
+        assert_eq!(
+            *s.labels.last().unwrap(),
+            0,
+            "final position predicts nothing"
+        );
         // The label at the last supervised position is EOS.
         let eos_pos = s.labels.iter().rposition(|&l| l != 0).unwrap();
         assert_eq!(s.labels[eos_pos], Special::Eos.id());

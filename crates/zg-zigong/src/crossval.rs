@@ -89,7 +89,10 @@ mod tests {
                 seen[r.id] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each record in exactly one test fold");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each record in exactly one test fold"
+        );
     }
 
     #[test]

@@ -57,10 +57,7 @@ pub fn eval_items<'a>(ds: &Dataset, records: &[&'a Record]) -> Vec<EvalItem<'a>>
 
 /// Evaluate one classifier over items; answers are parsed with the shared
 /// Miss-aware parser.
-pub fn evaluate_classifier(
-    model: &mut dyn CreditClassifier,
-    items: &[EvalItem<'_>],
-) -> CellResult {
+pub fn evaluate_classifier(model: &mut dyn CreditClassifier, items: &[EvalItem<'_>]) -> CellResult {
     assert!(!items.is_empty(), "no evaluation items");
     let mut preds = Vec::with_capacity(items.len());
     let mut labels = Vec::with_capacity(items.len());

@@ -125,13 +125,20 @@ pub fn run_forgetting_study(setup: &ForgettingSetup<'_>) -> ForgettingResult {
         checkpoint_every: 0,
         ..cfg.train.clone()
     };
-    train_sft(&lm, &samples_a, &sft_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x22);
+    train_sft(
+        &lm,
+        &samples_a,
+        &sft_cfg,
+        TrainOrder::Shuffled,
+        cfg.seed ^ 0x22,
+    );
     let after_a = lm.checkpoint();
 
     let eval_task = |lm: &CausalLm, ds: &Dataset, records: &[&Record]| -> f64 {
         let model_lm = clone_like(lm, &tokenizer, cfg);
         model_lm.restore(&lm.checkpoint());
-        let mut wrapped = ZiGongModel::new(model_lm, tokenizer.clone(), cfg.train.max_seq_len, "fg");
+        let mut wrapped =
+            ZiGongModel::new(model_lm, tokenizer.clone(), cfg.train.max_seq_len, "fg");
         let items = eval_items(ds, records);
         evaluate_classifier(&mut wrapped, &items).eval.acc
     };
@@ -139,7 +146,13 @@ pub fn run_forgetting_study(setup: &ForgettingSetup<'_>) -> ForgettingResult {
 
     // Stage 2a: sequential — pure task B.
     let samples_b = tokenize_all(&tokenizer, &ex_b, cfg.train.max_seq_len);
-    train_sft(&lm, &samples_b, &sft_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x33);
+    train_sft(
+        &lm,
+        &samples_b,
+        &sft_cfg,
+        TrainOrder::Shuffled,
+        cfg.seed ^ 0x33,
+    );
     let acc_a_sequential = eval_task(&lm, setup.task_a, &setup.test_a);
     let acc_b_sequential = eval_task(&lm, setup.task_b, &setup.test_b);
 
@@ -153,7 +166,13 @@ pub fn run_forgetting_study(setup: &ForgettingSetup<'_>) -> ForgettingResult {
     hybrid.extend(replay_idx.iter().map(|&i| ex_a[i].clone()));
     hybrid.shuffle(&mut rng);
     let samples_h = tokenize_all(&tokenizer, &hybrid, cfg.train.max_seq_len);
-    train_sft(&lm, &samples_h, &sft_cfg, TrainOrder::Shuffled, cfg.seed ^ 0x55);
+    train_sft(
+        &lm,
+        &samples_h,
+        &sft_cfg,
+        TrainOrder::Shuffled,
+        cfg.seed ^ 0x55,
+    );
     let acc_a_hybrid = eval_task(&lm, setup.task_a, &setup.test_a);
     let acc_b_hybrid = eval_task(&lm, setup.task_b, &setup.test_b);
 
@@ -167,7 +186,11 @@ pub fn run_forgetting_study(setup: &ForgettingSetup<'_>) -> ForgettingResult {
 }
 
 /// Fresh LM with the same architecture (weights then restored by caller).
-fn clone_like(lm: &CausalLm, tokenizer: &zg_tokenizer::BpeTokenizer, cfg: &ZiGongConfig) -> CausalLm {
+fn clone_like(
+    lm: &CausalLm,
+    tokenizer: &zg_tokenizer::BpeTokenizer,
+    cfg: &ZiGongConfig,
+) -> CausalLm {
     let mut rng = StdRng::seed_from_u64(0);
     let mut model_cfg = cfg.model.clone();
     model_cfg.vocab_size = tokenizer.vocab_size();

@@ -41,8 +41,9 @@ pub use evaluator::{
 };
 pub use forgetting::{run_forgetting_study, ForgettingResult, ForgettingSetup};
 pub use pruning::{
-    agent_tracseq_scores, behavior_samples, fit_agent_sequential, hybrid_selection,
-    lm_tracseq_scores, split_behavior_by_user, BehaviorSample,
+    agent_tracseq_scores, agent_tracseq_scores_with, behavior_samples, fit_agent_sequential,
+    hybrid_selection, hybrid_selection_with, lm_tracseq_scores, lm_tracseq_scores_with,
+    split_behavior_by_user, BehaviorSample,
 };
 pub use replay::{calibrate, paper_table2, Calibration, OperatingPoint, ReplayBaseline};
 pub use trainer::{train_sft, TrainOrder, TrainReport};

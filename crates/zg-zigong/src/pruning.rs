@@ -8,9 +8,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use zg_data::{Dataset, Record};
 use zg_influence::{
-    agent_checkpoint_grads, hybrid_mix, influence_scores, lm_checkpoint_grads, select_top_k,
-    AgentCheckpoint, AgentModel, CheckpointGrads, LmCheckpoint, MixConfig, TokenizedSample,
-    TracConfig,
+    agent_checkpoint_grads_with, hybrid_mix, influence_scores_with, lm_checkpoint_grads,
+    lm_checkpoint_grads_with, select_top_k, AgentCheckpoint, AgentModel, CheckpointGrads,
+    LmCheckpoint, MixConfig, ParallelConfig, TokenizedSample, TracConfig,
 };
 use zg_model::CausalLm;
 
@@ -31,7 +31,10 @@ pub fn fit_agent_sequential(
 ) -> (AgentModel, Vec<AgentCheckpoint>) {
     assert!(!samples.is_empty(), "no samples");
     let d = samples[0].0.len();
-    assert!(samples.iter().all(|(x, _, _)| x.len() == d), "ragged features");
+    assert!(
+        samples.iter().all(|(x, _, _)| x.len() == d),
+        "ragged features"
+    );
     // Standardize over the full history.
     let n = samples.len() as f32;
     let mut mean = vec![0.0f32; d];
@@ -87,6 +90,9 @@ pub fn fit_agent_sequential(
 
 /// TracSeq influence scores for behavior samples via the agent model:
 /// sequential fit, per-period checkpoints, analytic gradients, Eq. 1 + 2.
+///
+/// Runs on all available cores ([`ParallelConfig::auto`]); the parallel
+/// engine is bit-identical to serial, so this changes wall-clock only.
 pub fn agent_tracseq_scores(
     train: &[BehaviorSample],
     test: &[(Vec<f32>, bool)],
@@ -94,10 +100,31 @@ pub fn agent_tracseq_scores(
     decay_samples: bool,
     seed: u64,
 ) -> Vec<f32> {
+    agent_tracseq_scores_with(
+        train,
+        test,
+        gamma,
+        decay_samples,
+        seed,
+        &ParallelConfig::auto(),
+    )
+}
+
+/// [`agent_tracseq_scores`] with explicit engine knobs: worker count and
+/// optional gradient sketching. The sequential SGD fit itself stays
+/// serial (it is inherently order-dependent and cheap); gradient
+/// expansion and scoring fan out across `par.workers`.
+pub fn agent_tracseq_scores_with(
+    train: &[BehaviorSample],
+    test: &[(Vec<f32>, bool)],
+    gamma: f32,
+    decay_samples: bool,
+    seed: u64,
+    par: &ParallelConfig,
+) -> Vec<f32> {
     let (model, ckpts) = fit_agent_sequential(train, 0.05, 1e-4, 2, seed);
-    let train_xy: Vec<(Vec<f32>, bool)> =
-        train.iter().map(|(x, y, _)| (x.clone(), *y)).collect();
-    let grads = agent_checkpoint_grads(&model, &ckpts, &train_xy, test);
+    let train_xy: Vec<(Vec<f32>, bool)> = train.iter().map(|(x, y, _)| (x.clone(), *y)).collect();
+    let grads = agent_checkpoint_grads_with(&model, &ckpts, &train_xy, test, par);
     let current_time = train.iter().map(|(_, _, t)| *t).max().unwrap_or(0);
     let times: Vec<u32> = train.iter().map(|(_, _, t)| *t).collect();
     let cfg = TracConfig {
@@ -105,7 +132,7 @@ pub fn agent_tracseq_scores(
         current_time,
         decay_samples,
     };
-    influence_scores(&grads, &cfg, Some(&times))
+    influence_scores_with(&grads, &cfg, Some(&times), par)
 }
 
 /// Extract `(features, label, period)` from behavior dataset records.
@@ -139,7 +166,39 @@ pub fn lm_tracseq_scores(
         current_time,
         decay_samples: false,
     };
-    influence_scores(&grads, &cfg, Some(train_times))
+    // Scoring may still fan out even though extraction used the borrowed
+    // single-threaded model (`Tensor` is not `Send`).
+    influence_scores_with(&grads, &cfg, Some(train_times), &ParallelConfig::auto())
+}
+
+/// [`lm_tracseq_scores`] through the parallel engine. Gradient extraction
+/// is the dominant cost, and the autograd `Tensor` is not `Send`, so
+/// callers supply `make_lm` — a factory producing a fresh model replica
+/// (same architecture; weights are overwritten from each checkpoint) —
+/// and every worker thread drives its own replica. Exact results are
+/// bit-identical to [`lm_tracseq_scores`]; `par.sketch_dim` additionally
+/// compresses gradients before scoring.
+pub fn lm_tracseq_scores_with<F>(
+    make_lm: F,
+    checkpoints: &[LmCheckpoint],
+    train: &[TokenizedSample],
+    train_times: &[u32],
+    test: &[TokenizedSample],
+    gamma: f32,
+    par: &ParallelConfig,
+) -> Vec<f32>
+where
+    F: Fn() -> CausalLm + Sync,
+{
+    let grads: Vec<CheckpointGrads> =
+        lm_checkpoint_grads_with(make_lm, checkpoints, train, test, par);
+    let current_time = train_times.iter().copied().max().unwrap_or(0);
+    let cfg = TracConfig {
+        gamma,
+        current_time,
+        decay_samples: false,
+    };
+    influence_scores_with(&grads, &cfg, Some(train_times), par)
 }
 
 /// End-to-end selection for a behavior dataset: score train records with
@@ -152,12 +211,27 @@ pub fn hybrid_selection(
     total: usize,
     seed: u64,
 ) -> Vec<usize> {
+    hybrid_selection_with(train, test, gamma, total, seed, &ParallelConfig::auto())
+}
+
+/// [`hybrid_selection`] with explicit parallel-engine knobs. The random
+/// 70% draw depends only on `seed`, so selections are reproducible for
+/// any `workers`; sketching perturbs the 30% influence-ranked head but
+/// preserves its top-K character (see the rank-preservation test).
+pub fn hybrid_selection_with(
+    train: &[&Record],
+    test: &[&Record],
+    gamma: f32,
+    total: usize,
+    seed: u64,
+    par: &ParallelConfig,
+) -> Vec<usize> {
     let train_s = behavior_samples(train);
     let test_s: Vec<(Vec<f32>, bool)> = test
         .iter()
         .map(|r| (r.numeric_features(), r.label))
         .collect();
-    let scores = agent_tracseq_scores(&train_s, &test_s, gamma, false, seed);
+    let scores = agent_tracseq_scores_with(&train_s, &test_s, gamma, false, seed, par);
     let ranked = select_top_k(&scores, train.len());
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
     hybrid_mix(
@@ -182,12 +256,7 @@ pub fn split_behavior_by_user(
         .expect("behavior dataset has users");
     let stride = (1.0 / test_user_fraction).round().max(2.0) as usize;
     let is_test = |u: usize| u % stride == stride - 1;
-    let max_period = ds
-        .records
-        .iter()
-        .filter_map(|r| r.time)
-        .max()
-        .unwrap_or(0);
+    let max_period = ds.records.iter().filter_map(|r| r.time).max().unwrap_or(0);
     let train: Vec<&Record> = ds
         .records
         .iter()
@@ -314,13 +383,11 @@ mod tests {
             let xs: Vec<Vec<f32>> = idx.iter().map(|&i| train_s[i].0.clone()).collect();
             let ys: Vec<bool> = idx.iter().map(|&i| train_s[i].1).collect();
             let mut rng = StdRng::seed_from_u64(12);
-            let (m, _) = AgentModel::fit(
-                &xs,
-                &ys,
-                &zg_influence::AgentConfig::default(),
-                &mut rng,
-            );
-            let probs: Vec<f64> = test_s.iter().map(|(x, _)| m.predict_proba(x) as f64).collect();
+            let (m, _) = AgentModel::fit(&xs, &ys, &zg_influence::AgentConfig::default(), &mut rng);
+            let probs: Vec<f64> = test_s
+                .iter()
+                .map(|(x, _)| m.predict_proba(x) as f64)
+                .collect();
             let labels: Vec<bool> = test_s.iter().map(|(_, y)| *y).collect();
             zg_eval::roc_auc(&probs, &labels)
         };

@@ -229,7 +229,7 @@ mod tests {
         let samples = tokenize_all(&tok, &examples, 64);
         let lm = toy_lm(tok.vocab_size(), 1);
         let cfg = TrainConfig {
-            epochs: 6,
+            epochs: 10,
             ..train_cfg()
         };
         let report = train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 2);

@@ -15,8 +15,12 @@ use zigong::zigong::{
 
 fn report(name: &str, ds: &zigong::data::Dataset) {
     let (train, test) = ds.split(0.25);
-    println!("== {name}: {} train / {} test, positive rate {:.1}% ==",
-        train.len(), test.len(), ds.positive_rate() * 100.0);
+    println!(
+        "== {name}: {} train / {} test, positive rate {:.1}% ==",
+        train.len(),
+        test.len(),
+        ds.positive_rate() * 100.0
+    );
     println!("sample: {}\n", ds.records[0].feature_text());
 
     let items = eval_items(ds, &test);
@@ -24,7 +28,10 @@ fn report(name: &str, ds: &zigong::data::Dataset) {
     let re = evaluate_classifier(&mut expert, &items);
     let mut majority = MajorityClass::fit(&train);
     let rm = evaluate_classifier(&mut majority, &items);
-    println!("expert   acc={:.3} f1={:.3} ks={:.3} auc={:.3}", re.eval.acc, re.eval.f1, re.ks, re.auc);
+    println!(
+        "expert   acc={:.3} f1={:.3} ks={:.3} auc={:.3}",
+        re.eval.acc, re.eval.f1, re.ks, re.auc
+    );
     println!("majority acc={:.3} f1={:.3}", rm.eval.acc, rm.eval.f1);
 
     // Gains table over the expert's scores — how much review effort finds

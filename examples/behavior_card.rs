@@ -9,9 +9,7 @@
 //! ```
 
 use zigong::data::{behavior_sequences, BehaviorConfig};
-use zigong::zigong::{
-    split_behavior_by_user, BehaviorCardService, LogisticExpert,
-};
+use zigong::zigong::{split_behavior_by_user, BehaviorCardService, LogisticExpert};
 
 fn main() {
     // Historical behavior data for model building.
@@ -46,7 +44,11 @@ fn main() {
             "user {:>3}  risk={:.3}  {}  reasons: {}",
             record.user.expect("behavior records carry users"),
             decision.risk_score,
-            if decision.approved { "APPROVED" } else { "DECLINED" },
+            if decision.approved {
+                "APPROVED"
+            } else {
+                "DECLINED"
+            },
             decision.reasons.join(" | ")
         );
     }
@@ -68,7 +70,11 @@ fn main() {
 
     // Audit trail (regulatory traceability).
     let log = service.audit_log();
-    println!("\naudit log: {} entries; last entry: {:?}", log.len(), log.last().expect("non-empty"));
+    println!(
+        "\naudit log: {} entries; last entry: {:?}",
+        log.len(),
+        log.last().expect("non-empty")
+    );
 
     // Decision quality against ground truth (for monitoring dashboards).
     let declined_correctly = incoming

@@ -7,9 +7,7 @@
 //! ```
 
 use zigong::data::ccfraud;
-use zigong::zigong::{
-    eval_items, evaluate_classifier, LogisticExpert, MajorityClass, RandomGuess,
-};
+use zigong::zigong::{eval_items, evaluate_classifier, LogisticExpert, MajorityClass, RandomGuess};
 
 fn main() {
     let ds = ccfraud(4000, 7);

@@ -44,10 +44,12 @@ fn main() {
         let ex = render_income(rec);
         let answer = model.generate_answer(&ex.prompt, 6);
         preds.push(parse_answer(&answer, &candidates));
-        labels.push(IncomeBucket::ALL
-            .iter()
-            .position(|b| *b == rec.bucket())
-            .expect("bucket present"));
+        labels.push(
+            IncomeBucket::ALL
+                .iter()
+                .position(|b| *b == rec.bucket())
+                .expect("bucket present"),
+        );
     }
     let r = evaluate_multiclass(&preds, &labels, 3);
     println!(

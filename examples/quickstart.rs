@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zigong::data::german;
-use zigong::instruct::render_classification;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use zigong::data::german;
+use zigong::instruct::render_classification;
 use zigong::zigong::{
     balanced_train_records, eval_items, evaluate_classifier, train_zigong, MajorityClass,
     TrainOrder, ZiGongConfig,

@@ -10,9 +10,7 @@
 use zigong::data::{german, sentiment_dataset, Sentiment};
 use zigong::eval::evaluate_multiclass;
 use zigong::instruct::{parse_answer, render_classification, render_sentiment};
-use zigong::zigong::{
-    eval_items, evaluate_classifier, train_zigong, TrainOrder, ZiGongConfig,
-};
+use zigong::zigong::{eval_items, evaluate_classifier, train_zigong, TrainOrder, ZiGongConfig};
 
 fn main() {
     // Joint corpus: 150 sentiment + 150 credit instructions.
@@ -59,7 +57,12 @@ fn main() {
         let ex = render_sentiment(e, i);
         let out = model.generate_answer(&ex.prompt, 6);
         preds.push(parse_answer(&out, &candidates));
-        labels.push(Sentiment::ALL.iter().position(|s| *s == e.label).expect("label"));
+        labels.push(
+            Sentiment::ALL
+                .iter()
+                .position(|s| *s == e.label)
+                .expect("label"),
+        );
     }
     let rs = evaluate_multiclass(&preds, &labels, 3);
     println!(

@@ -6,7 +6,8 @@ use zigong::data::{behavior_sequences, german, BehaviorConfig};
 use zigong::instruct::render_classification;
 use zigong::model::ModelConfig;
 use zigong::zigong::{
-    eval_items, evaluate_classifier, split_behavior_by_user, train_zigong, BehaviorCardService, LogisticExpert, TrainOrder, ZiGongConfig,
+    eval_items, evaluate_classifier, split_behavior_by_user, train_zigong, BehaviorCardService,
+    LogisticExpert, TrainOrder, ZiGongConfig,
 };
 
 /// A toy-but-real SFT config that trains in a few seconds.
@@ -95,11 +96,18 @@ fn behavior_card_serves_trained_zigong() {
         .take(80)
         .map(|r| render_classification(&ds, r))
         .collect();
-    let (model, _) = train_zigong(&examples, &smoke_config(5), TrainOrder::Chronological, "svc");
+    let (model, _) = train_zigong(
+        &examples,
+        &smoke_config(5),
+        TrainOrder::Chronological,
+        "svc",
+    );
     let mut service = BehaviorCardService::new(model, &ds, 0.5);
     let decisions = service.score_batch(&incoming);
     assert_eq!(decisions.len(), incoming.len());
-    assert!(decisions.iter().all(|d| (0.0..=1.0).contains(&d.risk_score)));
+    assert!(decisions
+        .iter()
+        .all(|d| (0.0..=1.0).contains(&d.risk_score)));
     assert_eq!(service.audit_log().len(), incoming.len());
 }
 

@@ -76,14 +76,7 @@ fn lm_checkpoint_tracseq_end_to_end() {
         .map(|s| (s.tokens.clone(), s.labels.clone()))
         .collect();
     let times: Vec<u32> = samples.iter().map(|s| s.time.unwrap_or(0)).collect();
-    let scores = lm_tracseq_scores(
-        &lm,
-        &report.checkpoints,
-        &train_tok,
-        &times,
-        &test_tok,
-        0.9,
-    );
+    let scores = lm_tracseq_scores(&lm, &report.checkpoints, &train_tok, &times, &test_tok, 0.9);
     assert_eq!(scores.len(), train_tok.len());
     assert!(scores.iter().all(|s| s.is_finite()));
     assert!(

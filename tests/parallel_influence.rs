@@ -1,0 +1,152 @@
+//! End-to-end determinism of the parallel influence engine through the
+//! full pruning pipeline: agent TracSeq scores, hybrid selection, and
+//! LM-gradient TracSeq must be bit-identical for every worker count.
+
+use zigong::data::{behavior_sequences, BehaviorConfig};
+use zigong::influence::{LmCheckpoint, ParallelConfig};
+use zigong::lora::{attach, LoraConfig};
+use zigong::model::{CausalLm, ModelConfig};
+use zigong::zigong::{
+    agent_tracseq_scores, agent_tracseq_scores_with, behavior_samples, hybrid_selection_with,
+    lm_tracseq_scores, lm_tracseq_scores_with, split_behavior_by_user,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type TrainSamples = Vec<(Vec<f32>, bool, u32)>;
+type TestSamples = Vec<(Vec<f32>, bool)>;
+
+fn behavior_fixture() -> (TrainSamples, TestSamples) {
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: 120,
+            periods: 5,
+            persistence: 0.6,
+            noise_std: 0.4,
+            positive_rate: 0.3,
+        },
+        21,
+    );
+    let (train, test) = split_behavior_by_user(&ds, 0.2);
+    let train_s = behavior_samples(&train);
+    let test_s: Vec<(Vec<f32>, bool)> = test
+        .iter()
+        .map(|r| (r.numeric_features(), r.label))
+        .collect();
+    (train_s, test_s)
+}
+
+#[test]
+fn agent_pipeline_scores_identical_for_workers_1_2_8() {
+    let (train_s, test_s) = behavior_fixture();
+    let reference =
+        agent_tracseq_scores_with(&train_s, &test_s, 0.9, false, 5, &ParallelConfig::serial());
+    for workers in [1usize, 2, 8] {
+        let scores = agent_tracseq_scores_with(
+            &train_s,
+            &test_s,
+            0.9,
+            false,
+            5,
+            &ParallelConfig::serial().with_workers(workers),
+        );
+        assert_eq!(scores, reference, "workers={workers}");
+    }
+    // The default entry point (auto parallelism) is the same scores.
+    assert_eq!(
+        agent_tracseq_scores(&train_s, &test_s, 0.9, false, 5),
+        reference
+    );
+}
+
+#[test]
+fn hybrid_selection_identical_for_any_workers() {
+    let ds = behavior_sequences(
+        &BehaviorConfig {
+            n_users: 90,
+            periods: 5,
+            persistence: 0.6,
+            noise_std: 0.4,
+            positive_rate: 0.3,
+        },
+        31,
+    );
+    let (train, test) = split_behavior_by_user(&ds, 0.2);
+    let serial = hybrid_selection_with(&train, &test, 0.9, 150, 7, &ParallelConfig::serial());
+    for workers in [2usize, 8] {
+        let sel = hybrid_selection_with(
+            &train,
+            &test,
+            0.9,
+            150,
+            7,
+            &ParallelConfig::serial().with_workers(workers),
+        );
+        assert_eq!(sel, serial, "workers={workers}");
+    }
+    assert_eq!(serial.len(), 150);
+}
+
+fn tiny_lora_lm(seed: u64) -> CausalLm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfg = ModelConfig::mistral_miniature(24);
+    cfg.n_layers = 1;
+    cfg.d_model = 16;
+    cfg.n_heads = 2;
+    cfg.n_kv_heads = 1;
+    cfg.d_ff = 32;
+    let mut lm = CausalLm::new(cfg, &mut rng);
+    attach(
+        &mut lm,
+        &LoraConfig {
+            rank: 2,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    lm
+}
+
+#[test]
+fn lm_pipeline_scores_identical_serial_vs_parallel() {
+    let lm = tiny_lora_lm(3);
+    let ck1 = lm.checkpoint();
+    for (name, p) in lm.trainable_params() {
+        if name.ends_with("lora_b") {
+            p.set_data(&vec![0.04; p.numel()]);
+        }
+    }
+    let ck2 = lm.checkpoint();
+    let checkpoints = [
+        LmCheckpoint {
+            store: ck1,
+            eta: 0.1,
+            time: 0,
+        },
+        LmCheckpoint {
+            store: ck2,
+            eta: 0.05,
+            time: 1,
+        },
+    ];
+    let train: Vec<(Vec<u32>, Vec<u32>)> = (0..6)
+        .map(|i| (vec![1 + i, 5, 7, 3], vec![5, 7, 3, 2]))
+        .collect();
+    let times: Vec<u32> = (0..6).map(|i| i % 2).collect();
+    let test = vec![(vec![2u32, 6, 8], vec![6u32, 8, 2])];
+
+    let serial = lm_tracseq_scores(&lm, &checkpoints, &train, &times, &test, 0.9);
+    for workers in [2usize, 4] {
+        let par = lm_tracseq_scores_with(
+            || tiny_lora_lm(3),
+            &checkpoints,
+            &train,
+            &times,
+            &test,
+            0.9,
+            &ParallelConfig::serial().with_workers(workers),
+        );
+        assert_eq!(par, serial, "workers={workers}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline vendored stand-in for the `criterion` API surface this
+//! workspace's benches use (vendor/README.md): `Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples of an adaptively chosen iteration batch
+//! (targeting ~50ms per sample), and reports min/median/mean per
+//! iteration. Honest wall-clock timing, none of criterion's
+//! statistics. When `--bench` filters are passed on the command line
+//! (cargo does this), only matching benchmark names run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; measurement here re-times each
+/// routine call individually, so the hint is accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One recorded benchmark result (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub name: String,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub samples: usize,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes "--bench" plus any user filter strings.
+        let filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            filters,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(name) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples_wanted: self.sample_size,
+            per_iter_ns: Vec::new(),
+        };
+        body(&mut bencher);
+        let mut ns = bencher.per_iter_ns;
+        if ns.is_empty() {
+            return self;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let record = BenchRecord {
+            name: name.to_string(),
+            min_ns: ns[0],
+            median_ns: ns[ns.len() / 2],
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+            samples: ns.len(),
+        };
+        println!(
+            "{:<44} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            record.name,
+            fmt_ns(record.min_ns),
+            fmt_ns(record.median_ns),
+            fmt_ns(record.mean_ns),
+            record.samples
+        );
+        self.records.push(record);
+        self
+    }
+
+    /// Results recorded so far (used by benches that post-process
+    /// timings, e.g. to write JSON artifacts).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Start a named group; member benchmarks report as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks (criterion's
+/// `BenchmarkGroup`): delegates to the parent `Criterion` with the
+/// group name prefixed onto each member.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, body);
+        self
+    }
+
+    /// Criterion requires an explicit `finish`; measurement here is
+    /// already flushed per bench, so this only consumes the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+pub struct Bencher {
+    samples_wanted: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` adaptively: calibrate a batch count targeting
+    /// ~50ms, then record `samples_wanted` timed batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(50);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.samples_wanted {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            self.per_iter_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Batched form: `setup` output feeds `routine`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples_wanted {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Mirror of criterion's group macro: builds `fn $group_name()` that
+/// runs each target against the configured `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of criterion's main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1000", |b| {
+            b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+        });
+        c.bench_function("batched_reverse", |b| {
+            b.iter_batched(
+                || (0..100u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn groups_prefix_member_names() {
+        let mut c = Criterion::default().sample_size(2);
+        c.filters.clear();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(format!("n{}", 32), |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].name, "grp/n32");
+    }
+
+    #[test]
+    fn records_timings() {
+        let mut c = Criterion::default().sample_size(5);
+        c.filters.clear(); // test harness args are not bench filters
+        sample_bench(&mut c);
+        assert_eq!(c.records().len(), 2);
+        for r in c.records() {
+            assert!(r.min_ns > 0.0 && r.min_ns <= r.mean_ns * 1.5);
+            assert_eq!(r.samples, 5);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline vendored stand-in for `crossbeam`'s scoped threads
+//! (vendor/README.md), implemented over `std::thread::scope` (stable
+//! since Rust 1.63). The crossbeam 0.8 `thread::scope` API returns
+//! `Result` and the scope hands out `ScopedJoinHandle`s whose `join`
+//! also returns `Result`; both are mirrored here so call sites read
+//! identically with the real crate.
+
+pub mod thread {
+    use std::thread::Scope as StdScope;
+    use std::thread::ScopedJoinHandle as StdHandle;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope StdScope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: StdHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Join the thread. `Err` carries the thread's panic payload,
+        /// like crossbeam.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before `scope` returns. The outer
+    /// `Result` mirrors crossbeam (Err = some unjoined child panicked —
+    /// std::thread::scope propagates those panics instead, so here it
+    /// is always `Ok`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join_in_order() {
+        let data = [1u64, 2, 3, 4];
+        let chunks: Vec<&[u64]> = data.chunks(2).collect();
+        let sums = super::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|c| s.spawn(move || c.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<u64>>()
+        })
+        .expect("scope ok");
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

@@ -1,0 +1,456 @@
+//! Offline vendored stand-in for the parts of `proptest` this
+//! workspace uses (vendor/README.md).
+//!
+//! Design: a [`Strategy`] is anything that can generate a value from a
+//! deterministic RNG. The [`proptest!`] macro expands each property fn
+//! into a `#[test]` that seeds an RNG from the test's name and runs
+//! `config.cases` generated cases; `prop_assert!`/`prop_assert_eq!`
+//! fail the case with a message carrying the case number. There is no
+//! shrinking — a failing case prints its inputs via the assertion
+//! message instead.
+//!
+//! Supported strategies: integer/float ranges, `any::<T>()` for
+//! primitives, `prop::collection::vec`, and string-literal patterns
+//! restricted to the regex subset `unit{m,n}` where unit is `\PC`
+//! (printable non-control), a `[...]` class of chars and `a-z` ranges,
+//! or a literal char.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub use rand::SeedableRng;
+
+/// The RNG handed to strategies (deterministic per test).
+pub type TestRng = StdRng;
+
+/// FNV-1a — stable seed derivation from a test name.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Value generator.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(-1e6f32..1e6)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(-1e12f64..1e12)
+    }
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- string pattern strategies ----------------------------------------
+
+enum CharClass {
+    /// `\PC`: any printable (non-control) char.
+    Printable,
+    /// `[...]`: explicit chars and inclusive ranges.
+    Set(Vec<(char, char)>),
+    /// A literal char.
+    Literal(char),
+}
+
+struct PatternUnit {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+fn sample_printable(rng: &mut TestRng) -> char {
+    // Mix of ASCII, Latin/Greek, CJK, and symbols — all non-control,
+    // exercising 1–4 byte UTF-8.
+    let bucket = rng.gen_range(0..100u32);
+    let c = match bucket {
+        0..=69 => rng.gen_range(0x20u32..0x7F),
+        70..=84 => rng.gen_range(0xA0u32..0x250),
+        85..=94 => rng.gen_range(0x4E00u32..0x9FFF),
+        _ => rng.gen_range(0x1F300u32..0x1F5FF),
+    };
+    char::from_u32(c).expect("ranges avoid surrogates")
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternUnit> {
+    let mut chars = pattern.chars().peekable();
+    let mut units = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let prop = chars.next();
+                    assert_eq!(
+                        prop,
+                        Some('C'),
+                        "proptest stub: only \\PC is supported, got \\P{prop:?}"
+                    );
+                    CharClass::Printable
+                }
+                Some(escaped) => CharClass::Literal(escaped),
+                None => panic!("proptest stub: dangling backslash in {pattern:?}"),
+            },
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next().unwrap_or_else(|| {
+                                    panic!("proptest stub: bad range in {pattern:?}")
+                                });
+                                assert!(hi != ']', "proptest stub: bad range in {pattern:?}");
+                                set.push((lo, hi));
+                            } else {
+                                set.push((lo, lo));
+                            }
+                        }
+                        None => panic!("proptest stub: unterminated [ in {pattern:?}"),
+                    }
+                }
+                CharClass::Set(set)
+            }
+            other => CharClass::Literal(other),
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("pattern repeat min"),
+                    n.trim().parse().expect("pattern repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("pattern repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        units.push(PatternUnit { class, min, max });
+    }
+    units
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let units = parse_pattern(self);
+        let mut out = String::new();
+        for unit in &units {
+            let count = rng.gen_range(unit.min..=unit.max);
+            for _ in 0..count {
+                match &unit.class {
+                    CharClass::Printable => out.push(sample_printable(rng)),
+                    CharClass::Literal(c) => out.push(*c),
+                    CharClass::Set(set) => {
+                        let (lo, hi) = set[rng.gen_range(0..set.len())];
+                        let c = rng.gen_range(lo as u32..=hi as u32);
+                        out.push(char::from_u32(c).expect("valid class range"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- collections -------------------------------------------------------
+
+/// Sizes acceptable to `collection::vec`: a fixed len, a range, or an
+/// inclusive range.
+pub trait IntoSizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, VecStrategy};
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = ($cfg:expr)
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng: $crate::TestRng =
+                    <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(
+                        $crate::seed_of(stringify!($name)),
+                    );
+                for case in 0..config.cases {
+                    $(let $parm = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The property-test macro: each fn inside becomes a `#[test]` running
+/// `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5f64..5.0, n in 1..10usize) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<bool>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn fixed_len_vec(v in prop::collection::vec(0..100usize, 5)) {
+            prop_assert_eq!(v.len(), 5);
+            for x in &v {
+                prop_assert!(*x < 100);
+            }
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z ]{1,40}", t in "\\PC{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 40);
+            prop_assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 20);
+            prop_assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = <crate::TestRng as crate::SeedableRng>::seed_from_u64(crate::seed_of("x"));
+        let mut b = <crate::TestRng as crate::SeedableRng>::seed_from_u64(crate::seed_of("x"));
+        let sa = "\\PC{0,50}".generate(&mut a);
+        let sb = "\\PC{0,50}".generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

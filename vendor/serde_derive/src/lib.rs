@@ -1,0 +1,434 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the serde stub (vendor/README.md). Implemented directly on
+//! `proc_macro` tokens — no `syn`/`quote` available offline.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - named-field structs, optionally with lifetime-only generics;
+//! - enums with unit and tuple variants (externally tagged, like real
+//!   serde: `"Variant"`, `{"Variant": v}`, `{"Variant": [v0, v1]}`);
+//! - the `#[serde(skip)]` field attribute (omit on serialize,
+//!   `Default::default()` on deserialize).
+//!
+//! Anything else (tuple structs, struct variants, type-parameter
+//! generics) panics with a clear message at expansion time rather than
+//! emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        generics: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consume attributes (`#[...]`), returning whether any was
+/// `#[serde(skip)]`-ish.
+fn eat_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let mut inner = g.stream().into_iter();
+                        if let Some(TokenTree::Ident(id)) = inner.next() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.next() {
+                                    let txt = args.stream().to_string();
+                                    if txt.split(',').any(|a| a.trim().starts_with("skip")) {
+                                        skip = true;
+                                    } else {
+                                        panic!(
+                                            "serde stub derive: unsupported serde attribute \
+                                             #[serde({txt})] — only `skip` is implemented"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    other => panic!("serde stub derive: malformed attribute near {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consume a visibility qualifier if present (`pub`, `pub(crate)`, ...).
+fn eat_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens of one type expression: everything up to a comma at
+/// angle-bracket depth zero. Parens/brackets are `Group`s, so only `<>`
+/// need explicit depth tracking.
+fn eat_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut iter);
+        eat_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected ':' after field, got {other:?}"),
+        }
+        eat_type(&mut iter);
+        fields.push(Field { name, skip });
+        // Trailing comma (or end).
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                iter.next();
+                // Count top-level type slots inside the parens.
+                let mut inner = stream.into_iter().peekable();
+                let mut arity = 0usize;
+                while inner.peek().is_some() {
+                    eat_attrs(&mut inner);
+                    eat_vis(&mut inner);
+                    if inner.peek().is_none() {
+                        break;
+                    }
+                    eat_type(&mut inner);
+                    arity += 1;
+                    if let Some(TokenTree::Punct(p)) = inner.peek() {
+                        if p.as_char() == ',' {
+                            inner.next();
+                        }
+                    }
+                }
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde stub derive: struct variants are not supported ({name})")
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    eat_attrs(&mut iter);
+    eat_vis(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    // Lifetime-only generics: capture verbatim between < and >.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1i32;
+            for tt in iter.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                generics.push_str(&tt.to_string());
+                // No space after a lifetime quote: `' a` does not lex.
+                if !matches!(&tt, TokenTree::Punct(p) if p.as_char() == '\'') {
+                    generics.push(' ');
+                }
+            }
+            if generics
+                .split_whitespace()
+                .any(|t| t.chars().next().is_some_and(|c| c.is_alphabetic()) && t != "'")
+                && !generics.contains('\'')
+            {
+                panic!(
+                    "serde stub derive: type-parameter generics are not supported on {name}<{generics}>"
+                );
+            }
+        }
+    }
+    match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Struct {
+                name,
+                generics,
+                fields: parse_named_fields(g.stream()),
+            },
+            other => panic!(
+                "serde stub derive: only named-field structs are supported ({name}, got {other:?})"
+            ),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stub derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn impl_header(trait_name: &str, name: &str, generics: &str) -> String {
+    if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{")
+    } else {
+        format!("impl<{generics}> ::serde::{trait_name} for {name}<{generics}> {{")
+    }
+}
+
+fn derive_serialize_impl(input: Input) -> String {
+    match input {
+        Input::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let mut body = String::new();
+            body.push_str("let mut m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            format!(
+                "{}\nfn to_value(&self) -> ::serde::Value {{\n{}\n}}\n}}",
+                impl_header("Serialize", &name, &generics),
+                body
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => {{\
+                         let mut m = ::serde::Map::new();\
+                         m.insert(::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0));\
+                         ::serde::Value::Object(m) }},\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({bind}) => {{\
+                             let mut m = ::serde::Map::new();\
+                             m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(vec![{elems}]));\
+                             ::serde::Value::Object(m) }},\n",
+                            v = v.name,
+                            bind = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{}\nfn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{}}}\n}}\n}}",
+                impl_header("Serialize", &name, ""),
+                arms
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(input: Input) -> String {
+    match input {
+        Input::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            if !generics.is_empty() {
+                panic!("serde stub derive: Deserialize on generic struct {name} is not supported");
+            }
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(\
+                         obj.get(\"{n}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.ctx(\"{name}.{n}\"))?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "{header}\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for struct {name}, got {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}",
+                header = impl_header("Deserialize", &name, &generics),
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                match v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(val)\
+                         .map_err(|e| e.ctx(\"{name}::{v}\"))?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(&arr[{i}])\
+                                     .map_err(|e| e.ctx(\"{name}::{v}[{i}]\"))?",
+                                    v = v.name
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\
+                             let arr = val.as_array().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array for variant {v}\"))?;\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong arity for variant {v}\")); }}\
+                             ::std::result::Result::Ok({name}::{v}({elems})) }},\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{header}\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other}} for enum {name}\"))),\n}},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let (tag, val) = m.iter().next().ok_or_else(|| ::serde::Error::custom(\
+                 \"empty object for enum {name}\"))?;\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant {{other}} for enum {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected string or object for enum {name}, got {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}",
+                header = impl_header("Deserialize", &name, ""),
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_serialize_impl(parse_input(input))
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_deserialize_impl(parse_input(input))
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
+}
