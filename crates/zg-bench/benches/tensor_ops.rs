@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use zg_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use zg_tensor::{available_threads, gemm_naive, gemm_tiled, gemm_with_threads, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -22,6 +22,38 @@ fn bench_matmul(c: &mut Criterion) {
     group.bench_function("batched_8x64x64_by_64x64", |bench| {
         bench.iter(|| black_box(x.matmul(&w)))
     });
+    group.finish();
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("gemm_kernel");
+    let threads = available_threads();
+    for &n in &[64usize, 128, 256] {
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen::<f32>() - 0.5).collect();
+        group.bench_function(format!("naive_{n}"), |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                gemm_naive(false, false, n, n, n, &a, &b, &mut out);
+                black_box(out)
+            })
+        });
+        group.bench_function(format!("tiled_{n}"), |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                gemm_tiled(false, false, n, n, n, &a, &b, &mut out);
+                black_box(out)
+            })
+        });
+        group.bench_function(format!("threaded{threads}_{n}"), |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                gemm_with_threads(false, false, n, n, n, &a, &b, &mut out, threads);
+                black_box(out)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -56,6 +88,7 @@ fn bench_backward(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_gemm_kernels,
     bench_elementwise_and_softmax,
     bench_backward
 );

@@ -29,7 +29,12 @@ pub fn attn_mask(t_q: usize, t_kv: usize, n_cached: usize, window: usize) -> Ten
 
 /// Per-layer KV cache holding keys/values of already-processed positions,
 /// shape `(1, n_kv_heads, cached_len, head_dim)` each.
-#[derive(Default)]
+///
+/// Cloning is cheap: the K/V tensors are `Rc` handles onto immutable
+/// buffers, and [`LayerKvCache::append`] replaces them with freshly
+/// concatenated tensors rather than mutating in place — so a clone
+/// *forks* the cache, and both branches can continue independently.
+#[derive(Default, Clone)]
 pub struct LayerKvCache {
     k: Option<Tensor>,
     v: Option<Tensor>,
@@ -52,8 +57,12 @@ impl LayerKvCache {
         self.v = None;
     }
 
-    /// Append new keys/values, trimming to the most recent `window`
-    /// positions (the sliding window makes older entries unreachable).
+    /// Append new keys/values and return the full concatenated K/V for
+    /// this forward pass. The *stored* cache is trimmed to the most
+    /// recent `window` positions (the sliding window makes older entries
+    /// unreachable for future queries), but the returned tensors keep
+    /// every position so that chunked prefill — where early queries in
+    /// the chunk still see pre-trim keys — masks rather than drops them.
     fn append(&mut self, k_new: &Tensor, v_new: &Tensor, window: usize) -> (Tensor, Tensor) {
         let (k, v) = match (&self.k, &self.v) {
             (Some(k), Some(v)) => (
@@ -63,16 +72,16 @@ impl LayerKvCache {
             _ => (k_new.clone(), v_new.clone()),
         };
         let len = k.dims()[2];
-        let (k, v) = if len > window {
+        let (k_keep, v_keep) = if len > window {
             (
                 k.narrow(2, len - window, window),
                 v.narrow(2, len - window, window),
             )
         } else {
-            (k, v)
+            (k.clone(), v.clone())
         };
-        self.k = Some(k.detach());
-        self.v = Some(v.detach());
+        self.k = Some(k_keep.detach());
+        self.v = Some(v_keep.detach());
         (k, v)
     }
 }
@@ -189,10 +198,11 @@ impl Attention {
         // Scaled dot-product with causal sliding-window mask.
         let scale = 1.0 / (hd as f32).sqrt();
         let scores = q.matmul(&k.t()).mul_scalar(scale);
+        // `append` returns the untrimmed concatenation, so the key axis
+        // always covers exactly the cached prefix plus this chunk; keys
+        // outside the sliding window are masked, not dropped.
         let n_cached_now = t_kv - t;
-        // After a window trim the cache may be shorter than its logical
-        // history; the mask indexes keys relative to the kept slice.
-        debug_assert!(n_cached_now <= n_cached_before + t);
+        debug_assert_eq!(n_cached_now, n_cached_before);
         let mask = attn_mask(t, t_kv, n_cached_now, self.sliding_window);
         let probs = scores.add(&mask).softmax();
         let ctx = probs.matmul(&v); // (B, H, T, hd)

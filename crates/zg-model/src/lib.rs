@@ -26,7 +26,7 @@ pub use beam::beam_search;
 pub use block::TransformerBlock;
 pub use config::ModelConfig;
 pub use layers::{Adapter, Embedding, Linear, RmsNorm};
-pub use lm::{sample_logits, CausalLm, KvCache};
+pub use lm::{log_prob_row, sample_logits, CausalLm, KvCache};
 pub use mlp::SwiGluMlp;
 pub use optim::{clip_grad_norm, AdamW, CosineSchedule};
 pub use rope::RopeCache;

@@ -26,6 +26,18 @@ impl KvCache {
             pos: 0,
         }
     }
+
+    /// Fork the cache at its current position. The per-layer K/V tensors
+    /// are `Rc` handles onto immutable buffers, so this is a cheap
+    /// pointer-copy per layer; the fork and the original then extend
+    /// independently. This is what lets one prompt prefill serve many
+    /// candidate continuations.
+    pub fn fork(&self) -> KvCache {
+        KvCache {
+            layers: self.layers.clone(),
+            pos: self.pos,
+        }
+    }
 }
 
 /// Mistral-style causal LM.
@@ -84,14 +96,37 @@ impl CausalLm {
     /// Single decoding step through the KV cache (batch 1): returns logits
     /// `(vocab,)` for the next-token distribution after `token`.
     pub fn step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        self.prefill(&[token], cache)
+    }
+
+    /// Feed `tokens` through the KV cache in one chunked forward (batch 1)
+    /// and return the next-token logits `(vocab,)` after the final token.
+    ///
+    /// This is the fast path for prompt ingestion: one forward over the
+    /// whole chunk instead of a per-token [`CausalLm::step`] loop, and the
+    /// LM head is applied to the *last position only* — skipping the
+    /// `(t-1)·d_model·vocab` logit rows a full forward would compute.
+    /// Runs entirely under [`no_grad`], so decoding never builds backward
+    /// closures regardless of the caller's scope.
+    pub fn prefill(&self, tokens: &[u32], cache: &mut KvCache) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "prefill needs at least one token");
+        let t = tokens.len();
+        assert!(
+            cache.pos + t <= self.cfg.max_seq_len,
+            "cache position {} + chunk {t} exceeds max_seq_len {}",
+            cache.pos,
+            self.cfg.max_seq_len
+        );
         no_grad(|| {
-            let mut h = self.embed.forward(&[token], 1, 1);
+            let mut h = self.embed.forward(tokens, 1, t);
             for (block, layer_cache) in self.blocks.iter().zip(&mut cache.layers) {
                 h = block.forward(&h, &self.rope, cache.pos, Some(layer_cache));
             }
-            cache.pos += 1;
-            let logits = self.lm_head.forward(&self.final_norm.forward(&h));
-            logits.to_vec()
+            cache.pos += t;
+            let last = h.narrow(1, t - 1, 1);
+            self.lm_head
+                .forward(&self.final_norm.forward(&last))
+                .to_vec()
         })
     }
 
@@ -127,41 +162,103 @@ impl CausalLm {
         rng: &mut impl Rng,
     ) -> Vec<u32> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
-        let mut cache = self.new_cache();
-        // Prefill.
-        let mut logits = Vec::new();
-        for &t in prompt {
-            logits = self.step(t, &mut cache);
-        }
-        let mut out = Vec::new();
-        for _ in 0..max_new {
-            let next = sample_logits(&logits, temperature, rng);
-            if next == eos {
-                break;
+        // The whole decode runs under no_grad — chunked prompt prefill,
+        // then one cached step per sampled token.
+        no_grad(|| {
+            let mut cache = self.new_cache();
+            let mut logits = self.prefill(prompt, &mut cache);
+            let mut out = Vec::new();
+            for _ in 0..max_new {
+                let next = sample_logits(&logits, temperature, rng);
+                if next == eos {
+                    break;
+                }
+                out.push(next);
+                logits = self.step(next, &mut cache);
             }
-            out.push(next);
-            logits = self.step(next, &mut cache);
-        }
-        out
+            out
+        })
     }
 
     /// Sum log-probability of `continuation` given `prompt` (teacher
     /// forcing, no sampling). Used to rank candidate answers and to derive
     /// the positive-class score for the KS metric.
+    ///
+    /// Thin wrapper over [`CausalLm::score_continuations`] — scoring one
+    /// candidate is the single-element case of the prefix-reused path.
     pub fn score_continuation(&self, prompt: &[u32], continuation: &[u32]) -> f32 {
+        self.score_continuations(prompt, &[continuation])[0]
+    }
+
+    /// Score many candidate continuations of one prompt, prefilling the
+    /// KV cache over the prompt **once** and forking it per candidate.
+    ///
+    /// Each fork is a cheap per-layer `Rc` copy of the cached K/V
+    /// buffers; only the continuation tokens are then teacher-forced
+    /// through cached steps. Relative to the historical full-sequence
+    /// forward per candidate this drops the cost from
+    /// `n_candidates · O((t_p + t_c)²)` to `O(t_p²) + n_candidates ·
+    /// O(t_c)` attention work — and the log-softmax is computed row-wise
+    /// on exactly the needed positions (`O(|cont|·V)`, not `O(t·V)`).
+    pub fn score_continuations(&self, prompt: &[u32], continuations: &[&[u32]]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let mut cache = self.new_cache();
+        let prompt_logits = self.prefill(prompt, &mut cache);
+        self.score_continuations_with_cache(&cache, &prompt_logits, continuations)
+    }
+
+    /// Score candidates against an already-prefilled prompt cache:
+    /// `next_logits` must be the next-token logits after the cached
+    /// prompt (what [`CausalLm::prefill`] returned). Lets one prefill
+    /// serve answer generation *and* candidate scoring.
+    pub fn score_continuations_with_cache(
+        &self,
+        cache: &KvCache,
+        next_logits: &[f32],
+        continuations: &[&[u32]],
+    ) -> Vec<f32> {
+        no_grad(|| {
+            continuations
+                .iter()
+                .map(|cont| {
+                    assert!(!cont.is_empty(), "continuation must be non-empty");
+                    let mut fork = cache.fork();
+                    let mut row = next_logits.to_vec();
+                    let mut total = 0.0f32;
+                    for (i, &tok) in cont.iter().enumerate() {
+                        total += log_prob_row(&row, tok as usize);
+                        // The last token's successor distribution is never
+                        // consumed — skip its forward step.
+                        if i + 1 < cont.len() {
+                            row = self.step(tok, &mut fork);
+                        }
+                    }
+                    total
+                })
+                .collect()
+        })
+    }
+
+    /// Reference implementation of [`CausalLm::score_continuation`]: one
+    /// full forward over `prompt ++ continuation` with no KV reuse.
+    /// Kept as the oracle for the prefix-reuse regression tests and as
+    /// the pre-fast-path baseline in the inference benchmarks. Unlike
+    /// the historical version it computes row-wise log-softmax only at
+    /// the continuation positions instead of materializing the full
+    /// `(t, vocab)` log-softmax.
+    pub fn score_continuation_full(&self, prompt: &[u32], continuation: &[u32]) -> f32 {
         assert!(!prompt.is_empty() && !continuation.is_empty());
         no_grad(|| {
             let mut seq = prompt.to_vec();
             seq.extend_from_slice(continuation);
             let t = seq.len();
             let logits = self.forward(&seq, 1, t);
-            let logp = logits.reshape([t, self.cfg.vocab_size]).log_softmax();
-            let lp = logp.data();
+            let lp = logits.data();
             let v = self.cfg.vocab_size;
             let mut total = 0.0f32;
             for (i, &tok) in continuation.iter().enumerate() {
                 let pos = prompt.len() + i - 1; // logits at pos predict token pos+1
-                total += lp[pos * v + tok as usize];
+                total += log_prob_row(&lp[pos * v..(pos + 1) * v], tok as usize);
             }
             total
         })
@@ -207,6 +304,15 @@ impl CausalLm {
             p.set_data(&saved.data());
         }
     }
+}
+
+/// Log-probability of class `tok` under a single row of logits —
+/// numerically identical to `log_softmax()[tok]` (same max-shift and
+/// summation order) without materializing the full row of outputs.
+pub fn log_prob_row(logits: &[f32], tok: usize) -> f32 {
+    let m = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let lse = m + logits.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+    logits[tok] - lse
 }
 
 /// Sample from logits. `temperature == 0` is argmax.

@@ -41,7 +41,10 @@ mod tensor;
 
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use init::randn_sample;
-pub use ops_matmul::gemm;
+pub use ops_matmul::{
+    available_threads, gemm, gemm_kernel, gemm_naive, gemm_tiled, gemm_with_threads,
+    set_gemm_kernel, GemmKernel,
+};
 pub use shape::{Shape, StridedIter};
 pub use store::TensorStore;
 pub use tensor::{grad_enabled, no_grad, Tensor};

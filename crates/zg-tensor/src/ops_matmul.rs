@@ -1,16 +1,123 @@
 //! Batched matrix multiplication with broadcastable leading (batch)
-//! dimensions, plus the small row-major GEMM kernels used throughout.
+//! dimensions, plus the row-major GEMM kernels used throughout.
+//!
+//! Two kernels live here:
+//!
+//! * [`gemm_naive`] — the original scalar triple loops, kept as the
+//!   bit-exact reference and as the small-matrix fallback.
+//! * [`gemm_tiled`] — a packed, register-blocked microkernel
+//!   (`MR`×`NR` accumulator tiles over packed A/B panels) with a
+//!   row-partitioned multi-threaded dispatch for large products.
+//!
+//! The tiled kernel loads the destination tile into its accumulators
+//! before the k-loop and adds products in ascending-k order, which is
+//! exactly the float-operation order of the naive `ikj`/`kij` loops —
+//! so for every call site in this workspace (all of which either start
+//! from a zero `c` or accumulate through the `(ta=false)`/`(tb=false)`
+//! variants) the tiled kernel is **bit-identical** to the naive one,
+//! and the threaded dispatch is bit-identical to serial because each
+//! thread computes a disjoint set of output rows with the same kernel.
+//! (Caveat from PR 1 still applies: the CI container is 1-core, so the
+//! threaded path is exercised via explicit worker counts in tests.)
+
+use std::cell::Cell;
 
 use crate::shape::{Shape, StridedIter};
 use crate::tensor::Tensor;
 
+/// Which GEMM kernel [`gemm`] dispatches to. Thread-local; defaults to
+/// [`GemmKernel::Auto`]. The benchmark binaries pin [`GemmKernel::Naive`]
+/// to measure the pre-fast-path baseline on the same build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Original scalar triple loops, always.
+    Naive,
+    /// Tiled microkernel, single-threaded.
+    Tiled,
+    /// Tiled microkernel; large products additionally fan output rows
+    /// across `available_parallelism` threads.
+    Auto,
+}
+
+thread_local! {
+    static GEMM_KERNEL: Cell<GemmKernel> = const { Cell::new(GemmKernel::Auto) };
+}
+
+/// Select the kernel used by [`gemm`] on this thread; returns the
+/// previous selection so callers can restore it.
+pub fn set_gemm_kernel(kernel: GemmKernel) -> GemmKernel {
+    GEMM_KERNEL.with(|c| c.replace(kernel))
+}
+
+/// The kernel [`gemm`] currently dispatches to on this thread.
+pub fn gemm_kernel() -> GemmKernel {
+    GEMM_KERNEL.with(Cell::get)
+}
+
+/// Microkernel tile height (output rows per packed A panel).
+const MR: usize = 8;
+/// Microkernel tile width (output cols per packed B panel).
+const NR: usize = 8;
+
+/// Below this `m·n·k` the packing overhead dominates and the naive
+/// loops win; measured crossover is around a 16³ product.
+const TILED_MIN_FLOPS: usize = 16 * 16 * 16;
+/// Minimum `m·n·k` before the row-threaded dispatch is worth the
+/// thread-spawn cost (~10 µs per scoped thread).
+const THREADED_MIN_FLOPS: usize = 128 * 128 * 128;
+
 /// `c += op(a) · op(b)` for row-major matrices.
 ///
 /// Logical dimensions are always `(m, k) · (k, n) -> (m, n)`; the `ta`/`tb`
-/// flags say the physical buffer is stored transposed. Loop orders are chosen
-/// per case for contiguous inner loops.
+/// flags say the physical buffer is stored transposed. Dispatches to the
+/// kernel selected by [`set_gemm_kernel`]: the tiled microkernel (with
+/// row-threading for large products under [`GemmKernel::Auto`]), falling
+/// back to the naive loops for small products where packing costs more
+/// than it saves.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let flops = m * n * k;
+    match gemm_kernel() {
+        GemmKernel::Naive => gemm_naive(ta, tb, m, n, k, a, b, c),
+        _ if flops < TILED_MIN_FLOPS || m < MR / 2 || n < NR / 2 => {
+            gemm_naive(ta, tb, m, n, k, a, b, c)
+        }
+        GemmKernel::Tiled => gemm_tiled(ta, tb, m, n, k, a, b, c),
+        GemmKernel::Auto => {
+            let threads = if flops >= THREADED_MIN_FLOPS {
+                available_threads()
+            } else {
+                1
+            };
+            gemm_with_threads(ta, tb, m, n, k, a, b, c, threads);
+        }
+    }
+}
+
+/// The machine's available parallelism (cached).
+pub fn available_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Original scalar GEMM (reference kernel). Loop orders are chosen per
+/// transpose case for contiguous inner loops.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -77,6 +184,178 @@ pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f3
     }
 }
 
+/// Packed B: all `NR`-wide column panels of `op(b)`, zero-padded on the
+/// right edge so the microkernel inner loop is branch-free. Panel `jp`
+/// occupies `bp[jp·k·NR .. (jp+1)·k·NR]` with layout `[p][jj]`.
+fn pack_b(tb: bool, b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let n_panels = n.div_ceil(NR);
+    let mut bp = vec![0.0f32; n_panels * k * NR];
+    for jp in 0..n_panels {
+        let col0 = jp * NR;
+        let nr = NR.min(n - col0);
+        let panel = &mut bp[jp * k * NR..(jp + 1) * k * NR];
+        if tb {
+            // b physically (n, k): column j of op(b) is row j of b.
+            for jj in 0..nr {
+                let src = &b[(col0 + jj) * k..(col0 + jj + 1) * k];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * NR + jj] = v;
+                }
+            }
+        } else {
+            for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                chunk[..nr].copy_from_slice(&b[p * n + col0..p * n + col0 + nr]);
+            }
+        }
+    }
+    bp
+}
+
+/// Pack `mr` rows of `op(a)` starting at `row0` into `ap` (layout
+/// `[p][i]`, zero-padded to `MR` rows).
+fn pack_a_panel(ta: bool, a: &[f32], m: usize, k: usize, row0: usize, mr: usize, ap: &mut [f32]) {
+    debug_assert_eq!(ap.len(), k * MR);
+    ap.fill(0.0);
+    if ta {
+        // a physically (k, m): row i of op(a) is column i of a.
+        for (p, chunk) in ap.chunks_exact_mut(MR).enumerate() {
+            chunk[..mr].copy_from_slice(&a[p * m + row0..p * m + row0 + mr]);
+        }
+    } else {
+        for i in 0..mr {
+            let src = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (p, &v) in src.iter().enumerate() {
+                ap[p * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// The register-blocked microkernel: `MR`×`NR` accumulators seeded from
+/// the destination tile, then one fused pass over `k` adding
+/// `a[p][i]·b[p][j]` in ascending-`p` order (the naive kernels' float
+/// order). Fixed loop bounds let LLVM unroll and vectorize the body.
+#[inline]
+fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+    for p in 0..k {
+        let av = &ap[p * MR..p * MR + MR];
+        let bv = &bp[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let aa = av[i];
+            for (accv, &bb) in acc[i].iter_mut().zip(bv) {
+                *accv += aa * bb;
+            }
+        }
+    }
+}
+
+/// Tiled GEMM over `nrows` output rows starting at global row
+/// `row_start`, against a pre-packed B. `c_chunk` holds exactly those
+/// rows (chunk-local row 0 = global `row_start`). Each `MR`-row band
+/// packs its A panel once and sweeps all B panels.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiled_rows(
+    ta: bool,
+    a: &[f32],
+    bp: &[f32],
+    c_chunk: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    row_start: usize,
+    nrows: usize,
+) {
+    debug_assert_eq!(c_chunk.len(), nrows * n);
+    let mut ap = vec![0.0f32; k * MR];
+    let mut band = 0;
+    while band < nrows {
+        let mr = MR.min(nrows - band);
+        pack_a_panel(ta, a, m, k, row_start + band, mr, &mut ap);
+        let mut col0 = 0;
+        let mut jp = 0;
+        while col0 < n {
+            let nr = NR.min(n - col0);
+            // Seed accumulators from the destination tile so the
+            // accumulation order matches the naive sequential loops.
+            let mut acc = [[0.0f32; NR]; MR];
+            for (i, acci) in acc.iter_mut().enumerate().take(mr) {
+                let crow = &c_chunk[(band + i) * n + col0..(band + i) * n + col0 + nr];
+                acci[..nr].copy_from_slice(crow);
+            }
+            microkernel(k, &ap, &bp[jp * k * NR..(jp + 1) * k * NR], &mut acc);
+            for (i, acci) in acc.iter().enumerate().take(mr) {
+                let crow = &mut c_chunk[(band + i) * n + col0..(band + i) * n + col0 + nr];
+                crow.copy_from_slice(&acci[..nr]);
+            }
+            col0 += NR;
+            jp += 1;
+        }
+        band += MR;
+    }
+}
+
+/// Single-threaded tiled GEMM (`c += op(a)·op(b)`), any shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tiled(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    gemm_with_threads(ta, tb, m, n, k, a, b, c, 1);
+}
+
+/// Tiled GEMM with the output rows partitioned across `threads` scoped
+/// worker threads. Every worker runs the identical kernel over a
+/// disjoint, contiguous row range of `c`, so the result is bit-identical
+/// to `threads = 1` for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_threads(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let bp = pack_b(tb, b, k, n);
+    // Row bands per thread, aligned to MR so no panel straddles workers.
+    let bands = m.div_ceil(MR);
+    let threads = threads.clamp(1, bands.max(1));
+    if threads == 1 {
+        gemm_tiled_rows(ta, a, &bp, c, m, n, k, 0, m);
+        return;
+    }
+    let bands_per = bands.div_ceil(threads);
+    let rows_per = bands_per * MR;
+    let bp = &bp;
+    std::thread::scope(|s| {
+        let mut rest = c;
+        let mut row0 = 0;
+        while row0 < m {
+            let take = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(take * n);
+            rest = tail;
+            let r0 = row0;
+            s.spawn(move || {
+                gemm_tiled_rows(ta, a, bp, chunk, m, n, k, r0, take);
+            });
+            row0 += take;
+        }
+    });
+}
+
 /// Split a shape into (batch dims, rows, cols) for matmul.
 fn split_matrix(shape: &Shape) -> (&[usize], usize, usize) {
     let dims = shape.dims();
@@ -119,6 +398,67 @@ fn batch_plan(a_shape: &Shape, b_shape: &Shape) -> BatchPlan {
     }
 }
 
+/// Forward batched matmul into `out`. Large batched products fan the
+/// *batch* axis across threads (each batch writes a disjoint `m·n`
+/// chunk of `out`, and the per-batch kernel runs serially inside the
+/// worker, so results are bit-identical to the serial loop).
+fn batched_matmul_forward(
+    plan: &BatchPlan,
+    m: usize,
+    n: usize,
+    k: usize,
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+) {
+    let nbatch = plan.a_offsets.len();
+    let per_batch = |ao: usize, bo: usize, chunk: &mut [f32]| {
+        gemm(
+            false,
+            false,
+            m,
+            n,
+            k,
+            &ad[ao..ao + m * k],
+            &bd[bo..bo + k * n],
+            chunk,
+        );
+    };
+    let threads = available_threads();
+    let parallel = gemm_kernel() == GemmKernel::Auto
+        && threads > 1
+        && nbatch > 1
+        && nbatch * m * n * k >= THREADED_MIN_FLOPS;
+    if !parallel {
+        for (bi, (&ao, &bo)) in plan.a_offsets.iter().zip(&plan.b_offsets).enumerate() {
+            per_batch(ao, bo, &mut out[bi * m * n..(bi + 1) * m * n]);
+        }
+        return;
+    }
+    let chunk_batches = nbatch.div_ceil(threads.min(nbatch));
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut b0 = 0;
+        while b0 < nbatch {
+            let take = chunk_batches.min(nbatch - b0);
+            let (chunk, tail) = rest.split_at_mut(take * m * n);
+            rest = tail;
+            let aoffs = &plan.a_offsets[b0..b0 + take];
+            let boffs = &plan.b_offsets[b0..b0 + take];
+            s.spawn(move || {
+                // Inside a worker, force the serial tiled kernel to
+                // avoid nested thread spawns.
+                let prev = set_gemm_kernel(GemmKernel::Tiled);
+                for (ci, (&ao, &bo)) in aoffs.iter().zip(boffs).enumerate() {
+                    per_batch(ao, bo, &mut chunk[ci * m * n..(ci + 1) * m * n]);
+                }
+                set_gemm_kernel(prev);
+            });
+            b0 += take;
+        }
+    });
+}
+
 impl Tensor {
     /// Matrix product. Last two dims multiply `(…, m, k) · (…, k, n) ->
     /// (…, m, n)`; leading dims broadcast NumPy-style.
@@ -138,18 +478,7 @@ impl Tensor {
         {
             let ad = self.data();
             let bd = other.data();
-            for (bi, (&ao, &bo)) in plan.a_offsets.iter().zip(&plan.b_offsets).enumerate() {
-                gemm(
-                    false,
-                    false,
-                    m,
-                    n,
-                    k,
-                    &ad[ao..ao + m * k],
-                    &bd[bo..bo + k * n],
-                    &mut out[bi * m * n..(bi + 1) * m * n],
-                );
-            }
+            batched_matmul_forward(&plan, m, n, k, &ad, &bd, &mut out);
         }
         let mut out_dims = plan.batch.dims().to_vec();
         out_dims.push(m);
@@ -257,6 +586,75 @@ mod tests {
                 assert!((x - y).abs() < 1e-5, "({ta},{tb}) mismatch");
             }
         }
+    }
+
+    /// Deterministic pseudo-random matrix for kernel comparisons.
+    fn mat(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matches_naive_exactly_nn() {
+        // (ta=false, *) and c = 0 cases are bit-exact by construction.
+        for (m, n, k) in [(8, 8, 8), (16, 24, 32), (13, 7, 9), (1, 9, 4), (64, 64, 64)] {
+            let a = mat(m as u64 ^ 1, m * k);
+            let b = mat(n as u64 ^ 2, k * n);
+            let mut c0 = vec![0.0; m * n];
+            let mut c1 = vec![0.0; m * n];
+            gemm_naive(false, false, m, n, k, &a, &b, &mut c0);
+            gemm_tiled(false, false, m, n, k, &a, &b, &mut c1);
+            assert_eq!(c0, c1, "({m},{n},{k}) tiled must be bit-exact vs naive");
+        }
+    }
+
+    #[test]
+    fn tiled_accumulates_into_nonzero_c() {
+        // The sequential (ta=false/true, tb=false) naive loops add one
+        // product at a time into c; the c-seeded accumulators reproduce
+        // that order exactly even when c starts non-zero.
+        let (m, n, k) = (10, 12, 5);
+        let b = mat(4, k * n);
+        let seed = mat(5, m * n);
+        for ta in [false, true] {
+            let a = mat(3, m * k);
+            let mut c0 = seed.clone();
+            let mut c1 = seed.clone();
+            gemm_naive(ta, false, m, n, k, &a, &b, &mut c0);
+            gemm_tiled(ta, false, m, n, k, &a, &b, &mut c1);
+            assert_eq!(c0, c1, "ta={ta}: accumulation order must match naive");
+        }
+    }
+
+    #[test]
+    fn threaded_bit_identical_to_serial() {
+        let (m, n, k) = (37, 29, 23);
+        let a = mat(7, m * k);
+        let b = mat(8, k * n);
+        let mut c1 = vec![0.0; m * n];
+        gemm_with_threads(false, false, m, n, k, &a, &b, &mut c1, 1);
+        for threads in [2, 3, 5, 8] {
+            let mut ct = vec![0.0; m * n];
+            gemm_with_threads(false, false, m, n, k, &a, &b, &mut ct, threads);
+            assert_eq!(c1, ct, "threads={threads} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn kernel_knob_round_trips() {
+        assert_eq!(gemm_kernel(), GemmKernel::Auto);
+        let prev = set_gemm_kernel(GemmKernel::Naive);
+        assert_eq!(prev, GemmKernel::Auto);
+        assert_eq!(gemm_kernel(), GemmKernel::Naive);
+        set_gemm_kernel(prev);
+        assert_eq!(gemm_kernel(), GemmKernel::Auto);
     }
 
     #[test]

@@ -18,9 +18,7 @@ use zg_model::CausalLm;
 use crate::baselines::{LogisticExpert, MajorityClass, RandomGuess};
 use crate::config::ZiGongConfig;
 use crate::corpus::{to_pretrain_sample, tokenize_all, train_tokenizer};
-use crate::evaluator::{
-    eval_items, evaluate_classifier, CellResult, CreditClassifier, ZiGongModel,
-};
+use crate::evaluator::{eval_items, evaluate_classifier, evaluate_zigong, CellResult, ZiGongModel};
 use crate::replay::{paper_table2, ReplayBaseline};
 use crate::trainer::{train_sft, TrainOrder, TrainReport};
 
@@ -39,6 +37,10 @@ pub struct Table2Options {
     /// other task families of the paper's Figure 1 workflow) appended to
     /// the SFT mix. `0` disables.
     pub aux_task_cap: usize,
+    /// Worker threads for evaluating the measured LM rows (`0` = all
+    /// available cores, `1` = serial). Any value yields bit-identical
+    /// metrics; see [`evaluate_zigong`].
+    pub eval_workers: usize,
     /// ZiGong configuration.
     pub config: ZiGongConfig,
 }
@@ -51,6 +53,7 @@ impl Default for Table2Options {
             test_cap: 120,
             include_replay: true,
             aux_task_cap: 0,
+            eval_workers: 0,
             config: ZiGongConfig::miniature(20_250_706),
         }
     }
@@ -228,13 +231,13 @@ pub fn run_table2(opts: &Table2Options) -> Table2 {
     zigong_examples.shuffle(&mut order_rng);
     random_examples.shuffle(&mut order_rng);
 
-    let (mut zigong, report) = train_zigong(
+    let (zigong, report) = train_zigong(
         &zigong_examples,
         &opts.config,
         TrainOrder::Shuffled,
         "ZiGong (measured)",
     );
-    let mut sft_random = {
+    let sft_random = {
         let mut cfg = opts.config.clone();
         cfg.seed ^= 0x51;
         train_zigong(
@@ -247,7 +250,7 @@ pub fn run_table2(opts: &Table2Options) -> Table2 {
     };
     // Zero-shot base model: pretrained (stage 1) but never instruction-
     // tuned — the analogue of prompting a raw base LLM.
-    let mut base = {
+    let base = {
         let mut cfg = opts.config.clone();
         cfg.seed ^= 0xBA5E;
         cfg.train.epochs = 0;
@@ -317,23 +320,18 @@ pub fn run_table2(opts: &Table2Options) -> Table2 {
         cells: cells_expert,
     });
 
+    // The three measured LM rows dominate benchmark wall-clock; their
+    // per-item work is independent, so fan each row's items across the
+    // evaluation worker pool (metrics are bit-identical to serial for any
+    // worker count).
     for (model, label) in [
-        (
-            &mut base as &mut dyn CreditClassifier,
-            "Base zero-shot (measured)",
-        ),
-        (
-            &mut sft_random as &mut dyn CreditClassifier,
-            "SFT-random (measured)",
-        ),
-        (
-            &mut zigong as &mut dyn CreditClassifier,
-            "ZiGong (measured)",
-        ),
+        (&base, "Base zero-shot (measured)"),
+        (&sft_random, "SFT-random (measured)"),
+        (&zigong, "ZiGong (measured)"),
     ] {
         let cells: Vec<Option<CellResult>> = eval_sets
             .iter()
-            .map(|(_, _, items)| Some(evaluate_classifier(model, items)))
+            .map(|(_, _, items)| Some(evaluate_zigong(model, items, opts.eval_workers)))
             .collect();
         rows.push(Table2Row {
             model: label.into(),

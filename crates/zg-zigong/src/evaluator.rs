@@ -3,13 +3,17 @@
 //! so Miss is measured identically for all models) and a positive-class
 //! score (for KS/AUC).
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use zg_data::{Dataset, Record};
-use zg_eval::{evaluate_binary, ks_statistic, roc_auc, EvalResult};
+use zg_eval::{evaluate_binary, ks_statistic, roc_auc, EvalResult, Prediction};
+use zg_influence::par_map_init;
 use zg_instruct::{parse_binary, render_classification, InstructExample};
-use zg_model::CausalLm;
+use zg_model::{Adapter, CausalLm, ModelConfig};
+use zg_tensor::Tensor;
 use zg_tokenizer::{BpeTokenizer, Special};
 
 /// One evaluation item: the raw record (for feature-based expert systems)
@@ -125,6 +129,10 @@ impl ZiGongModel {
 
     /// P(positive answer) normalized over the two candidates — the score
     /// used for KS, mirroring how a risk model outputs a probability.
+    ///
+    /// Both candidates share the prompt, so they are scored through one
+    /// prefill via [`CausalLm::score_continuations`] rather than two
+    /// independent full passes.
     pub fn positive_probability(&self, example: &InstructExample) -> f64 {
         let prompt = self.prompt_ids(&example.prompt, 8);
         let neg = self
@@ -133,16 +141,68 @@ impl ZiGongModel {
         let pos = self
             .tokenizer
             .encode(&format!(" {}", example.candidates[1]));
-        let lp_neg = self.lm.score_continuation(&prompt, &neg) as f64;
-        let lp_pos = self.lm.score_continuation(&prompt, &pos) as f64;
-        // Softmax over the two continuations (average per-token log-prob to
-        // remove length bias).
-        let a = lp_pos / pos.len() as f64;
-        let b = lp_neg / neg.len() as f64;
-        let m = a.max(b);
-        let (ea, eb) = ((a - m).exp(), (b - m).exp());
-        ea / (ea + eb)
+        let scores = self.lm.score_continuations(&prompt, &[&neg, &pos]);
+        two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len())
     }
+
+    /// Answer *and* score one item through a single prompt prefill.
+    ///
+    /// The answer path reserves 6 tokens of headroom and the scoring path
+    /// 8; whenever the prompt fits untruncated those budgets encode the
+    /// prompt to identical ids, so one KV prefill serves the greedy
+    /// answer decode (on a forked cache) and both candidate scorings —
+    /// producing bit-identical text and score to the independent
+    /// [`CreditClassifier::answer`] / [`CreditClassifier::score`] calls.
+    /// Prompts long enough to truncate differently per budget fall back
+    /// to the independent paths to preserve those exact semantics.
+    pub fn evaluate_item(&mut self, item: &EvalItem) -> (String, f64) {
+        const ANSWER_TOKENS: usize = 6;
+        let p_ans = self.prompt_ids(&item.example.prompt, ANSWER_TOKENS);
+        let p_score = self.prompt_ids(&item.example.prompt, 8);
+        if p_ans != p_score {
+            return (
+                self.generate_answer(&item.example.prompt, ANSWER_TOKENS),
+                self.positive_probability(&item.example),
+            );
+        }
+        let neg = self
+            .tokenizer
+            .encode(&format!(" {}", item.example.candidates[0]));
+        let pos = self
+            .tokenizer
+            .encode(&format!(" {}", item.example.candidates[1]));
+        let mut cache = self.lm.new_cache();
+        let logits = self.lm.prefill(&p_ans, &mut cache);
+        // Greedy decode on a fork — the same sampling as `generate` at
+        // temperature 0.
+        let mut fork = cache.fork();
+        let mut row = logits.clone();
+        let mut out = Vec::new();
+        for _ in 0..ANSWER_TOKENS {
+            let next = zg_model::sample_logits(&row, 0.0, &mut self.rng);
+            if next == Special::Eos.id() {
+                break;
+            }
+            out.push(next);
+            row = self.lm.step(next, &mut fork);
+        }
+        let text = self.tokenizer.decode(&out);
+        let scores = self
+            .lm
+            .score_continuations_with_cache(&cache, &logits, &[&neg, &pos]);
+        let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
+        (text, p)
+    }
+}
+
+/// Softmax over two continuation log-probs (average per-token log-prob to
+/// remove length bias) — P(positive).
+fn two_way_probability(lp_neg: f64, lp_pos: f64, neg_len: usize, pos_len: usize) -> f64 {
+    let a = lp_pos / pos_len as f64;
+    let b = lp_neg / neg_len as f64;
+    let m = a.max(b);
+    let (ea, eb) = ((a - m).exp(), (b - m).exp());
+    ea / (ea + eb)
 }
 
 impl CreditClassifier for ZiGongModel {
@@ -156,6 +216,149 @@ impl CreditClassifier for ZiGongModel {
 
     fn score(&mut self, item: &EvalItem) -> f64 {
         self.positive_probability(&item.example)
+    }
+}
+
+/// A `Send` blueprint of a [`ZiGongModel`]: configuration, raw `f32`
+/// weight buffers, tokenizer, and LoRA adapter geometry.
+///
+/// `CausalLm` tensors are `Rc`-backed and cannot cross threads, so the
+/// parallel evaluator ships this plain-data spec to each worker and
+/// rebuilds a private replica there. Replicas are exact: every parameter
+/// (base weights *and* adapter matrices) is restored by name, and the
+/// adapter slots are recreated first because [`CausalLm::restore`]-style
+/// matching by name would silently drop weights for slots that do not
+/// exist yet.
+pub struct ZiGongSpec {
+    cfg: ModelConfig,
+    weights: Vec<(String, Vec<f32>)>,
+    /// Per block, per q/k/v/o projection: `(rank, scale)` of an attached
+    /// adapter.
+    adapters: Vec<[Option<(usize, f32)>; 4]>,
+    tokenizer: BpeTokenizer,
+    max_seq_len: usize,
+    display_name: String,
+}
+
+impl ZiGongModel {
+    /// Snapshot this model into a thread-shippable [`ZiGongSpec`].
+    pub fn spec(&self) -> ZiGongSpec {
+        let weights = self
+            .lm
+            .params()
+            .into_iter()
+            .map(|(name, p)| (name, p.data().to_vec()))
+            .collect();
+        let adapters = self
+            .lm
+            .blocks
+            .iter()
+            .map(|b| {
+                let projs = b.attn.projections();
+                [0, 1, 2, 3].map(|i| {
+                    projs[i]
+                        .adapter
+                        .as_ref()
+                        .map(|ad| (ad.a.dims()[1], ad.scale))
+                })
+            })
+            .collect();
+        ZiGongSpec {
+            cfg: self.lm.cfg.clone(),
+            weights,
+            adapters,
+            tokenizer: self.tokenizer.clone(),
+            max_seq_len: self.max_seq_len,
+            display_name: self.display_name.clone(),
+        }
+    }
+}
+
+impl ZiGongSpec {
+    /// Rebuild an exact replica of the snapshotted model.
+    pub fn build(&self) -> ZiGongModel {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lm = CausalLm::new(self.cfg.clone(), &mut rng);
+        // Recreate adapter slots before restoring weights: parameters are
+        // matched by name, and `lora_a`/`lora_b` names only exist once the
+        // slot does.
+        for (block, slots) in lm.blocks.iter_mut().zip(&self.adapters) {
+            for (linear, slot) in block.attn.projections_mut().into_iter().zip(slots) {
+                if let &Some((rank, scale)) = slot {
+                    let (fin, fout) = (linear.in_features(), linear.out_features());
+                    linear.adapter = Some(Adapter {
+                        a: Tensor::param(vec![0.0; fin * rank], [fin, rank]),
+                        b: Tensor::param(vec![0.0; rank * fout], [rank, fout]),
+                        scale,
+                    });
+                }
+            }
+        }
+        let by_name: BTreeMap<&str, &Vec<f32>> =
+            self.weights.iter().map(|(n, d)| (n.as_str(), d)).collect();
+        let params = lm.params();
+        assert_eq!(
+            params.len(),
+            self.weights.len(),
+            "replica parameters must cover the spec exactly"
+        );
+        for (name, p) in params {
+            let data = by_name
+                .get(name.as_str())
+                .unwrap_or_else(|| panic!("spec missing parameter {name}"));
+            p.set_data(data);
+        }
+        ZiGongModel::new(
+            lm,
+            self.tokenizer.clone(),
+            self.max_seq_len,
+            &self.display_name,
+        )
+    }
+}
+
+/// Evaluate a ZiGong model over items with a worker pool (`workers = 0`
+/// means all available cores, `1` is serial).
+///
+/// Items are independent — the model is read-only during evaluation and
+/// greedy decoding never consumes the RNG — so the item axis is split
+/// into contiguous chunks, each worker evaluates its chunk on a private
+/// replica built from [`ZiGongModel::spec`], and outputs are concatenated
+/// in chunk order. The resulting prediction/score vectors are *identical*
+/// to the serial ones, so every metric (Acc/F1/Miss/KS/AUC) is
+/// bit-identical for any worker count (pinned by the determinism test).
+pub fn evaluate_zigong(model: &ZiGongModel, items: &[EvalItem<'_>], workers: usize) -> CellResult {
+    assert!(!items.is_empty(), "no evaluation items");
+    let workers = if workers == 0 {
+        zg_tensor::available_threads()
+    } else {
+        workers
+    };
+    let spec = model.spec();
+    let per_item: Vec<(Prediction, bool, f64)> = par_map_init(
+        items,
+        workers,
+        || spec.build(),
+        |m, item| {
+            let (text, score) = m.evaluate_item(item);
+            let neg = &item.example.candidates[0];
+            let pos = &item.example.candidates[1];
+            let pred = parse_binary(&text, neg, pos);
+            (pred, item.record.label, score)
+        },
+    );
+    let mut preds = Vec::with_capacity(items.len());
+    let mut labels = Vec::with_capacity(items.len());
+    let mut scores = Vec::with_capacity(items.len());
+    for (p, l, s) in per_item {
+        preds.push(p);
+        labels.push(l);
+        scores.push(s);
+    }
+    CellResult {
+        eval: evaluate_binary(&preds, &labels),
+        ks: ks_statistic(&scores, &labels),
+        auc: roc_auc(&scores, &labels),
     }
 }
 
@@ -292,6 +495,52 @@ mod tests {
         let items = eval_items(&ds, &test);
         for item in &items {
             assert_eq!(item.example.label, Some(item.record.label));
+        }
+    }
+
+    /// A tiny model with LoRA adapters attached and non-trivial adapter
+    /// weights, so the spec round-trip must carry the adapter path too.
+    fn tiny_zigong_with_adapters() -> ZiGongModel {
+        let mut m = tiny_zigong();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        zg_lora::attach(&mut m.lm, &zg_lora::LoraConfig::default(), &mut rng);
+        for (name, p) in zg_lora::lora_params(&m.lm) {
+            if name.ends_with("lora_b") {
+                let d: Vec<f32> = (0..p.numel()).map(|i| 0.02 * (i % 5) as f32).collect();
+                p.set_data(&d);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn spec_roundtrip_rebuilds_exact_replica() {
+        let m = tiny_zigong_with_adapters();
+        let replica = m.spec().build();
+        assert_eq!(replica.display_name, m.display_name);
+        assert_eq!(replica.max_seq_len, m.max_seq_len);
+        assert_eq!(replica.lm.params().len(), m.lm.params().len());
+        // Forward pass on the replica is bit-identical (exact weight copy,
+        // identical float-op order), adapters included.
+        let a = m.lm.forward(&[1, 9, 4, 2], 1, 4).to_vec();
+        let b = replica.lm.forward(&[1, 9, 4, 2], 1, 4).to_vec();
+        assert_eq!(a, b, "replica forward must be bit-identical");
+    }
+
+    #[test]
+    fn parallel_eval_bit_identical_to_serial() {
+        let mut m = tiny_zigong_with_adapters();
+        let ds = german(60, 8);
+        let (_, test) = ds.split(0.3);
+        let items = eval_items(&ds, &test);
+        let serial = evaluate_classifier(&mut m, &items);
+        for workers in [1usize, 2, 3, 5] {
+            let par = evaluate_zigong(&m, &items, workers);
+            assert_eq!(par.eval.acc, serial.eval.acc, "{workers} workers");
+            assert_eq!(par.eval.f1, serial.eval.f1, "{workers} workers");
+            assert_eq!(par.eval.miss, serial.eval.miss, "{workers} workers");
+            assert_eq!(par.ks, serial.ks, "{workers} workers");
+            assert_eq!(par.auc, serial.auc, "{workers} workers");
         }
     }
 }

@@ -37,7 +37,8 @@ pub use corpus::{
 };
 pub use crossval::{cross_validate, kfold_split, CrossValReport};
 pub use evaluator::{
-    eval_items, evaluate_classifier, CellResult, CreditClassifier, EvalItem, ZiGongModel,
+    eval_items, evaluate_classifier, evaluate_zigong, CellResult, CreditClassifier, EvalItem,
+    ZiGongModel, ZiGongSpec,
 };
 pub use forgetting::{run_forgetting_study, ForgettingResult, ForgettingSetup};
 pub use pruning::{
