@@ -101,10 +101,12 @@ pub fn behavior_sequences(cfg: &BehaviorConfig, seed: u64) -> Dataset {
     }
     // Threshold final risk to match the target default rate.
     let mut sorted = final_risks.clone();
+    // INVARIANT: risk scores are finite by construction (bounded arithmetic on finite draws).
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite risks"));
     let cut = ((1.0 - cfg.positive_rate) * cfg.n_users as f64).floor() as usize;
     let threshold = sorted[cut.min(cfg.n_users - 1)];
     for rec in &mut records {
+        // INVARIANT: every behavior record above is built with `user: Some(..)`.
         let user = rec.user.expect("behavior records carry a user");
         rec.label = final_risks[user] >= threshold;
     }

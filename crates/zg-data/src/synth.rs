@@ -101,6 +101,7 @@ impl SynthSpec {
         }
         // Threshold at the empirical quantile matching the target prior.
         let mut sorted = risks.clone();
+        // INVARIANT: risk scores are finite by construction.
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite risks"));
         let cut_idx = ((1.0 - self.positive_rate) * n as f64).floor() as usize;
         let threshold = sorted[cut_idx.min(n.saturating_sub(1))];

@@ -39,6 +39,7 @@ pub fn bootstrap_ci(
         }
         stats.push(metric(&sample));
     }
+    // INVARIANT: a NaN metric value is a caller bug; fail loudly rather than mis-sort.
     stats.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64) * alpha).floor() as usize;

@@ -18,6 +18,7 @@ pub fn ks_statistic(scores: &[f64], labels: &[bool]) -> f64 {
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
+            // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
             .expect("scores must be finite")
     });
     // Sweep thresholds from high to low, tracking TPR − FPR. Ties in score
@@ -52,6 +53,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         return 0.5;
     }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
+    // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
     idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
     // Average ranks over ties.
     let mut ranks = vec![0.0f64; scores.len()];

@@ -32,6 +32,7 @@ pub fn gains_table(scores: &[f64], labels: &[bool], n_bands: usize) -> Vec<Gains
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
+            // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
             .expect("finite scores")
             .then(a.cmp(&b))
     });
@@ -74,6 +75,7 @@ pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
+            // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
             .expect("finite scores")
             .then(a.cmp(&b))
     });
@@ -92,6 +94,7 @@ pub fn recall_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
+            // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
             .expect("finite scores")
             .then(a.cmp(&b))
     });

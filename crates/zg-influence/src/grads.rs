@@ -105,12 +105,14 @@ where
         let mut blob = Vec::new();
         ck.store
             .write_to(&mut blob)
+            // INVARIANT: writing to an in-memory Vec<u8> cannot fail.
             .expect("serialize checkpoint for worker threads");
         let blob = &blob;
         let make_lm = &make_lm;
         let replica = || {
             let lm = make_lm();
             let store = TensorStore::read_from(&mut blob.as_slice())
+                // INVARIANT: `blob` was produced by `write_to` above; the round-trip cannot fail.
                 .expect("deserialize checkpoint in worker");
             lm.restore(&store);
             lm

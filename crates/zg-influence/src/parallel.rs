@@ -142,10 +142,12 @@ where
             .collect();
         let mut out = Vec::with_capacity(items.len());
         for h in handles {
+            // INVARIANT: a worker panic is unrecoverable; re-raise it in the parent.
             out.extend(h.join().expect("influence worker panicked"));
         }
         out
     })
+    // INVARIANT: a worker panic is unrecoverable; re-raise it in the parent.
     .expect("influence worker pool panicked")
 }
 
@@ -193,6 +195,7 @@ pub fn influence_scores_with(
         );
     }
     if cfg.decay_samples {
+        // INVARIANT: documented API precondition of `cfg.decay_samples`.
         let times = sample_times.expect("decay_samples requires sample_times");
         assert_eq!(times.len(), n_train, "sample_times length mismatch");
     }
@@ -227,6 +230,7 @@ pub fn influence_scores_with(
     });
 
     if cfg.decay_samples {
+        // INVARIANT: presence was checked at function entry when decay_samples is set.
         let times = sample_times.expect("checked above");
         for (s, &t) in scores.iter_mut().zip(times) {
             *s *= cfg.gamma.powi(cfg.current_time.saturating_sub(t) as i32);

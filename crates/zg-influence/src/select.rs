@@ -9,12 +9,14 @@ use rand::Rng;
 /// Indices of the `k` highest-scoring samples, best first.
 /// `D = { z | z ∈ Top-k TracSeq(z) }` (Eq. 2).
 pub fn select_top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
     rank_by(scores, k, |a, b| b.partial_cmp(&a).expect("finite scores"))
 }
 
 /// Indices of the `k` lowest-scoring samples, worst first (the
 /// low-influence contrast arm of Figure 2).
 pub fn select_bottom_k(scores: &[f32], k: usize) -> Vec<usize> {
+    // INVARIANT: NaN scores are a caller bug; fail loudly rather than mis-rank.
     rank_by(scores, k, |a, b| a.partial_cmp(&b).expect("finite scores"))
 }
 
@@ -67,6 +69,7 @@ pub fn hybrid_mix(
     let mut out: Vec<usize> = ranked_by_influence[..n_pruned].to_vec();
     let all: Vec<usize> = (0..n_all).collect();
     while out.len() < cfg.total {
+        // INVARIANT: `all` is non-empty; `n_all > 0` asserted above.
         out.push(*all.choose(rng).expect("non-empty pool"));
     }
     out.shuffle(rng);

@@ -16,7 +16,7 @@
 //! always yields the same plan, on every thread — plans are cached behind
 //! a [`parking_lot::RwLock`] so concurrent scoring workers share them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -61,7 +61,7 @@ impl SketchPlan {
 pub struct Sketcher {
     dim: usize,
     seed: u64,
-    plans: RwLock<HashMap<usize, Arc<SketchPlan>>>,
+    plans: RwLock<BTreeMap<usize, Arc<SketchPlan>>>,
 }
 
 impl Sketcher {
@@ -72,7 +72,7 @@ impl Sketcher {
         Sketcher {
             dim,
             seed,
-            plans: RwLock::new(HashMap::new()),
+            plans: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -126,7 +126,7 @@ impl Sketcher {
 }
 
 /// Which split a cached gradient belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GradSplit {
     /// Training-set gradient.
     Train,
@@ -147,7 +147,7 @@ pub type GradKey = (u32, usize, GradSplit);
 /// once. Entries are `Arc`ed, so readers never copy the vectors.
 #[derive(Debug, Default)]
 pub struct GradStore {
-    map: RwLock<HashMap<GradKey, Arc<Vec<f32>>>>,
+    map: RwLock<BTreeMap<GradKey, Arc<Vec<f32>>>>,
 }
 
 impl GradStore {

@@ -1,0 +1,322 @@
+//! `lint.toml` parsing: a hand-rolled subset of TOML (the container has
+//! no registry access, so no `toml` crate). Supported grammar:
+//!
+//! ```toml
+//! # comment
+//! [rules]
+//! warn = ["D2"]            # rules downgraded to warnings (still reported)
+//!
+//! [[allow]]                # one allowlist entry
+//! rule = "D1"
+//! path = "crates/zg-tensor/src/autograd.rs"   # file or directory prefix
+//! reason = "membership-only HashSet; never iterated"
+//!
+//! [[g1]]                   # inference entry point manifest (rule G1)
+//! file = "crates/zg-model/src/lm.rs"
+//! function = "generate"
+//! ```
+//!
+//! Every `[[allow]]` entry **must** carry a `reason` — the config format
+//! itself enforces that suppressions are justified.
+
+use std::fmt;
+
+/// One allowlist entry: suppress `rule` under `path` (exact file or
+/// directory prefix), with a mandatory human justification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowEntry {
+    /// Rule id, e.g. `"D1"`.
+    pub rule: String,
+    /// Workspace-relative path; a trailing-slash-free prefix also matches
+    /// whole directories (`crates/zg-bench` covers every file under it).
+    pub path: String,
+    /// Why this suppression is sound.
+    pub reason: String,
+}
+
+/// One G1 manifest entry: `function` in `file` must call `no_grad`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct G1Entry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Function name (outside test code) whose body must contain `no_grad`.
+    pub function: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Allowlist entries.
+    pub allow: Vec<AllowEntry>,
+    /// G1 inference entry point manifest.
+    pub g1: Vec<G1Entry>,
+    /// Rules reported as warnings instead of errors (unless `--deny-all`).
+    pub warn: Vec<String>,
+}
+
+/// Config parse failure with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    None,
+    Rules,
+    Allow,
+    G1,
+}
+
+impl Config {
+    /// Parse config text. See module docs for the accepted grammar.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                cfg.allow.push(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                section = Section::Allow;
+            } else if line == "[[g1]]" {
+                cfg.g1.push(G1Entry {
+                    file: String::new(),
+                    function: String::new(),
+                });
+                section = Section::G1;
+            } else if line == "[rules]" {
+                section = Section::Rules;
+            } else if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown section {line}"),
+                });
+            } else {
+                let (key, value) = split_assignment(&line, lineno)?;
+                match section {
+                    Section::Rules => match key.as_str() {
+                        "warn" => cfg.warn = parse_string_array(&value, lineno)?,
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown key `{key}` in [rules]"),
+                            })
+                        }
+                    },
+                    Section::Allow => {
+                        // INVARIANT: entering Section::Allow pushes an entry.
+                        let entry = cfg.allow.last_mut().expect("allow entry exists");
+                        let slot = match key.as_str() {
+                            "rule" => &mut entry.rule,
+                            "path" => &mut entry.path,
+                            "reason" => &mut entry.reason,
+                            _ => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!("unknown key `{key}` in [[allow]]"),
+                                })
+                            }
+                        };
+                        *slot = parse_string(&value, lineno)?;
+                    }
+                    Section::G1 => {
+                        // INVARIANT: entering Section::G1 pushes an entry.
+                        let entry = cfg.g1.last_mut().expect("g1 entry exists");
+                        let slot = match key.as_str() {
+                            "file" => &mut entry.file,
+                            "function" => &mut entry.function,
+                            _ => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!("unknown key `{key}` in [[g1]]"),
+                                })
+                            }
+                        };
+                        *slot = parse_string(&value, lineno)?;
+                    }
+                    Section::None => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("key `{key}` outside any section"),
+                        })
+                    }
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        for entry in &self.allow {
+            if entry.rule.is_empty() || entry.path.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: "[[allow]] entry needs both `rule` and `path`".into(),
+                });
+            }
+            if entry.reason.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!(
+                        "[[allow]] entry for {} / {} has no `reason` — every \
+                         suppression must be justified",
+                        entry.rule, entry.path
+                    ),
+                });
+            }
+        }
+        for entry in &self.g1 {
+            if entry.file.is_empty() || entry.function.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: "[[g1]] entry needs both `file` and `function`".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `rule` at `path` is suppressed by an allowlist entry.
+    pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
+        self.allow.iter().any(|e| {
+            e.rule == rule
+                && (e.path == path
+                    || (path.starts_with(&e.path)
+                        && path.as_bytes().get(e.path.len()) == Some(&b'/')))
+        })
+    }
+}
+
+/// Drop a `#`-to-end-of-line comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_assignment(line: &str, lineno: usize) -> Result<(String, String), ConfigError> {
+    match line.split_once('=') {
+        Some((k, v)) => Ok((k.trim().to_string(), v.trim().to_string())),
+        None => Err(ConfigError {
+            line: lineno,
+            message: format!("expected `key = value`, got `{line}`"),
+        }),
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError {
+            line: lineno,
+            message: format!("expected a double-quoted string, got `{value}`"),
+        })
+    }
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return Err(ConfigError {
+            line: lineno,
+            message: format!("expected an array of strings, got `{value}`"),
+        });
+    }
+    let inner = v[1..v.len() - 1].trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|s| parse_string(s.trim(), lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[rules]
+warn = ["D2"]
+
+[[allow]]
+rule = "D1"
+path = "crates/x/src/a.rs"   # trailing comment
+reason = "lookup only"
+
+[[g1]]
+file = "crates/m/src/lm.rs"
+function = "generate"
+"#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.warn, vec!["D2"]);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].path, "crates/x/src/a.rs");
+        assert_eq!(cfg.g1.len(), 1);
+        assert_eq!(cfg.g1[0].function, "generate");
+    }
+
+    #[test]
+    fn allow_without_reason_rejected() {
+        let err =
+            Config::parse("[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\n").expect_err("must reject");
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        assert!(Config::parse("[[allow]]\nbogus = \"x\"\n").is_err());
+        assert!(Config::parse("[weird]\n").is_err());
+        assert!(Config::parse("orphan = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn allow_prefix_matches_directories() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"D2\"\npath = \"crates/zg-bench\"\nreason = \"timing harness\"\n",
+        )
+        .expect("parse");
+        assert!(cfg.is_allowed("D2", "crates/zg-bench/src/lib.rs"));
+        assert!(cfg.is_allowed("D2", "crates/zg-bench/src/bin/t.rs"));
+        assert!(!cfg.is_allowed("D2", "crates/zg-benchmark/src/lib.rs"));
+        assert!(!cfg.is_allowed("D1", "crates/zg-bench/src/lib.rs"));
+    }
+
+    #[test]
+    fn empty_warn_array() {
+        let cfg = Config::parse("[rules]\nwarn = []\n").expect("parse");
+        assert!(cfg.warn.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Workspace walker: collects `.rs` files under the scan roots, lexes
+//! each one, runs the rules, and filters against the allowlist. All
+//! ordering is explicit (sorted paths, sorted violations) so two runs
+//! over the same tree produce byte-identical reports.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer::lex;
+use crate::rules::{check_file, Violation};
+
+/// Directory names never scanned: generated/vendored code and test-only
+/// trees (integration tests, benches, examples are test code wholesale).
+const SKIP_DIRS: [&str; 6] = [
+    "target", "vendor", "tests", "benches", "examples", "fixtures",
+];
+
+/// Roots scanned relative to the workspace root.
+const SCAN_ROOTS: [&str; 2] = ["crates", "src"];
+
+/// Outcome of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Violations not covered by the allowlist, sorted.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by lint.toml allow entries, sorted.
+    pub allowed: Vec<Violation>,
+    /// Workspace-relative paths scanned, sorted.
+    pub files: Vec<String>,
+}
+
+/// Scan failure (I/O or config).
+#[derive(Debug)]
+pub struct ScanError(pub String);
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Walk the workspace at `root` and run every rule over every library
+/// source file.
+pub fn scan_workspace(root: &Path, config: &Config) -> Result<ScanResult, ScanError> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    let mut rel_files: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(path_to_slash)
+        .collect();
+    rel_files.sort();
+
+    let mut result = ScanResult::default();
+    for rel in &rel_files {
+        let full = root.join(rel);
+        let src =
+            fs::read_to_string(&full).map_err(|e| ScanError(format!("reading {rel}: {e}")))?;
+        let model = lex(&src);
+        for v in check_file(rel, &model, config) {
+            if config.is_allowed(v.rule, rel) {
+                result.allowed.push(v);
+            } else {
+                result.violations.push(v);
+            }
+        }
+    }
+    result.violations.sort();
+    result.allowed.sort();
+    result.files = rel_files;
+    Ok(result)
+}
+
+/// Check a single in-memory source (fixture tests and editor integration).
+pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Violation> {
+    check_file(path, &lex(src), config)
+        .into_iter()
+        .filter(|v| !config.is_allowed(v.rule, path))
+        .collect()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| ScanError(format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError(format!("walking {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn path_to_slash(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locate the workspace root from a starting directory by walking up to
+/// the first directory containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! A minimal Rust source lexer for lint purposes: no AST, no `syn` (the
+//! build box has no network), just a character-level state machine that
+//! separates *code* from comments and literal contents, plus a brace-depth
+//! pass that marks `#[cfg(test)]` / `mod tests` scopes.
+//!
+//! The output preserves line and column structure: every stripped region
+//! (comment text, string/char literal interior) is replaced by spaces in
+//! the `code` view, so rule matches report the same `line:col` a reader
+//! sees in the original file.
+
+/// One source line, split into the views rules care about.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments and literal interiors blanked to spaces.
+    /// Quote characters themselves are kept so string boundaries stay
+    /// visible; everything between them is whitespace.
+    pub code: String,
+    /// Concatenated comment text appearing on this line (line comments,
+    /// doc comments, and any block-comment portion), without the comment
+    /// markers. Used for `// SAFETY:` / `// INVARIANT:` justifications.
+    pub comment: String,
+    /// Whether this line sits inside test-only code: a `#[cfg(test)]`
+    /// item or a `mod tests { .. }` body.
+    pub in_test: bool,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct SourceModel {
+    /// Per-line views, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    /// Inside a `"`-delimited string; `raw_hashes` is `Some(n)` for raw
+    /// strings terminated by `"` followed by `n` hashes.
+    Str {
+        raw_hashes: Option<usize>,
+    },
+    CharLit,
+}
+
+/// Lex `src` into per-line code/comment views and mark test scopes.
+pub fn lex(src: &str) -> SourceModel {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Newlines always flush, whatever the state; multi-line
+            // constructs keep their state across the flush.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    // Skip doc-comment thirds slashes / bangs into the
+                    // comment text; they are harmless either way.
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw-string / byte-string / byte-char prefix.
+                    if let Some((hashes, consumed)) = raw_string_start(&chars, i) {
+                        state = State::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        i += consumed + 1;
+                    } else if c == 'b' && next == Some('"') {
+                        state = State::Str { raw_hashes: None };
+                        code.push(' ');
+                        code.push('"');
+                        i += 2;
+                    } else if c == 'b' && next == Some('\'') {
+                        state = State::CharLit;
+                        code.push(' ');
+                        code.push('\'');
+                        i += 2;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        state = State::CharLit;
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        // Lifetime marker: keep it, it is code.
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push(' ');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    if c == '"' && has_hashes(&chars, i + 1, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::CharLit => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!();
+    mark_test_scopes(&mut lines);
+    SourceModel { lines }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// If `chars[i..]` starts a raw (byte) string (`r"`, `r#"`, `br##"` ...),
+/// return `(hash_count, chars_consumed_before_quote)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j).copied() != Some('r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j).copied() == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j).copied() == Some('"') {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+fn has_hashes(chars: &[char], start: usize, n: usize) -> bool {
+    (0..n).all(|k| chars.get(start + k).copied() == Some('#'))
+}
+
+/// Distinguish a char literal (`'a'`, `'\n'`, `'é'`) from a lifetime
+/// (`'a`, `'static`): a literal closes with a quote within a short window.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2).copied() == Some('\''),
+        None => false,
+    }
+}
+
+/// Markers that open a test-only scope when followed by a braced item.
+const TEST_MARKERS: [&str; 4] = ["#[cfg(test)]", "#[cfg(any(test", "#[test]", "mod tests"];
+
+/// Mark lines inside `#[cfg(test)]` items / `mod tests` bodies.
+///
+/// Brace-depth tracking on the *code* view: a marker arms a pending flag;
+/// the next `{` at or below the marker's depth opens a test scope that
+/// closes with its matching `}`. A `;` before any brace (e.g.
+/// `#[cfg(test)] use ...;`) disarms the flag.
+fn mark_test_scopes(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    // Depths (post-increment) at which open test scopes started.
+    let mut scopes: Vec<i64> = Vec::new();
+    let mut pending = false;
+    let mut pending_depth: i64 = 0;
+    for line in lines.iter_mut() {
+        let marker_at = TEST_MARKERS.iter().filter_map(|m| line.code.find(m)).min();
+        // Snapshot: a line that starts inside a scope (or under a pending
+        // marker) is test code even if the scope closes — or the marker is
+        // disarmed by `;` — on this very line.
+        let was_in_scope = !scopes.is_empty();
+        let was_pending = pending;
+        let mut armed_this_line = false;
+        for (pos, c) in line.code.char_indices() {
+            if let Some(at) = marker_at {
+                if pos == at {
+                    pending = true;
+                    pending_depth = depth;
+                    armed_this_line = true;
+                    line.in_test = true;
+                }
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        scopes.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if scopes.last().copied() == Some(depth) {
+                        scopes.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending && depth == pending_depth => pending = false,
+                _ => {}
+            }
+        }
+        if !scopes.is_empty() || was_in_scope || pending || was_pending || armed_this_line {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments_keeps_text() {
+        let m = lex("let x = 1; // SAFETY: fine\n");
+        assert!(m.lines[0].code.contains("let x = 1;"));
+        assert!(!m.lines[0].code.contains("SAFETY"));
+        assert!(m.lines[0].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn strips_string_interiors_preserving_columns() {
+        let c = code_of("let s = \"HashMap here\";\n");
+        assert!(!c[0].contains("HashMap"));
+        assert_eq!(c[0].len(), "let s = \"HashMap here\";".len());
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let c = code_of("let s = r#\"unsafe \" inside\"#; let t = 1;\n");
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("a /* x /* y */ z */ b\n");
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains('x') && !c[0].contains('z'));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }\n");
+        // The quote inside the char literal must not open a string state.
+        assert!(c[0].contains("fn f<'a>"));
+        let c2 = code_of("let c = 'x'; let bad = \"unsafe\";\n");
+        assert!(!c2[0].contains("unsafe"));
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let c = code_of("let s = \"line one\nHashMap line two\";\nlet y = 2;\n");
+        assert!(!c[1].contains("HashMap"));
+        assert!(c[2].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_scope_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let m = lex(src);
+        let flags: Vec<bool> = m.lines.iter().map(|l| l.in_test).collect();
+        assert!(!flags[0]);
+        assert!(flags[1] && flags[2] && flags[3] && flags[4]);
+        assert!(!flags[5]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {\n    body();\n}\n";
+        let m = lex(src);
+        assert!(m.lines[1].in_test);
+        assert!(!m.lines[3].in_test, "scope must not extend past the `;`");
+    }
+
+    #[test]
+    fn test_attr_fn_marked() {
+        let src = "#[test]\nfn check() {\n    boom();\n}\nfn lib() {}\n";
+        let m = lex(src);
+        assert!(m.lines[2].in_test);
+        assert!(!m.lines[4].in_test);
+    }
+}

@@ -1,0 +1,33 @@
+//! `zg-lint`: the workspace invariant checker.
+//!
+//! The parallel TracSeq engine and the tiled GEMM fast path are pinned
+//! bit-identical to their reference implementations; the KS/pruning
+//! numbers in the paper reproduction depend on stable rankings. Those
+//! guarantees die silently the first time a result-affecting `HashMap`
+//! iteration or an unseeded RNG slips in — so the invariants are
+//! machine-checked here, as five rule families (see [`rules`]):
+//!
+//! * **D1** — determinism: no `HashMap`/`HashSet` in library code.
+//! * **D2** — determinism: no wall-clock / OS entropy in library code.
+//! * **P1** — panic-freedom: no unjustified `unwrap`/`expect`/`panic!`.
+//! * **U1** — unsafe hygiene: every `unsafe` carries a `// SAFETY:` note.
+//! * **G1** — no-grad coverage: manifest-listed inference entry points
+//!   run under `no_grad`.
+//!
+//! The scanner is a hand-rolled lexer (no `syn`; the build box has no
+//! network) that strips comments/strings and tracks `#[cfg(test)]` /
+//! `mod tests` scopes so rules only see non-test library code. Rules are
+//! suppressed per file via `lint.toml` allow entries, each of which must
+//! carry a written reason. The same pass runs three ways: the `zg-lint`
+//! binary (CI gate), the `workspace_clean` integration test (tier-1
+//! `cargo test` gate), and [`engine::scan_source`] for fixture tests.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{find_workspace_root, scan_source, scan_workspace, ScanResult};
+pub use rules::{Violation, RULE_IDS};

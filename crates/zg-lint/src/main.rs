@@ -1,0 +1,128 @@
+//! The `zg-lint` binary: scan the workspace and report invariant
+//! violations rustc-style.
+//!
+//! ```text
+//! zg-lint [ROOT] [--config PATH] [--json] [--deny-all] [--quiet]
+//! ```
+//!
+//! * `ROOT` — workspace root (default: walk up from the current dir).
+//! * `--config PATH` — lint config (default: `ROOT/lint.toml`).
+//! * `--json` — print a machine-readable summary instead of diagnostics.
+//! * `--deny-all` — treat `[rules] warn` downgrades as errors too.
+//! * `--quiet` — suppress per-violation diagnostics, print the summary only.
+//!
+//! Exit code 0 when no error-level violations remain, 1 otherwise, 2 on
+//! usage/config errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zg_lint::{config::Config, engine, report};
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        json: false,
+        deny_all: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--deny-all" => args.deny_all = true,
+            "--quiet" => args.quiet = true,
+            "--config" => {
+                let path = it.next().ok_or("--config needs a path")?;
+                args.config = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: zg-lint [ROOT] [--config PATH] [--json] [--deny-all] [--quiet]"
+                        .to_string(),
+                )
+            }
+            other if !other.starts_with('-') => args.root = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| engine::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("zg-lint: could not locate a workspace root (Cargo.toml + crates/)");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
+    let mut config = if config_path.is_file() {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("zg-lint: reading {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("zg-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+    if args.deny_all {
+        config.warn.clear();
+    }
+
+    let result = match engine::scan_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("zg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", report::to_json(&result));
+    } else if args.quiet {
+        let rendered = report::render(&result, &config, None);
+        // Summary is the final line of the rendered report.
+        if let Some(last) = rendered.lines().next_back() {
+            println!("{last}");
+        }
+    } else {
+        print!("{}", report::render(&result, &config, Some(&root)));
+    }
+
+    if report::count_errors(&result, &config) > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

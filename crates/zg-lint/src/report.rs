@@ -1,0 +1,95 @@
+//! rustc-style diagnostic rendering and machine-readable JSON summaries.
+//! Rendering is pure string building over already-sorted violations, so
+//! the report for a given tree is byte-stable across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::engine::ScanResult;
+use crate::rules::{Violation, RULE_IDS};
+
+/// Render violations rustc-style, with the offending source line when the
+/// workspace `root` is available to read it from.
+pub fn render(result: &ScanResult, config: &Config, root: Option<&Path>) -> String {
+    let mut out = String::new();
+    for v in &result.violations {
+        let level = if config.warn.iter().any(|r| r == v.rule) {
+            "warning"
+        } else {
+            "error"
+        };
+        render_one(&mut out, v, level, root);
+    }
+    let errors = count_errors(result, config);
+    let warnings = result.violations.len() - errors;
+    let _ = writeln!(
+        out,
+        "zg-lint: {} file(s) scanned, {errors} error(s), {warnings} warning(s), {} allowed",
+        result.files.len(),
+        result.allowed.len()
+    );
+    out
+}
+
+fn render_one(out: &mut String, v: &Violation, level: &str, root: Option<&Path>) {
+    let _ = writeln!(out, "{level}[{}]: {}", v.rule, v.message);
+    let _ = writeln!(out, "  --> {}:{}:{}", v.path, v.line, v.col);
+    if let Some(root) = root {
+        if let Ok(src) = std::fs::read_to_string(root.join(&v.path)) {
+            if let Some(line) = src.lines().nth(v.line - 1) {
+                let gutter = v.line.to_string();
+                let pad = " ".repeat(gutter.len());
+                let _ = writeln!(out, "{pad} |");
+                let _ = writeln!(out, "{gutter} | {}", line.trim_end());
+                let _ = writeln!(out, "{pad} |");
+            }
+        }
+    }
+    out.push('\n');
+}
+
+/// Violations counted at error level (not downgraded by `[rules] warn`).
+pub fn count_errors(result: &ScanResult, config: &Config) -> usize {
+    result
+        .violations
+        .iter()
+        .filter(|v| !config.warn.iter().any(|r| r == v.rule))
+        .count()
+}
+
+/// JSON summary: per-rule violation counts plus scan totals. Key order is
+/// fixed (BTreeMap + the static rule list) for byte-stable output.
+pub fn to_json(result: &ScanResult) -> serde_json::Value {
+    let mut counts: BTreeMap<&str, usize> = RULE_IDS.iter().map(|&r| (r, 0)).collect();
+    for v in &result.violations {
+        if let Some(slot) = counts.get_mut(v.rule) {
+            *slot += 1;
+        }
+    }
+    let mut by_rule_map = serde_json::Map::new();
+    for (rule, n) in counts {
+        by_rule_map.insert(rule.to_string(), serde_json::json!(n));
+    }
+    let by_rule = serde_json::Value::Object(by_rule_map);
+    let violations: Vec<serde_json::Value> = result
+        .violations
+        .iter()
+        .map(|v| {
+            serde_json::json!({
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "files_scanned": result.files.len(),
+        "total_violations": result.violations.len(),
+        "allowed": result.allowed.len(),
+        "by_rule": by_rule,
+        "violations": violations,
+    })
+}

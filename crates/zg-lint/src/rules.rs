@@ -1,0 +1,352 @@
+//! The five rule families enforced over the lexed code view.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | D1 | no `HashMap`/`HashSet` in non-test library code (iteration order is nondeterministic; use `BTreeMap`/`BTreeSet`/sorted vecs, or allowlist membership-only uses) |
+//! | D2 | no wall-clock / OS entropy in library code (`Instant::now`, `SystemTime`, `thread_rng`); randomness must flow through seeded RNGs |
+//! | P1 | no `unwrap()` / `expect(..)` / `panic!` in non-test library code without an `// INVARIANT:` justification on the same line or the comment block above |
+//! | U1 | every `unsafe` must carry a `// SAFETY:` comment on the same line or in the comment block above |
+//! | G1 | manifest-listed public inference entry points must call `no_grad` |
+
+use crate::config::Config;
+use crate::lexer::SourceModel;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the match in the source line.
+    pub col: usize,
+    /// Rule id (`"D1"` .. `"G1"`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// All rule ids, in report order.
+pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "U1", "G1"];
+
+/// One-line summary per rule (used by `--explain` and the docs).
+pub fn rule_summary(rule: &str) -> &'static str {
+    match rule {
+        "D1" => "HashMap/HashSet in library code: iteration order is nondeterministic",
+        "D2" => "wall-clock or OS entropy in library code: breaks seeded reproducibility",
+        "P1" => "unwrap()/expect()/panic! in library code without // INVARIANT: justification",
+        "U1" => "unsafe without a // SAFETY: comment",
+        "G1" => "manifest-listed inference entry point does not call no_grad",
+        _ => "unknown rule",
+    }
+}
+
+/// Run every rule over one lexed file. `path` is workspace-relative and
+/// only used for reporting and G1 manifest matching; allowlist filtering
+/// happens in the engine, not here.
+pub fn check_file(path: &str, model: &SourceModel, config: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_d1(path, model, &mut out);
+    check_d2(path, model, &mut out);
+    check_p1(path, model, &mut out);
+    check_u1(path, model, &mut out);
+    check_g1(path, model, config, &mut out);
+    out.sort();
+    out
+}
+
+/// Is the match at `pos..pos+len` a standalone word (not an identifier
+/// fragment like `FxHashMap` or `unsafe_name`)?
+fn word_bounded(code: &str, pos: usize, len: usize) -> bool {
+    let before = code[..pos].chars().next_back();
+    let after = code[pos + len..].chars().next();
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    !before.is_some_and(is_ident) && !after.is_some_and(is_ident)
+}
+
+/// All word-bounded occurrences of `needle` in `code`, as byte offsets.
+fn find_word(code: &str, needle: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let pos = from + rel;
+        if word_bounded(code, pos, needle.len()) {
+            hits.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    hits
+}
+
+fn check_d1(path: &str, model: &SourceModel, out: &mut Vec<Violation>) {
+    for (idx, line) in model.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in ["HashMap", "HashSet"] {
+            for pos in find_word(&line.code, needle) {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    col: pos + 1,
+                    rule: "D1",
+                    message: format!(
+                        "`{needle}` in non-test library code: iteration order is \
+                         nondeterministic and breaks bit-identical reduction; use \
+                         `BTreeMap`/`BTreeSet`/sorted vecs, or allowlist a \
+                         membership-only use in lint.toml"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_d2(path: &str, model: &SourceModel, out: &mut Vec<Violation>) {
+    for (idx, line) in model.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in ["Instant::now", "SystemTime", "thread_rng"] {
+            for pos in find_word(&line.code, needle) {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    col: pos + 1,
+                    rule: "D2",
+                    message: format!(
+                        "`{needle}` in library code: wall-clock time and OS entropy \
+                         make results run-dependent; thread a seeded RNG / explicit \
+                         timestamp through the API instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A justification comment counts when it appears on the flagged line
+/// itself or anywhere in the contiguous comment block directly above it
+/// (lines whose code view is blank — pure comment or empty lines).
+fn justified(model: &SourceModel, idx: usize, tag: &str) -> bool {
+    if model.lines[idx].comment.contains(tag) {
+        return true;
+    }
+    for line in model.lines[..idx].iter().rev() {
+        if !line.code.trim().is_empty() {
+            return false;
+        }
+        if line.comment.contains(tag) {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_p1(path: &str, model: &SourceModel, out: &mut Vec<Violation>) {
+    for (idx, line) in model.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for needle in [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!"] {
+            let hits: Vec<usize> = if needle.starts_with('.') {
+                // Method calls: exact match (keeps `.unwrap_or(..)` legal).
+                let mut v = Vec::new();
+                let mut from = 0;
+                while let Some(rel) = line.code[from..].find(needle) {
+                    v.push(from + rel);
+                    from += rel + needle.len();
+                }
+                v
+            } else {
+                // Macros: word-bounded so `dont_panic!` style names pass.
+                find_word(&line.code, needle.trim_end_matches('!'))
+                    .into_iter()
+                    .filter(|&p| line.code[p..].starts_with(needle))
+                    .collect()
+            };
+            for pos in hits {
+                if justified(model, idx, "INVARIANT:") {
+                    continue;
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    col: pos + 1,
+                    rule: "P1",
+                    message: format!(
+                        "`{needle}` in non-test library code: return an error or \
+                         justify with `// INVARIANT: <why this cannot fail>`",
+                        needle = needle.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_u1(path: &str, model: &SourceModel, out: &mut Vec<Violation>) {
+    for (idx, line) in model.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pos in find_word(&line.code, "unsafe") {
+            if justified(model, idx, "SAFETY:") {
+                continue;
+            }
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                col: pos + 1,
+                rule: "U1",
+                message: "`unsafe` without a `// SAFETY:` comment on the same line \
+                          or in the comment block above: state the invariant that \
+                          makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// G1: each manifest entry (`file`, `function`) must resolve to a
+/// non-test `fn` whose brace-matched body mentions `no_grad`.
+fn check_g1(path: &str, model: &SourceModel, config: &Config, out: &mut Vec<Violation>) {
+    for entry in config.g1.iter().filter(|e| e.file == path) {
+        match fn_body_lines(model, &entry.function) {
+            None => out.push(Violation {
+                path: path.to_string(),
+                line: 1,
+                col: 1,
+                rule: "G1",
+                message: format!(
+                    "manifest lists inference entry point `{}` but no such \
+                     function exists here — update lint.toml ([[g1]]) or the code",
+                    entry.function
+                ),
+            }),
+            Some((decl_line, lo, hi)) => {
+                let calls = model.lines[lo..hi]
+                    .iter()
+                    .any(|l| !find_word(&l.code, "no_grad").is_empty());
+                if !calls {
+                    out.push(Violation {
+                        path: path.to_string(),
+                        line: decl_line + 1,
+                        col: 1,
+                        rule: "G1",
+                        message: format!(
+                            "inference entry point `{}` never calls `no_grad`: \
+                             inference must not build autograd tape",
+                            entry.function
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Locate `fn <name>` outside test code and brace-match its body.
+/// Returns `(decl_line_idx, body_start_idx, body_end_idx_exclusive)`.
+fn fn_body_lines(model: &SourceModel, name: &str) -> Option<(usize, usize, usize)> {
+    let decl = model.lines.iter().enumerate().find(|(_, l)| {
+        !l.in_test
+            && find_word(&l.code, name)
+                .iter()
+                .any(|&p| l.code[..p].trim_end().ends_with("fn"))
+    });
+    let (decl_idx, _) = decl?;
+    // Scan forward from the declaration for the opening brace, then match.
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (idx, line) in model.lines.iter().enumerate().skip(decl_idx) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth == 0 {
+            return Some((decl_idx, decl_idx, idx + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check_file("lib.rs", &lex(src), &Config::default())
+    }
+
+    #[test]
+    fn d1_fires_on_hashmap_not_on_btreemap() {
+        let v = run("use std::collections::HashMap;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D1");
+        assert!(run("use std::collections::BTreeMap;\n").is_empty());
+        // Identifier fragments do not count.
+        assert!(run("struct MyHashMapLike;\n").is_empty());
+    }
+
+    #[test]
+    fn p1_unwrap_or_is_legal() {
+        assert!(run("let x = opt.unwrap_or(3);\n").is_empty());
+        assert!(run("let x = opt.unwrap_or_else(f);\n").is_empty());
+        let v = run("let x = opt.unwrap();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "P1");
+    }
+
+    #[test]
+    fn p1_invariant_comment_justifies() {
+        assert!(run("// INVARIANT: checked non-empty above\nlet x = opt.unwrap();\n").is_empty());
+        assert!(run("let x = opt.unwrap(); // INVARIANT: len checked\n").is_empty());
+    }
+
+    #[test]
+    fn u1_requires_safety_comment() {
+        let v = run("let p = unsafe { *ptr };\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "U1");
+        assert!(run("// SAFETY: ptr is valid for reads\nlet p = unsafe { *ptr };\n").is_empty());
+    }
+
+    #[test]
+    fn g1_missing_no_grad_flagged() {
+        let cfg =
+            Config::parse("[[g1]]\nfile = \"lib.rs\"\nfunction = \"generate\"\n").expect("cfg");
+        let bad = "pub fn generate(&self) -> Vec<u32> {\n    self.decode()\n}\n";
+        let v = check_file("lib.rs", &lex(bad), &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "G1");
+        let good = "pub fn generate(&self) -> Vec<u32> {\n    no_grad(|| self.decode())\n}\n";
+        assert!(check_file("lib.rs", &lex(good), &cfg).is_empty());
+    }
+
+    #[test]
+    fn g1_manifest_drift_flagged() {
+        let cfg = Config::parse("[[g1]]\nfile = \"lib.rs\"\nfunction = \"gone\"\n").expect("cfg");
+        let v = check_file("lib.rs", &lex("pub fn other() {}\n"), &cfg);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no such function"));
+    }
+
+    #[test]
+    fn test_scope_excluded_from_all_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { x.unwrap(); panic!(); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn string_and_comment_content_ignored() {
+        assert!(run("let s = \"HashMap unsafe panic!\"; // HashMap in comment\n").is_empty());
+    }
+}

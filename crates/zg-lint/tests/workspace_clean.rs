@@ -1,0 +1,62 @@
+//! The lint pass over the real workspace, as a `#[test]` — this puts the
+//! invariant checker inside the tier-1 `cargo test` gate (the `zg-lint`
+//! binary run in CI is the same pass with a CLI front-end).
+
+use std::path::Path;
+
+use zg_lint::{find_workspace_root, scan_workspace, Config};
+
+fn workspace() -> (std::path::PathBuf, Config) {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(start).expect("workspace root above zg-lint");
+    let cfg_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&cfg_path).expect("lint.toml at workspace root");
+    let cfg = Config::parse(&text).expect("lint.toml parses");
+    (root, cfg)
+}
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let (root, cfg) = workspace();
+    let result = scan_workspace(&root, &cfg).expect("scan succeeds");
+    assert!(
+        result.files.len() > 50,
+        "scan saw only {} files — scan roots misconfigured?",
+        result.files.len()
+    );
+    assert!(
+        result.violations.is_empty(),
+        "workspace must stay lint-clean:\n{}",
+        zg_lint::report::render(&result, &cfg, Some(&root))
+    );
+}
+
+#[test]
+fn g1_manifest_resolves_against_the_tree() {
+    // Manifest drift (an entry pointing at a renamed function) surfaces as
+    // a G1 violation; the clean scan above therefore also proves every
+    // [[g1]] entry still resolves. Here we additionally pin that the
+    // manifest is non-trivial — an empty manifest would make G1 vacuous.
+    let (_, cfg) = workspace();
+    assert!(
+        cfg.g1.len() >= 4,
+        "expected the four inference entry points in lint.toml, found {}",
+        cfg.g1.len()
+    );
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let (root, cfg) = workspace();
+    let a = scan_workspace(&root, &cfg).expect("first scan");
+    let b = scan_workspace(&root, &cfg).expect("second scan");
+    assert_eq!(a.files, b.files);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.allowed, b.allowed);
+    let ra = zg_lint::report::render(&a, &cfg, Some(&root));
+    let rb = zg_lint::report::render(&b, &cfg, Some(&root));
+    assert_eq!(ra, rb, "rendered reports must be byte-identical");
+    let ja = zg_lint::report::to_json(&a).to_string();
+    let jb = zg_lint::report::to_json(&b).to_string();
+    assert_eq!(ja, jb, "JSON summaries must be byte-identical");
+}

@@ -75,6 +75,7 @@ fn targeted<'a>(projections: [&'a mut Linear; 4], targets: &[TargetModule]) -> V
     .enumerate()
     {
         if targets.contains(module) {
+            // INVARIANT: each TargetModule appears once in the array, so each slot is taken at most once.
             out.push(slots[idx].take().expect("slot taken once"));
         }
     }

@@ -58,6 +58,7 @@ pub fn beam_search(
                 let row = &logp.data()[(t - 1) * v..t * v];
                 // Expand with the top `beam_width` next tokens.
                 let mut order: Vec<usize> = (0..v).collect();
+                // INVARIANT: log-probabilities are finite (log_softmax of finite logits).
                 order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
                 for &tok in order.iter().take(beam_width) {
                     let mut h = beam.clone();
@@ -73,6 +74,7 @@ pub fn beam_search(
             candidates.sort_by(|a, b| {
                 b.score(alpha)
                     .partial_cmp(&a.score(alpha))
+                    // INVARIANT: beam scores are finite length-normalized log-probabilities.
                     .expect("finite scores")
             });
             candidates.truncate(beam_width);
@@ -87,6 +89,7 @@ pub fn beam_search(
             .max_by(|a, b| {
                 a.score(alpha)
                     .partial_cmp(&b.score(alpha))
+                    // INVARIANT: beam scores are finite length-normalized log-probabilities.
                     .expect("finite scores")
             })
             .map(|h| h.tokens)

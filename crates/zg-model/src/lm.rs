@@ -4,7 +4,7 @@
 //! the probability scores behind the KS metric).
 
 use rand::Rng;
-use zg_tensor::{no_grad, Tensor, TensorStore};
+use zg_tensor::{no_grad, GraphLeakGuard, Tensor, TensorStore};
 
 use crate::attention::LayerKvCache;
 use crate::block::TransformerBlock;
@@ -162,6 +162,7 @@ impl CausalLm {
         rng: &mut impl Rng,
     ) -> Vec<u32> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let _leak = GraphLeakGuard::new("CausalLm::generate");
         // The whole decode runs under no_grad — chunked prompt prefill,
         // then one cached step per sampled token.
         no_grad(|| {
@@ -202,6 +203,7 @@ impl CausalLm {
     /// on exactly the needed positions (`O(|cont|·V)`, not `O(t·V)`).
     pub fn score_continuations(&self, prompt: &[u32], continuations: &[&[u32]]) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let _leak = GraphLeakGuard::new("CausalLm::score_continuations");
         let mut cache = self.new_cache();
         let prompt_logits = self.prefill(prompt, &mut cache);
         self.score_continuations_with_cache(&cache, &prompt_logits, continuations)
@@ -217,6 +219,7 @@ impl CausalLm {
         next_logits: &[f32],
         continuations: &[&[u32]],
     ) -> Vec<f32> {
+        let _leak = GraphLeakGuard::new("CausalLm::score_continuations_with_cache");
         no_grad(|| {
             continuations
                 .iter()
@@ -248,6 +251,7 @@ impl CausalLm {
     /// `(t, vocab)` log-softmax.
     pub fn score_continuation_full(&self, prompt: &[u32], continuation: &[u32]) -> f32 {
         assert!(!prompt.is_empty() && !continuation.is_empty());
+        let _leak = GraphLeakGuard::new("CausalLm::score_continuation_full");
         no_grad(|| {
             let mut seq = prompt.to_vec();
             seq.extend_from_slice(continuation);
@@ -299,6 +303,7 @@ impl CausalLm {
         for (name, p) in self.params() {
             let saved = store
                 .get(&name)
+                // INVARIANT: a checkpoint missing a model parameter is unrecoverable corruption.
                 .unwrap_or_else(|| panic!("checkpoint missing parameter {name}"));
             assert_eq!(saved.dims(), p.dims(), "shape mismatch for {name}");
             p.set_data(&saved.data());
@@ -321,8 +326,10 @@ pub fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> u3
         return logits
             .iter()
             .enumerate()
+            // INVARIANT: NaN logits are a caller bug; fail loudly rather than mis-rank.
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
             .map(|(i, _)| i as u32)
+            // INVARIANT: callers never pass an empty logit row.
             .expect("non-empty logits");
     }
     // Softmax with temperature, then inverse-CDF sampling.

@@ -1,7 +1,7 @@
 //! Optimization: AdamW (paper Table 3: β₁=0.9, β₂=0.999), cosine-decay
 //! learning-rate schedule with warmup, and global-norm gradient clipping.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use zg_tensor::Tensor;
 
@@ -19,7 +19,7 @@ pub struct AdamW {
     pub weight_decay: f32,
     /// Step counter (for bias correction).
     pub t: u64,
-    state: HashMap<u64, Moments>,
+    state: BTreeMap<u64, Moments>,
 }
 
 struct Moments {
@@ -37,7 +37,7 @@ impl AdamW {
             eps: 1e-8,
             weight_decay,
             t: 0,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 

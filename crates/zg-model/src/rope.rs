@@ -75,6 +75,7 @@ impl RopeCache {
         let half = self.half;
         let parent = x.clone();
         Tensor::custom(data, dims.clone(), vec![x.clone()], move |out| {
+            // INVARIANT: backward closures only run once the output gradient is seeded.
             let g = out.grad().expect("missing output grad");
             // Inverse rotation of the gradient.
             let mut gx = vec![0.0f32; g.len()];

@@ -70,6 +70,7 @@ pub fn sample_filtered(
     // Top-k filter.
     if cfg.top_k > 0 && cfg.top_k < logits.len() {
         let mut sorted: Vec<f32> = logits.clone();
+        // INVARIANT: NaN logits are a caller bug; fail loudly rather than mis-rank.
         sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite logits"));
         let cutoff = sorted[cfg.top_k - 1];
         for l in &mut logits {
@@ -84,6 +85,7 @@ pub fn sample_filtered(
         let exps: Vec<f32> = logits.iter().map(|&l| (l - m).exp()).collect();
         let z: f32 = exps.iter().sum();
         let mut order: Vec<usize> = (0..logits.len()).collect();
+        // INVARIANT: NaN logits are a caller bug; fail loudly rather than mis-rank.
         order.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite"));
         let mut cum = 0.0f32;
         let mut keep = vec![false; logits.len()];

@@ -37,6 +37,8 @@ pub fn gradcheck(f: impl Fn(&Tensor) -> Tensor, x0: &[f32], h: f32) -> GradCheck
     let y = f(&x);
     assert_eq!(y.numel(), 1, "gradcheck needs a scalar-valued function");
     y.backward();
+    // INVARIANT: x is a fresh param and y.backward() just ran on a graph
+    // rooted at it, so the leaf gradient is populated.
     let analytic = x.grad().expect("gradient must exist");
 
     let eval = |vals: Vec<f32>| -> f32 { f(&Tensor::from_vec(vals, [n])).item() };

@@ -28,6 +28,7 @@
 mod autograd;
 mod gradcheck;
 mod init;
+mod leak;
 mod ops_binary;
 mod ops_matmul;
 mod ops_nn;
@@ -41,6 +42,7 @@ mod tensor;
 
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use init::randn_sample;
+pub use leak::{live_tape_nodes, GraphLeakGuard};
 pub use ops_matmul::{
     available_threads, gemm, gemm_kernel, gemm_naive, gemm_tiled, gemm_with_threads,
     set_gemm_kernel, GemmKernel,

@@ -9,6 +9,8 @@ fn broadcast_forward(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Ve
     let out_shape = a
         .shape()
         .broadcast(b.shape())
+        // INVARIANT: incompatible shapes are an unrecoverable caller bug;
+        // panicking with both shapes is the documented contract.
         .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
     let n = out_shape.numel();
     let ad = a.data();
@@ -37,8 +39,8 @@ fn broadcast_backward(
     da: impl Fn(f32, f32) -> f32, // ∂f/∂a at (a_val, b_val)
     db: impl Fn(f32, f32) -> f32, // ∂f/∂b at (a_val, b_val)
 ) {
-    let g = out.0.grad.borrow();
-    let g = g.as_ref().expect("backward called without output grad");
+    let g = out.out_grad();
+    let g: &[f32] = &g;
     let ad = a.data();
     let bd = b.data();
     let out_shape = out.shape();

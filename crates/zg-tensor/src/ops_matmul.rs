@@ -381,6 +381,8 @@ fn batch_plan(a_shape: &Shape, b_shape: &Shape) -> BatchPlan {
     let bb = Shape::new(bb);
     let batch = ab
         .broadcast(&bb)
+        // INVARIANT: non-broadcastable batch dims are an unrecoverable
+        // caller bug; panicking with both shapes is the documented contract.
         .unwrap_or_else(|| panic!("matmul batch dims {ab} and {bb} do not broadcast"));
     // Batch strides measured in matrix chunks, then scaled to element offsets.
     let sa = ab.broadcast_strides(&batch);
@@ -491,8 +493,8 @@ impl Tensor {
             Shape(out_dims),
             vec![self.clone(), other.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let plan = batch_plan(a.shape(), b.shape());
                 let ad = a.data();
                 let bd = b.data();

@@ -10,6 +10,8 @@ use crate::tensor::{BackwardFn, Tensor};
 /// axis to be the last one for the fused kernels below.
 fn last_axis_extents(shape: &Shape) -> (usize, usize) {
     let dims = shape.dims();
+    // INVARIANT: rank >= 1 is the documented precondition of the fused
+    // last-axis kernels; rank-0 input is a caller bug.
     let len = *dims.last().expect("rank >= 1 required");
     (shape.numel() / len, len)
 }
@@ -57,8 +59,8 @@ impl Tensor {
             self.shape().clone(),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let y = outt.data();
                 let mut gx = vec![0.0f32; y.len()];
                 for o in 0..outer {
@@ -97,8 +99,8 @@ impl Tensor {
             self.shape().clone(),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let y = outt.data();
                 let mut gx = vec![0.0f32; y.len()];
                 for o in 0..outer {
@@ -161,8 +163,7 @@ impl Tensor {
             Shape::default(),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad")[0];
+                let g = outt.out_grad()[0];
                 let mut gx = vec![0.0f32; n * c];
                 let scale = g / denom;
                 for i in 0..n {
@@ -200,8 +201,8 @@ impl Tensor {
             Shape(vec![ids.len(), d]),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let mut gx = vec![0.0f32; parent.numel()];
                 for (i, &id) in ids.iter().enumerate() {
                     let src = &g[i * d..(i + 1) * d];

@@ -32,8 +32,7 @@ impl Tensor {
             Shape::default(),
             vec![self.clone()],
             Box::new(move |out| {
-                let g = out.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad")[0];
+                let g = out.out_grad()[0];
                 if parent.requires_grad() {
                     parent.accumulate_grad(&vec![g; parent.numel()]);
                 }
@@ -69,8 +68,8 @@ impl Tensor {
             reduced_shape(self.shape(), ax, keepdim),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let mut gx = vec![0.0f32; parent.numel()];
                 for o in 0..outer {
                     for a in 0..len {
@@ -120,8 +119,8 @@ impl Tensor {
             reduced_shape(self.shape(), ax, keepdim),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let mut gx = vec![0.0f32; parent.numel()];
                 for o in 0..outer {
                     for i in 0..inner {

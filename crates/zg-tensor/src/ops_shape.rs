@@ -21,8 +21,8 @@ impl Tensor {
             shape,
             vec![self.clone()],
             Box::new(move |out| {
-                let g = out.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = out.out_grad();
+                let g: &[f32] = &g;
                 if parent.requires_grad() {
                     parent.accumulate_grad(g);
                 }
@@ -72,8 +72,8 @@ impl Tensor {
             Shape(out_dims),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 // Scatter back through the same index mapping.
                 let src_strides = parent.shape().strides();
                 let out_dims = outt.dims();
@@ -132,8 +132,8 @@ impl Tensor {
             Shape(out_dims),
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let mut gx = vec![0.0f32; parent.numel()];
                 for o in 0..outer {
                     let dst = (o * axis_len + start) * inner;
@@ -187,8 +187,8 @@ impl Tensor {
             Shape(out_dims),
             parents,
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let mut grads: Vec<Vec<f32>> = parents_cap
                     .iter()
                     .map(|t| vec![0.0f32; t.numel()])
@@ -237,8 +237,8 @@ impl Tensor {
             target,
             vec![self.clone()],
             Box::new(move |outt| {
-                let g = outt.0.grad.borrow();
-                let g = g.as_ref().expect("missing output grad");
+                let g = outt.out_grad();
+                let g: &[f32] = &g;
                 let strides = parent.shape().broadcast_strides(outt.shape());
                 let mut gx = vec![0.0f32; parent.numel()];
                 for (i, o) in StridedIter::new(outt.dims(), &strides).enumerate() {

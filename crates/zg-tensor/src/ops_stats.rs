@@ -29,6 +29,8 @@ impl Tensor {
     /// (`outer`-shaped, one entry per row). Not differentiable.
     pub fn argmax_last(&self) -> Vec<usize> {
         let dims = self.dims();
+        // INVARIANT: rank >= 1 is the documented precondition; a rank-0
+        // input is a caller bug and must fail loudly.
         let len = *dims.last().expect("rank >= 1");
         let outer = self.numel() / len;
         let data = self.data();
@@ -37,8 +39,12 @@ impl Tensor {
                 let row = &data[o * len..(o + 1) * len];
                 row.iter()
                     .enumerate()
+                    // INVARIANT: NaN in tensor data is a caller bug; the
+                    // panic here is the documented argmax contract.
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
                     .map(|(i, _)| i)
+                    // INVARIANT: len >= 1 (checked above), so rows are
+                    // non-empty.
                     .expect("non-empty row")
             })
             .collect()
@@ -47,6 +53,8 @@ impl Tensor {
     /// Argmin along the last axis, as plain indices.
     pub fn argmin_last(&self) -> Vec<usize> {
         let dims = self.dims();
+        // INVARIANT: rank >= 1 is the documented precondition; a rank-0
+        // input is a caller bug and must fail loudly.
         let len = *dims.last().expect("rank >= 1");
         let outer = self.numel() / len;
         let data = self.data();
@@ -55,8 +63,12 @@ impl Tensor {
                 let row = &data[o * len..(o + 1) * len];
                 row.iter()
                     .enumerate()
+                    // INVARIANT: NaN in tensor data is a caller bug; the
+                    // panic here is the documented argmin contract.
                     .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite values"))
                     .map(|(i, _)| i)
+                    // INVARIANT: len >= 1 (checked above), so rows are
+                    // non-empty.
                     .expect("non-empty row")
             })
             .collect()

@@ -15,8 +15,8 @@ fn unary_op(x: &Tensor, f: impl Fn(f32) -> f32, df: impl Fn(f32, f32) -> f32 + '
         x.shape().clone(),
         vec![x.clone()],
         Box::new(move |out| {
-            let g = out.0.grad.borrow();
-            let g = g.as_ref().expect("missing output grad");
+            let g = out.out_grad();
+            let g: &[f32] = &g;
             let xd = parent.data();
             let od = out.data();
             let gx: Vec<f32> = g

@@ -53,6 +53,11 @@ pub(crate) struct Inner {
     pub(crate) requires_grad: Cell<bool>,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
+    /// Whether this node was recorded on the autograd tape at construction.
+    /// Feeds the debug-mode leak sanitizer (see [`crate::GraphLeakGuard`]);
+    /// `parents`/`backward` cannot be consulted instead because the
+    /// iterative teardown below empties them before `drop` runs.
+    pub(crate) tracked: bool,
 }
 
 /// An f32 tensor with optional autograd tracking. Cloning is cheap (`Rc`).
@@ -61,6 +66,9 @@ pub struct Tensor(pub(crate) Rc<Inner>);
 
 impl Drop for Inner {
     fn drop(&mut self) {
+        if self.tracked {
+            crate::leak::node_dropped();
+        }
         // Iterative graph teardown: a transformer training graph is a chain
         // thousands of nodes long, and the default recursive Rc drop would
         // overflow the stack — both via `parents` and via the parent handles
@@ -119,6 +127,7 @@ impl Tensor {
             requires_grad: Cell::new(false),
             parents: Vec::new(),
             backward: None,
+            tracked: false,
         }))
     }
 
@@ -170,6 +179,9 @@ impl Tensor {
     ) -> Self {
         assert_eq!(data.len(), shape.numel());
         let track = grad_enabled() && parents.iter().any(|p| p.0.requires_grad.get());
+        if track {
+            crate::leak::node_created();
+        }
         Tensor(Rc::new(Inner {
             id: next_id(),
             shape,
@@ -178,6 +190,7 @@ impl Tensor {
             requires_grad: Cell::new(track),
             parents: if track { parents } else { Vec::new() },
             backward: if track { Some(backward) } else { None },
+            tracked: track,
         }))
     }
 
@@ -292,6 +305,20 @@ impl Tensor {
             }
             None => *slot = Some(g.to_vec()),
         }
+    }
+
+    /// Borrow this node's gradient inside a backward closure.
+    ///
+    /// Centralizes the one unwrap every backward closure needs: the sweep
+    /// in `autograd.rs` only invokes a closure after checking that the
+    /// output gradient is present, so the `None` arm is unreachable from
+    /// the public API.
+    pub(crate) fn out_grad(&self) -> Ref<'_, Vec<f32>> {
+        Ref::map(self.0.grad.borrow(), |g| {
+            // INVARIANT: backward_with checks `grad.borrow().is_some()`
+            // before running the closure that calls this.
+            g.as_ref().expect("output grad seeded")
+        })
     }
 
     /// A detached copy of this tensor's values (new leaf, no graph history).

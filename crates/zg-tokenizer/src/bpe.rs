@@ -6,7 +6,7 @@
 //! replays merges by rank. Everything round-trips losslessly because the
 //! base alphabet is all 256 bytes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +20,7 @@ pub struct BpeTokenizer {
     merges: Vec<(u32, u32)>,
     /// Reverse map for fast encode: pair -> merged id.
     #[serde(skip)]
-    merge_map: HashMap<(u32, u32), u32>,
+    merge_map: BTreeMap<(u32, u32), u32>,
 }
 
 impl BpeTokenizer {
@@ -28,7 +28,7 @@ impl BpeTokenizer {
     pub fn byte_level() -> Self {
         BpeTokenizer {
             merges: Vec::new(),
-            merge_map: HashMap::new(),
+            merge_map: BTreeMap::new(),
         }
     }
 
@@ -44,7 +44,7 @@ impl BpeTokenizer {
         let mut merges = Vec::with_capacity(target_merges);
         for rank in 0..target_merges {
             // Count adjacent pairs across the whole corpus.
-            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            let mut counts: BTreeMap<(u32, u32), usize> = BTreeMap::new();
             for seq in &seqs {
                 for w in seq.windows(2) {
                     *counts.entry((w[0], w[1])).or_insert(0) += 1;
@@ -64,7 +64,7 @@ impl BpeTokenizer {
         }
         let mut tok = BpeTokenizer {
             merges,
-            merge_map: HashMap::new(),
+            merge_map: BTreeMap::new(),
         };
         tok.rebuild_merge_map();
         tok
@@ -154,6 +154,8 @@ impl BpeTokenizer {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
+        // INVARIANT: BpeTokenizer is a plain data struct (Vec of u32
+        // pairs); serialization cannot fail.
         serde_json::to_string(self).expect("tokenizer serializes")
     }
 

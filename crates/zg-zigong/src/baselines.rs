@@ -89,6 +89,7 @@ impl LogisticExpert {
         let (model, _) = AgentModel::fit(&xs, &ys, &AgentConfig::default(), &mut rng);
         // Threshold at the score quantile matching the class prior.
         let mut probs: Vec<f64> = xs.iter().map(|x| model.predict_proba(x) as f64).collect();
+        // INVARIANT: predicted probabilities are finite sigmoid outputs.
         probs.sort_by(|a, b| a.partial_cmp(b).expect("finite probs"));
         let pos_rate = ys.iter().filter(|&&y| y).count() as f64 / ys.len() as f64;
         let idx = (((1.0 - pos_rate) * probs.len() as f64) as usize).min(probs.len() - 1);

@@ -93,7 +93,9 @@ pub fn balanced_train_records<'a>(
     let per_class = (cap / 2).max(1);
     let mut out = Vec::with_capacity(per_class * 2);
     for _ in 0..per_class {
+        // INVARIANT: both classes asserted non-empty above.
         out.push(*pos.choose(rng).expect("non-empty"));
+        // INVARIANT: both classes asserted non-empty above.
         out.push(*neg.choose(rng).expect("non-empty"));
     }
     out
@@ -375,6 +377,7 @@ impl Table2 {
             "rows": rows,
             "train_report": report,
         }))
+        // INVARIANT: serde_json on in-memory values with string keys cannot fail.
         .expect("benchmark serializes")
     }
 }

@@ -114,6 +114,7 @@ pub fn collate(samples: &[&Sample]) -> (Vec<u32>, Vec<u32>, usize, usize) {
         .iter()
         .map(|s| s.tokens.len())
         .max()
+        // INVARIANT: batch asserted non-empty above.
         .expect("non-empty");
     let batch = samples.len();
     let mut tokens = vec![Special::Pad.id(); batch * time];

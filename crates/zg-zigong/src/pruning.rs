@@ -58,6 +58,7 @@ pub fn fit_agent_sequential(
         std,
     };
 
+    // INVARIANT: callers pass non-empty sample sets (documented precondition).
     let max_period = samples.iter().map(|(_, _, t)| *t).max().expect("non-empty");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut checkpoints = Vec::new();
@@ -143,6 +144,7 @@ pub fn behavior_samples(records: &[&Record]) -> Vec<BehaviorSample> {
             (
                 r.numeric_features(),
                 r.label,
+                // INVARIANT: behavior records always carry `time: Some(..)`.
                 r.time.expect("behavior records carry a period"),
             )
         })
@@ -253,6 +255,7 @@ pub fn split_behavior_by_user(
         .iter()
         .filter_map(|r| r.user)
         .max()
+        // INVARIANT: behavior datasets always populate `user`.
         .expect("behavior dataset has users");
     let stride = (1.0 / test_user_fraction).round().max(2.0) as usize;
     let is_test = |u: usize| u % stride == stride - 1;
@@ -260,12 +263,14 @@ pub fn split_behavior_by_user(
     let train: Vec<&Record> = ds
         .records
         .iter()
+        // INVARIANT: behavior datasets always populate `user`.
         .filter(|r| !is_test(r.user.expect("user")))
         .collect();
     // Test users are observed at the current period only.
     let test: Vec<&Record> = ds
         .records
         .iter()
+        // INVARIANT: behavior datasets always populate `user`.
         .filter(|r| is_test(r.user.expect("user")) && r.time == Some(max_period))
         .collect();
     assert!(max_user > stride, "too few users for this split");
