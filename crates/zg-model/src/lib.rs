@@ -20,6 +20,7 @@ mod mlp;
 mod optim;
 mod rope;
 mod sampling;
+mod spec;
 
 pub use attention::{attn_mask, Attention, LayerKvCache};
 pub use beam::beam_search;
@@ -31,3 +32,4 @@ pub use mlp::SwiGluMlp;
 pub use optim::{clip_grad_norm, AdamW, CosineSchedule};
 pub use rope::RopeCache;
 pub use sampling::{sample_filtered, SamplingConfig};
+pub use spec::LmSpec;

@@ -144,9 +144,10 @@ impl CausalLm {
         ignore: u32,
     ) -> Tensor {
         assert_eq!(tokens.len(), labels.len());
-        let logits = self
-            .forward(tokens, batch, time)
-            .reshape([batch * time, self.cfg.vocab_size]);
+        // `cross_entropy_logits` treats the last axis as classes and
+        // collapses the leading ones, so the `(batch, time, vocab)` logits
+        // feed straight in — no `(batch*time, vocab)` reshape copy.
+        let logits = self.forward(tokens, batch, time);
         let targets: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
         logits.cross_entropy_logits(&targets, Some(ignore as usize))
     }

@@ -68,6 +68,65 @@ impl AdamW {
         }
     }
 
+    /// Global-norm clip fused into the update step.
+    ///
+    /// The two-pass path ([`clip_grad_norm`] then [`AdamW::step`]) walks
+    /// the parameters three times when clipping triggers — norm read,
+    /// gradient rewrite (allocate + zero + re-accumulate), update read.
+    /// This fuses the clip into the update: one traversal computes the
+    /// norm in the identical float order, then a single update traversal
+    /// applies `g[i] * scale` inline, reading each gradient buffer once
+    /// and never rewriting it. The float operations match the two-pass
+    /// path exactly (the rewrite pass stores `g[i] * scale` and the
+    /// update reads it back; without clipping the gradient is used
+    /// as-is), so the result is bit-identical.
+    ///
+    /// Returns the pre-clip global norm, like [`clip_grad_norm`].
+    pub fn clip_and_step(&mut self, params: &[(String, Tensor)], max_norm: f32) -> f32 {
+        let mut total = 0.0f32;
+        for (_, p) in params {
+            if let Some(sq) = p.with_grad(|g| g.iter().map(|v| v * v).sum::<f32>()) {
+                total += sq;
+            }
+        }
+        let norm = total.sqrt();
+        let scale = if norm > max_norm && norm > 0.0 {
+            Some(max_norm / norm)
+        } else {
+            None
+        };
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (beta1, beta2, eps, weight_decay, lr) =
+            (self.beta1, self.beta2, self.eps, self.weight_decay, self.lr);
+        for (_, p) in params {
+            let state = &mut self.state;
+            let applied = p.with_grad(|g| {
+                let entry = state.entry(p.id()).or_insert_with(|| Moments {
+                    m: vec![0.0; g.len()],
+                    v: vec![0.0; g.len()],
+                });
+                let mut data = p.data_mut();
+                for i in 0..g.len() {
+                    let gi = match scale {
+                        Some(s) => g[i] * s,
+                        None => g[i],
+                    };
+                    entry.m[i] = beta1 * entry.m[i] + (1.0 - beta1) * gi;
+                    entry.v[i] = beta2 * entry.v[i] + (1.0 - beta2) * gi * gi;
+                    let mhat = entry.m[i] / bc1;
+                    let vhat = entry.v[i] / bc2;
+                    data[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * data[i]);
+                }
+            });
+            if applied.is_some() {
+                p.zero_grad();
+            }
+        }
+        norm
+    }
+
     /// Clear all gradients without stepping (e.g. after a diverged batch).
     pub fn zero_grad(&self, params: &[(String, Tensor)]) {
         for (_, p) in params {
@@ -197,6 +256,56 @@ mod tests {
         let params = vec![("w".to_string(), w.clone())];
         clip_grad_norm(&params, 1.0);
         assert!((w.grad().unwrap()[0] - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fused_clip_step_bit_identical_to_two_pass() {
+        // Deterministic pseudo-gradients, some steps clipping and some
+        // not; the fused path must stay bitwise equal to clip+step.
+        let pseudo = |step: u64, i: usize, len: usize| -> f32 {
+            let x = ((step * 31 + i as u64 * 7 + len as u64) % 97) as f32 / 97.0 - 0.5;
+            // Alternate steps produce huge gradients so clipping triggers.
+            if step.is_multiple_of(2) {
+                x * 50.0
+            } else {
+                x * 0.01
+            }
+        };
+        let make = || {
+            vec![
+                ("a".to_string(), Tensor::param(vec![0.3; 17], [17])),
+                ("b".to_string(), Tensor::param(vec![-0.7; 130], [130])),
+                // Frozen param that never receives a gradient.
+                ("c".to_string(), Tensor::from_vec(vec![2.0; 5], [5])),
+            ]
+        };
+        let (twin_a, twin_b) = (make(), make());
+        let mut opt_a = AdamW::new(0.02, 0.01);
+        let mut opt_b = AdamW::new(0.02, 0.01);
+        for step in 0..6 {
+            for params in [&twin_a, &twin_b] {
+                for (name, p) in params {
+                    if name == "c" {
+                        continue;
+                    }
+                    let n = p.numel();
+                    let g: Vec<f32> = (0..n).map(|i| pseudo(step, i, n)).collect();
+                    p.accumulate_grad(&g);
+                }
+            }
+            let norm_two_pass = clip_grad_norm(&twin_a, 1.0);
+            opt_a.step(&twin_a);
+            let norm_fused = opt_b.clip_and_step(&twin_b, 1.0);
+            assert_eq!(norm_two_pass, norm_fused, "pre-clip norms must match");
+            for ((_, pa), (_, pb)) in twin_a.iter().zip(&twin_b) {
+                assert_eq!(
+                    pa.to_vec(),
+                    pb.to_vec(),
+                    "step {step}: fused update must be bit-identical"
+                );
+                assert!(pa.grad().is_none() == pb.grad().is_none());
+            }
+        }
     }
 
     #[test]

@@ -62,15 +62,17 @@ pub fn live_tape_nodes() -> u64 {
 pub struct GraphLeakGuard {
     label: String,
     baseline: u64,
+    pooled_baseline: u64,
 }
 
 impl GraphLeakGuard {
-    /// Snapshot the current live tape node count. `label` names the scope
-    /// in the panic message.
+    /// Snapshot the current live tape node count and pooled-buffer
+    /// checkout count. `label` names the scope in the panic message.
     pub fn new(label: &str) -> Self {
         GraphLeakGuard {
             label: label.to_string(),
             baseline: live_tape_nodes(),
+            pooled_baseline: crate::pool::live_pooled_buffers(),
         }
     }
 
@@ -90,6 +92,13 @@ impl Drop for GraphLeakGuard {
                  across the guarded scope — graph state escaped (or was freed) inside \
                  a region that must be tape-neutral",
                 self.label, self.baseline, now
+            );
+            let pooled = crate::pool::live_pooled_buffers();
+            assert_eq!(
+                pooled, self.pooled_baseline,
+                "GraphLeakGuard({}): checked-out pooled buffers changed from {} to {} \
+                 across the guarded scope — pooled scratch escaped its backward pass",
+                self.label, self.pooled_baseline, pooled
             );
         }
     }

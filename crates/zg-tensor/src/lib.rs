@@ -26,6 +26,7 @@
 //! ```
 
 mod autograd;
+mod fastpath;
 mod gradcheck;
 mod init;
 mod leak;
@@ -36,16 +37,22 @@ mod ops_reduce;
 mod ops_shape;
 mod ops_stats;
 mod ops_unary;
+mod pool;
 mod shape;
 mod store;
 mod tensor;
 
+pub use fastpath::{op_fast_paths, set_op_fast_paths};
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use init::randn_sample;
 pub use leak::{live_tape_nodes, GraphLeakGuard};
 pub use ops_matmul::{
     available_threads, gemm, gemm_kernel, gemm_naive, gemm_tiled, gemm_with_threads,
     set_gemm_kernel, GemmKernel,
+};
+pub use pool::{
+    clear_pool, live_pooled_buffers, pool_stats, reset_pool_stats, set_pool_enabled, PoolStats,
+    PooledBuf,
 };
 pub use shape::{Shape, StridedIter};
 pub use store::TensorStore;

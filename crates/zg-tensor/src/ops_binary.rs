@@ -4,6 +4,51 @@
 use crate::shape::{Shape, StridedIter};
 use crate::tensor::Tensor;
 
+/// How one operand's elements map onto the broadcast output.
+///
+/// The two non-trivial fast plans cover the model's hot broadcasts:
+/// `Cycle` for right-aligned operands (attention masks, per-channel gains,
+/// row vectors) and `Repeat` for left-aligned operands (per-row statistics
+/// such as RMSNorm's `mean(x²)`), with `Strided` as the general odometer
+/// fallback.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BcPlan {
+    /// Operand shape equals the output: `offset = i`.
+    Full,
+    /// Only leading axes broadcast; the operand tiles the output:
+    /// `offset = i % len`.
+    Cycle(usize),
+    /// Only trailing axes broadcast; each operand element covers `inner`
+    /// consecutive outputs: `offset = i / inner`.
+    Repeat(usize),
+    /// General strided broadcast.
+    Strided,
+}
+
+/// Classify how `shape` (left-padded with 1s) maps onto `out`.
+fn bc_plan(shape: &Shape, out: &Shape) -> BcPlan {
+    if shape == out {
+        return BcPlan::Full;
+    }
+    let od = out.dims();
+    let sd = shape.dims();
+    let pad = od.len() - sd.len();
+    let dim = |d: usize| if d < pad { 1 } else { sd[d - pad] };
+    // All-1 prefix + matching suffix → the operand tiles the output.
+    let first = (0..od.len()).position(|d| dim(d) != 1).unwrap_or(od.len());
+    if (first..od.len()).all(|d| dim(d) == od[d]) {
+        return BcPlan::Cycle(od[first..].iter().product());
+    }
+    // Matching prefix + all-1 suffix → each element repeats over a run.
+    let last = (0..od.len())
+        .rposition(|d| dim(d) != 1)
+        .map_or(0, |d| d + 1);
+    if (0..last).all(|d| dim(d) == od[d]) {
+        return BcPlan::Repeat(od[last..].iter().product());
+    }
+    BcPlan::Strided
+}
+
 /// Elementwise forward over the broadcast of two tensors.
 fn broadcast_forward(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Vec<f32>, Shape) {
     let out_shape = a
@@ -15,18 +60,135 @@ fn broadcast_forward(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> (Ve
     let n = out_shape.numel();
     let ad = a.data();
     let bd = b.data();
-    let mut out = Vec::with_capacity(n);
-    if *a.shape() == out_shape && *b.shape() == out_shape {
-        // Fast path: same shape, contiguous zip.
-        out.extend(ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)));
+    let mut out = crate::pool::take_cleared(n);
+    let (pa, pb) = if *a.shape() == out_shape && *b.shape() == out_shape {
+        (BcPlan::Full, BcPlan::Full)
+    } else if crate::fastpath::op_fast_paths() {
+        (
+            bc_plan(a.shape(), &out_shape),
+            bc_plan(b.shape(), &out_shape),
+        )
     } else {
-        let sa = a.shape().broadcast_strides(&out_shape);
-        let sb = b.shape().broadcast_strides(&out_shape);
-        let ia = StridedIter::new(out_shape.dims(), &sa);
-        let ib = StridedIter::new(out_shape.dims(), &sb);
-        out.extend(ia.zip(ib).map(|(oa, ob)| f(ad[oa], bd[ob])));
+        (BcPlan::Strided, BcPlan::Strided)
+    };
+    // Every arm visits output positions in ascending order and applies `f`
+    // to the exact operand pair the strided fallback would — the plans only
+    // replace per-element index arithmetic with slicing.
+    match (pa, pb) {
+        (BcPlan::Full, BcPlan::Full) => {
+            out.extend(ad.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)));
+        }
+        (BcPlan::Full, BcPlan::Cycle(l)) => {
+            for chunk in ad.chunks_exact(l) {
+                out.extend(chunk.iter().zip(bd.iter()).map(|(&x, &y)| f(x, y)));
+            }
+        }
+        (BcPlan::Cycle(l), BcPlan::Full) => {
+            for chunk in bd.chunks_exact(l) {
+                out.extend(ad.iter().zip(chunk.iter()).map(|(&x, &y)| f(x, y)));
+            }
+        }
+        (BcPlan::Full, BcPlan::Repeat(inner)) => {
+            for (chunk, &y) in ad.chunks_exact(inner).zip(bd.iter()) {
+                out.extend(chunk.iter().map(|&x| f(x, y)));
+            }
+        }
+        (BcPlan::Repeat(inner), BcPlan::Full) => {
+            for (&x, chunk) in ad.iter().zip(bd.chunks_exact(inner)) {
+                out.extend(chunk.iter().map(|&y| f(x, y)));
+            }
+        }
+        _ => {
+            let sa = a.shape().broadcast_strides(&out_shape);
+            let sb = b.shape().broadcast_strides(&out_shape);
+            let ia = StridedIter::new(out_shape.dims(), &sa);
+            let ib = StridedIter::new(out_shape.dims(), &sb);
+            out.extend(ia.zip(ib).map(|(oa, ob)| f(ad[oa], bd[ob])));
+        }
     }
     (out, out_shape)
+}
+
+/// Sliced gradient accumulation when the *target* operand is output-shaped
+/// (`offset = i`) and the other operand follows plan `po`. `df` is called
+/// as `df(target_val, other_val)`.
+fn grad_full_target(
+    gt: &mut [f32],
+    g: &[f32],
+    tv: &[f32],
+    ov: &[f32],
+    po: BcPlan,
+    df: impl Fn(f32, f32) -> f32,
+) {
+    match po {
+        BcPlan::Full => {
+            for i in 0..g.len() {
+                gt[i] += g[i] * df(tv[i], ov[i]);
+            }
+        }
+        BcPlan::Cycle(l) => {
+            for (gtc, (gc, tc)) in gt
+                .chunks_exact_mut(l)
+                .zip(g.chunks_exact(l).zip(tv.chunks_exact(l)))
+            {
+                for j in 0..l {
+                    gtc[j] += gc[j] * df(tc[j], ov[j]);
+                }
+            }
+        }
+        BcPlan::Repeat(inner) => {
+            for (r, (gtc, (gc, tc))) in gt
+                .chunks_exact_mut(inner)
+                .zip(g.chunks_exact(inner).zip(tv.chunks_exact(inner)))
+                .enumerate()
+            {
+                let y = ov[r];
+                for j in 0..inner {
+                    gtc[j] += gc[j] * df(tc[j], y);
+                }
+            }
+        }
+        // INVARIANT: callers dispatch Strided to the reference loop.
+        BcPlan::Strided => unreachable!("strided plan reached the sliced kernel"),
+    }
+}
+
+/// Sliced gradient accumulation when the *target* operand broadcasts per
+/// plan `pt` and the other operand is output-shaped. Contributions land in
+/// the same ascending-output order as the reference loop, so the f32
+/// accumulation sequence per slot is unchanged.
+fn grad_bcast_target(
+    gt: &mut [f32],
+    g: &[f32],
+    tv: &[f32],
+    ov: &[f32],
+    pt: BcPlan,
+    df: impl Fn(f32, f32) -> f32,
+) {
+    match pt {
+        BcPlan::Cycle(l) => {
+            for (gc, oc) in g.chunks_exact(l).zip(ov.chunks_exact(l)) {
+                for j in 0..l {
+                    gt[j] += gc[j] * df(tv[j], oc[j]);
+                }
+            }
+        }
+        BcPlan::Repeat(inner) => {
+            for (r, (gc, oc)) in g
+                .chunks_exact(inner)
+                .zip(ov.chunks_exact(inner))
+                .enumerate()
+            {
+                let t = tv[r];
+                for j in 0..inner {
+                    gt[r] += gc[j] * df(t, oc[j]);
+                }
+            }
+        }
+        // INVARIANT: callers dispatch Full targets to `grad_full_target`
+        // and Strided plans to the reference loop.
+        _ => unreachable!("full/strided target in broadcast-side kernel"),
+    }
 }
 
 /// Backward for a broadcast binary op: accumulates `d(out)/d(a)`-weighted
@@ -44,10 +206,41 @@ fn broadcast_backward(
     let ad = a.data();
     let bd = b.data();
     let out_shape = out.shape();
+    let (pa, pb) = if crate::fastpath::op_fast_paths() {
+        (bc_plan(a.shape(), out_shape), bc_plan(b.shape(), out_shape))
+    } else {
+        (BcPlan::Strided, BcPlan::Strided)
+    };
+    // The sliced kernels need at least one output-shaped operand so the
+    // other side can be addressed by slice; they also skip a parent whose
+    // gradient buffer would be discarded (e.g. the additive attention mask).
+    if pa != BcPlan::Strided && pb != BcPlan::Strided && (pa == BcPlan::Full || pb == BcPlan::Full)
+    {
+        if a.requires_grad() {
+            let mut ga = crate::pool::PooledBuf::zeroed(a.numel());
+            if pa == BcPlan::Full {
+                grad_full_target(&mut ga, g, &ad, &bd, pb, &da);
+            } else {
+                grad_bcast_target(&mut ga, g, &ad, &bd, pa, &da);
+            }
+            a.accumulate_grad(&ga);
+        }
+        if b.requires_grad() {
+            let mut gb = crate::pool::PooledBuf::zeroed(b.numel());
+            let dbf = |t: f32, o: f32| db(o, t);
+            if pb == BcPlan::Full {
+                grad_full_target(&mut gb, g, &bd, &ad, pa, dbf);
+            } else {
+                grad_bcast_target(&mut gb, g, &bd, &ad, pb, dbf);
+            }
+            b.accumulate_grad(&gb);
+        }
+        return;
+    }
     let sa = a.shape().broadcast_strides(out_shape);
     let sb = b.shape().broadcast_strides(out_shape);
-    let mut ga = vec![0.0f32; a.numel()];
-    let mut gb = vec![0.0f32; b.numel()];
+    let mut ga = crate::pool::PooledBuf::zeroed(a.numel());
+    let mut gb = crate::pool::PooledBuf::zeroed(b.numel());
     let ia = StridedIter::new(out_shape.dims(), &sa);
     let ib = StridedIter::new(out_shape.dims(), &sb);
     for (i, (oa, ob)) in ia.zip(ib).enumerate() {

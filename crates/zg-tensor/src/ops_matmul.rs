@@ -189,7 +189,7 @@ pub fn gemm_naive(
 /// occupies `bp[jp·k·NR .. (jp+1)·k·NR]` with layout `[p][jj]`.
 fn pack_b(tb: bool, b: &[f32], k: usize, n: usize) -> Vec<f32> {
     let n_panels = n.div_ceil(NR);
-    let mut bp = vec![0.0f32; n_panels * k * NR];
+    let mut bp = crate::pool::take_zeroed(n_panels * k * NR);
     for jp in 0..n_panels {
         let col0 = jp * NR;
         let nr = NR.min(n - col0);
@@ -267,7 +267,8 @@ fn gemm_tiled_rows(
     nrows: usize,
 ) {
     debug_assert_eq!(c_chunk.len(), nrows * n);
-    let mut ap = vec![0.0f32; k * MR];
+    // Scratch: pack_a_panel zero-fills the panel before every band.
+    let mut ap = crate::pool::take_scratch(k * MR);
     let mut band = 0;
     while band < nrows {
         let mr = MR.min(nrows - band);
@@ -293,6 +294,7 @@ fn gemm_tiled_rows(
         }
         band += MR;
     }
+    crate::pool::recycle(ap);
 }
 
 /// Single-threaded tiled GEMM (`c += op(a)·op(b)`), any shape.
@@ -335,11 +337,12 @@ pub fn gemm_with_threads(
     let threads = threads.clamp(1, bands.max(1));
     if threads == 1 {
         gemm_tiled_rows(ta, a, &bp, c, m, n, k, 0, m);
+        crate::pool::recycle(bp);
         return;
     }
     let bands_per = bands.div_ceil(threads);
     let rows_per = bands_per * MR;
-    let bp = &bp;
+    let bp_ref = &bp;
     std::thread::scope(|s| {
         let mut rest = c;
         let mut row0 = 0;
@@ -349,11 +352,12 @@ pub fn gemm_with_threads(
             rest = tail;
             let r0 = row0;
             s.spawn(move || {
-                gemm_tiled_rows(ta, a, bp, chunk, m, n, k, r0, take);
+                gemm_tiled_rows(ta, a, bp_ref, chunk, m, n, k, r0, take);
             });
             row0 += take;
         }
     });
+    crate::pool::recycle(bp);
 }
 
 /// Split a shape into (batch dims, rows, cols) for matmul.
@@ -476,7 +480,7 @@ impl Tensor {
         );
         let plan = batch_plan(self.shape(), other.shape());
         let nbatch = plan.batch.numel();
-        let mut out = vec![0.0f32; nbatch * m * n];
+        let mut out = crate::pool::take_zeroed(nbatch * m * n);
         {
             let ad = self.data();
             let bd = other.data();
@@ -498,41 +502,57 @@ impl Tensor {
                 let plan = batch_plan(a.shape(), b.shape());
                 let ad = a.data();
                 let bd = b.data();
-                let mut ga = vec![0.0f32; a.numel()];
-                let mut gb = vec![0.0f32; b.numel()];
+                // Both gradient GEMMs below go through `gemm()` and so
+                // follow the thread's kernel selection (Auto → tiled /
+                // threaded for large products); zeroed scratch because
+                // broadcast batches accumulate at repeated offsets.
+                //
+                // Fast path: a gradient GEMM whose result would be discarded
+                // (the parent doesn't require grad — e.g. frozen base weights
+                // under LoRA) is skipped entirely. Skipping discarded work
+                // cannot change any value that survives.
+                let fast = crate::fastpath::op_fast_paths();
+                let mut ga =
+                    (!fast || a.requires_grad()).then(|| crate::pool::PooledBuf::zeroed(a.numel()));
+                let mut gb =
+                    (!fast || b.requires_grad()).then(|| crate::pool::PooledBuf::zeroed(b.numel()));
                 for (bi, (&ao, &bo)) in plan.a_offsets.iter().zip(&plan.b_offsets).enumerate() {
                     let gchunk = &g[bi * m * n..(bi + 1) * m * n];
                     // dA = dY · Bᵀ  (broadcast batches accumulate at the
                     // same offset, which performs the required reduction).
-                    gemm(
-                        false,
-                        true,
-                        m,
-                        k,
-                        n,
-                        gchunk,
-                        &bd[bo..bo + k * n],
-                        &mut ga[ao..ao + m * k],
-                    );
+                    if let Some(ga) = ga.as_mut() {
+                        gemm(
+                            false,
+                            true,
+                            m,
+                            k,
+                            n,
+                            gchunk,
+                            &bd[bo..bo + k * n],
+                            &mut ga[ao..ao + m * k],
+                        );
+                    }
                     // dB = Aᵀ · dY
-                    gemm(
-                        true,
-                        false,
-                        k,
-                        n,
-                        m,
-                        &ad[ao..ao + m * k],
-                        gchunk,
-                        &mut gb[bo..bo + k * n],
-                    );
+                    if let Some(gb) = gb.as_mut() {
+                        gemm(
+                            true,
+                            false,
+                            k,
+                            n,
+                            m,
+                            &ad[ao..ao + m * k],
+                            gchunk,
+                            &mut gb[bo..bo + k * n],
+                        );
+                    }
                 }
                 drop(ad);
                 drop(bd);
-                if a.requires_grad() {
-                    a.accumulate_grad(&ga);
+                if let (true, Some(ga)) = (a.requires_grad(), ga.as_ref()) {
+                    a.accumulate_grad(ga);
                 }
-                if b.requires_grad() {
-                    b.accumulate_grad(&gb);
+                if let (true, Some(gb)) = (b.requires_grad(), gb.as_ref()) {
+                    b.accumulate_grad(gb);
                 }
             }),
         )
@@ -657,6 +677,38 @@ mod tests {
         assert_eq!(gemm_kernel(), GemmKernel::Naive);
         set_gemm_kernel(prev);
         assert_eq!(gemm_kernel(), GemmKernel::Auto);
+    }
+
+    #[test]
+    fn backward_grad_gemms_obey_kernel_and_match_naive_oracle() {
+        // Audit: the dA/dB gradient GEMMs inside the matmul backward
+        // closure dispatch through `gemm()` (so they obey the thread's
+        // kernel selection) rather than hard-coding `gemm_naive`. Pin the
+        // tiled kernel, use a product large enough to clear
+        // TILED_MIN_FLOPS, and require bit-identical gradients vs the
+        // naive oracle (dA is a c=0 (false,true) product, dB a c=0
+        // (true,false) product — both bit-exact cases).
+        let (m, k, n) = (24, 20, 24);
+        let av = mat(11, m * k);
+        let bv = mat(12, k * n);
+        let run = |kernel: GemmKernel| -> (Vec<f32>, Vec<f32>) {
+            let prev = set_gemm_kernel(kernel);
+            let a = Tensor::param(av.clone(), [m, k]);
+            let b = Tensor::param(bv.clone(), [k, n]);
+            a.matmul(&b).sum().backward();
+            set_gemm_kernel(prev);
+            (a.grad().unwrap(), b.grad().unwrap())
+        };
+        let (ga_naive, gb_naive) = run(GemmKernel::Naive);
+        let (ga_tiled, gb_tiled) = run(GemmKernel::Tiled);
+        assert_eq!(
+            ga_naive, ga_tiled,
+            "dA must be bit-identical tiled vs naive"
+        );
+        assert_eq!(
+            gb_naive, gb_tiled,
+            "dB must be bit-identical tiled vs naive"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl Tensor {
     pub fn softmax(&self) -> Tensor {
         let (outer, len) = last_axis_extents(self.shape());
         let data = self.data();
-        let mut out = vec![0.0f32; data.len()];
+        let mut out = crate::pool::take_scratch(data.len());
         for o in 0..outer {
             let row = &data[o * len..(o + 1) * len];
             let orow = &mut out[o * len..(o + 1) * len];
@@ -62,7 +62,8 @@ impl Tensor {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
                 let y = outt.data();
-                let mut gx = vec![0.0f32; y.len()];
+                // Scratch: every element is written below.
+                let mut gx = crate::pool::PooledBuf::scratch(y.len());
                 for o in 0..outer {
                     let yr = &y[o * len..(o + 1) * len];
                     let gr = &g[o * len..(o + 1) * len];
@@ -83,7 +84,7 @@ impl Tensor {
     pub fn log_softmax(&self) -> Tensor {
         let (outer, len) = last_axis_extents(self.shape());
         let data = self.data();
-        let mut out = vec![0.0f32; data.len()];
+        let mut out = crate::pool::take_scratch(data.len());
         for o in 0..outer {
             let row = &data[o * len..(o + 1) * len];
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -102,7 +103,8 @@ impl Tensor {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
                 let y = outt.data();
-                let mut gx = vec![0.0f32; y.len()];
+                // Scratch: every element is written below.
+                let mut gx = crate::pool::PooledBuf::scratch(y.len());
                 for o in 0..outer {
                     let yr = &y[o * len..(o + 1) * len];
                     let gr = &g[o * len..(o + 1) * len];
@@ -119,19 +121,34 @@ impl Tensor {
         )
     }
 
-    /// Mean cross-entropy between `(N, C)` logits and integer class targets.
+    /// Mean cross-entropy between `(..., C)` logits and integer class targets.
+    ///
+    /// Leading dimensions are collapsed into one row axis, so `(N, C)` and
+    /// `(B, T, C)` behave identically — the language-model loss feeds
+    /// `(batch, time, vocab)` logits straight in without a reshape copy.
     ///
     /// `ignore_index` positions (e.g. padding) contribute neither loss nor
     /// gradient; the mean divides by the number of counted positions.
     pub fn cross_entropy_logits(&self, targets: &[usize], ignore_index: Option<usize>) -> Tensor {
-        assert_eq!(self.rank(), 2, "cross_entropy_logits expects (N, C) logits");
-        let (n, c) = (self.dims()[0], self.dims()[1]);
-        assert_eq!(targets.len(), n, "targets length must equal batch size");
+        assert!(
+            self.rank() >= 2,
+            "cross_entropy_logits expects (..., C) logits with rank >= 2"
+        );
+        let c = self.dims()[self.rank() - 1];
+        let n = self.numel() / c.max(1);
+        assert_eq!(
+            targets.len(),
+            n,
+            "targets length must equal the number of logit rows"
+        );
         let data = self.data();
         // Per-row log-softmax probabilities of the target class.
         let mut counted = 0usize;
         let mut loss = 0.0f32;
-        let mut probs = vec![0.0f32; n * c]; // softmax saved for backward
+        // Softmax saved for backward; scratch is safe, every element is
+        // written below. The handle rides inside the backward closure and
+        // recycles when the graph node drops.
+        let mut probs = crate::pool::PooledBuf::scratch(n * c);
         for i in 0..n {
             let row = &data[i * c..(i + 1) * c];
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -164,7 +181,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |outt| {
                 let g = outt.out_grad()[0];
-                let mut gx = vec![0.0f32; n * c];
+                let mut gx = crate::pool::PooledBuf::zeroed(n * c);
                 let scale = g / denom;
                 for i in 0..n {
                     if ignore_index == Some(targets[i]) {
@@ -188,7 +205,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "index_select0 expects (V, D)");
         let (v, d) = (self.dims()[0], self.dims()[1]);
         let data = self.data();
-        let mut out = Vec::with_capacity(ids.len() * d);
+        let mut out = crate::pool::take_cleared(ids.len() * d);
         for &id in ids {
             assert!(id < v, "row index {id} out of range 0..{v}");
             out.extend_from_slice(&data[id * d..(id + 1) * d]);
@@ -203,7 +220,7 @@ impl Tensor {
             Box::new(move |outt| {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
-                let mut gx = vec![0.0f32; parent.numel()];
+                let mut gx = crate::pool::PooledBuf::zeroed(parent.numel());
                 for (i, &id) in ids.iter().enumerate() {
                     let src = &g[i * d..(i + 1) * d];
                     let dst = &mut gx[id * d..(id + 1) * d];

@@ -34,7 +34,7 @@ impl Tensor {
             Box::new(move |out| {
                 let g = out.out_grad()[0];
                 if parent.requires_grad() {
-                    parent.accumulate_grad(&vec![g; parent.numel()]);
+                    parent.accumulate_grad(&crate::pool::PooledBuf::filled(parent.numel(), g));
                 }
             }),
         )
@@ -51,7 +51,7 @@ impl Tensor {
         let ax = self.shape().resolve_axis(axis);
         let (outer, len, inner) = axis_extents(self.shape(), ax);
         let data = self.data();
-        let mut out = vec![0.0f32; outer * inner];
+        let mut out = crate::pool::take_zeroed(outer * inner);
         for o in 0..outer {
             for a in 0..len {
                 let base = (o * len + a) * inner;
@@ -70,7 +70,9 @@ impl Tensor {
             Box::new(move |outt| {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
-                let mut gx = vec![0.0f32; parent.numel()];
+                // Scratch is safe here: the copy loop covers every element
+                // of the parent exactly once.
+                let mut gx = crate::pool::PooledBuf::scratch(parent.numel());
                 for o in 0..outer {
                     for a in 0..len {
                         let base = (o * len + a) * inner;
@@ -97,7 +99,8 @@ impl Tensor {
         let ax = self.shape().resolve_axis(axis);
         let (outer, len, inner) = axis_extents(self.shape(), ax);
         let data = self.data();
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let mut out = crate::pool::take_scratch(outer * inner);
+        out.fill(f32::NEG_INFINITY);
         let mut arg = vec![0usize; outer * inner];
         for o in 0..outer {
             for a in 0..len {
@@ -121,7 +124,7 @@ impl Tensor {
             Box::new(move |outt| {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
-                let mut gx = vec![0.0f32; parent.numel()];
+                let mut gx = crate::pool::PooledBuf::zeroed(parent.numel());
                 for o in 0..outer {
                     for i in 0..inner {
                         let oi = o * inner + i;

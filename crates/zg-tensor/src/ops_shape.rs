@@ -5,6 +5,90 @@
 use crate::shape::{Shape, StridedIter};
 use crate::tensor::Tensor;
 
+/// Split a gather layout into `(outer axes, trailing run)`: the largest
+/// trailing run of offsets that is contiguous (`o..o + run`), so gathers
+/// and scatters can move slices instead of single elements. Size-1 axes
+/// fold into the run regardless of stride (their stride is never stepped).
+fn trailing_run(dims: &[usize], strides: &[usize]) -> (usize, usize) {
+    let mut run = 1usize;
+    let mut split = dims.len();
+    while split > 0 {
+        let d = split - 1;
+        if dims[d] != 1 && strides[d] != run {
+            break;
+        }
+        run *= dims[d];
+        split = d;
+    }
+    (split, run)
+}
+
+/// Gather `data` into `out` following `(dims, strides)` in ascending output
+/// order. With fast paths on, trailing contiguous runs are copied as slices
+/// and a trailing 2-D transpose is gathered blockwise; both visit exactly
+/// the offsets of the strided reference loop, in the same order.
+fn gather_into(out: &mut Vec<f32>, data: &[f32], dims: &[usize], strides: &[usize]) {
+    if crate::fastpath::op_fast_paths() {
+        let (split, run) = trailing_run(dims, strides);
+        if run > 1 {
+            for o in StridedIter::new(&dims[..split], &strides[..split]) {
+                out.extend_from_slice(&data[o..o + run]);
+            }
+            return;
+        }
+        let rank = dims.len();
+        if rank >= 2 && strides[rank - 2] == 1 && strides[rank - 1] == dims[rank - 2] {
+            // Trailing transpose: each base block is a contiguous R×C
+            // matrix read column-major (e.g. `t()` for attention scores).
+            let (rn, cn) = (dims[rank - 2], dims[rank - 1]);
+            for base in StridedIter::new(&dims[..rank - 2], &strides[..rank - 2]) {
+                let block = &data[base..base + rn * cn];
+                for r in 0..rn {
+                    out.extend((0..cn).map(|c| block[c * rn + r]));
+                }
+            }
+            return;
+        }
+    }
+    out.extend(StridedIter::new(dims, strides).map(|o| data[o]));
+}
+
+/// Scatter-add `g` back through the same mapping: `gx[offset] += g[i]`.
+/// Offsets repeat across outer steps when `strides` contains broadcast
+/// zeros; both fast arms preserve the reference loop's ascending-`i`
+/// accumulation order per slot, so sums are bit-identical.
+fn scatter_add(gx: &mut [f32], g: &[f32], dims: &[usize], strides: &[usize]) {
+    if crate::fastpath::op_fast_paths() {
+        let (split, run) = trailing_run(dims, strides);
+        if run > 1 {
+            for (i, o) in StridedIter::new(&dims[..split], &strides[..split]).enumerate() {
+                for (dst, &v) in gx[o..o + run].iter_mut().zip(&g[i * run..(i + 1) * run]) {
+                    *dst += v;
+                }
+            }
+            return;
+        }
+        let rank = dims.len();
+        if rank >= 2 && strides[rank - 2] == 1 && strides[rank - 1] == dims[rank - 2] {
+            let (rn, cn) = (dims[rank - 2], dims[rank - 1]);
+            let outer = StridedIter::new(&dims[..rank - 2], &strides[..rank - 2]);
+            for (bi, base) in outer.enumerate() {
+                let gb = &g[bi * rn * cn..(bi + 1) * rn * cn];
+                let block = &mut gx[base..base + rn * cn];
+                for r in 0..rn {
+                    for c in 0..cn {
+                        block[c * rn + r] += gb[r * cn + c];
+                    }
+                }
+            }
+            return;
+        }
+    }
+    for (i, o) in StridedIter::new(dims, strides).enumerate() {
+        gx[o] += g[i];
+    }
+}
+
 impl Tensor {
     /// Reinterpret the data with a new shape of the same element count.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
@@ -16,8 +100,12 @@ impl Tensor {
             self.shape()
         );
         let parent = self.clone();
+        let src = self.data();
+        let mut data = crate::pool::take_scratch(src.len());
+        data.copy_from_slice(&src);
+        drop(src);
         Tensor::from_op(
-            self.to_vec(),
+            data,
             shape,
             vec![self.clone()],
             Box::new(move |out| {
@@ -60,9 +148,8 @@ impl Tensor {
         let out_dims: Vec<usize> = axes.iter().map(|&a| src_dims[a]).collect();
         let gather_strides: Vec<usize> = axes.iter().map(|&a| src_strides[a]).collect();
         let data = self.data();
-        let out: Vec<f32> = StridedIter::new(&out_dims, &gather_strides)
-            .map(|o| data[o])
-            .collect();
+        let mut out = crate::pool::take_cleared(data.len());
+        gather_into(&mut out, &data, &out_dims, &gather_strides);
         drop(data);
 
         let parent = self.clone();
@@ -79,10 +166,8 @@ impl Tensor {
                 let out_dims = outt.dims();
                 let gather_strides: Vec<usize> =
                     axes_owned.iter().map(|&a| src_strides[a]).collect();
-                let mut gx = vec![0.0f32; parent.numel()];
-                for (i, o) in StridedIter::new(out_dims, &gather_strides).enumerate() {
-                    gx[o] += g[i];
-                }
+                let mut gx = crate::pool::PooledBuf::zeroed(parent.numel());
+                scatter_add(&mut gx, g, out_dims, &gather_strides);
                 if parent.requires_grad() {
                     parent.accumulate_grad(&gx);
                 }
@@ -117,7 +202,7 @@ impl Tensor {
         let inner: usize = dims[ax + 1..].iter().product();
         let axis_len = dims[ax];
         let data = self.data();
-        let mut out = Vec::with_capacity(outer * len * inner);
+        let mut out = crate::pool::take_cleared(outer * len * inner);
         for o in 0..outer {
             let base = (o * axis_len + start) * inner;
             out.extend_from_slice(&data[base..base + len * inner]);
@@ -134,7 +219,7 @@ impl Tensor {
             Box::new(move |outt| {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
-                let mut gx = vec![0.0f32; parent.numel()];
+                let mut gx = crate::pool::PooledBuf::zeroed(parent.numel());
                 for o in 0..outer {
                     let dst = (o * axis_len + start) * inner;
                     let src = o * len * inner;
@@ -169,7 +254,7 @@ impl Tensor {
         let inner: usize = dims[ax + 1..].iter().product();
         let lens: Vec<usize> = tensors.iter().map(|t| t.dims()[ax]).collect();
         let total_len: usize = lens.iter().sum();
-        let mut out = Vec::with_capacity(outer * total_len * inner);
+        let mut out = crate::pool::take_cleared(outer * total_len * inner);
         for o in 0..outer {
             for (t, &l) in tensors.iter().zip(&lens) {
                 let d = t.data();
@@ -189,9 +274,9 @@ impl Tensor {
             Box::new(move |outt| {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
-                let mut grads: Vec<Vec<f32>> = parents_cap
+                let mut grads: Vec<crate::pool::PooledBuf> = parents_cap
                     .iter()
-                    .map(|t| vec![0.0f32; t.numel()])
+                    .map(|t| crate::pool::PooledBuf::zeroed(t.numel()))
                     .collect();
                 let mut cursor = 0usize;
                 for o in 0..outer {
@@ -227,9 +312,8 @@ impl Tensor {
         );
         let strides = self.shape().broadcast_strides(&target);
         let data = self.data();
-        let out: Vec<f32> = StridedIter::new(target.dims(), &strides)
-            .map(|o| data[o])
-            .collect();
+        let mut out = crate::pool::take_cleared(target.numel());
+        gather_into(&mut out, &data, target.dims(), &strides);
         drop(data);
         let parent = self.clone();
         Tensor::from_op(
@@ -240,10 +324,8 @@ impl Tensor {
                 let g = outt.out_grad();
                 let g: &[f32] = &g;
                 let strides = parent.shape().broadcast_strides(outt.shape());
-                let mut gx = vec![0.0f32; parent.numel()];
-                for (i, o) in StridedIter::new(outt.dims(), &strides).enumerate() {
-                    gx[o] += g[i];
-                }
+                let mut gx = crate::pool::PooledBuf::zeroed(parent.numel());
+                scatter_add(&mut gx, g, outt.dims(), &strides);
                 if parent.requires_grad() {
                     parent.accumulate_grad(&gx);
                 }

@@ -8,7 +8,10 @@ use crate::tensor::Tensor;
 /// `(input, output)` — passing the output lets activations like tanh and
 /// sigmoid reuse the forward result.
 fn unary_op(x: &Tensor, f: impl Fn(f32) -> f32, df: impl Fn(f32, f32) -> f32 + 'static) -> Tensor {
-    let data: Vec<f32> = x.data().iter().map(|&v| f(v)).collect();
+    let xd = x.data();
+    let mut data = crate::pool::take_cleared(xd.len());
+    data.extend(xd.iter().map(|&v| f(v)));
+    drop(xd);
     let parent = x.clone();
     Tensor::from_op(
         data,
@@ -19,11 +22,12 @@ fn unary_op(x: &Tensor, f: impl Fn(f32) -> f32, df: impl Fn(f32, f32) -> f32 + '
             let g: &[f32] = &g;
             let xd = parent.data();
             let od = out.data();
-            let gx: Vec<f32> = g
-                .iter()
-                .zip(xd.iter().zip(od.iter()))
-                .map(|(&gi, (&xi, &oi))| gi * df(xi, oi))
-                .collect();
+            // Scratch: every element is written by the zip below.
+            let mut gx = crate::pool::PooledBuf::scratch(g.len());
+            for (o, (&gi, (&xi, &oi))) in gx.iter_mut().zip(g.iter().zip(xd.iter().zip(od.iter())))
+            {
+                *o = gi * df(xi, oi);
+            }
             drop(xd);
             drop(od);
             parent.accumulate_grad(&gx);

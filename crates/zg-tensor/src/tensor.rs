@@ -69,6 +69,14 @@ impl Drop for Inner {
         if self.tracked {
             crate::leak::node_dropped();
         }
+        // Recycle this node's data and gradient buffers: op outputs in a
+        // training step are multi-megabyte and short-lived, so returning
+        // them to the thread-local pool lets the next step reuse them
+        // instead of round-tripping pages through the allocator.
+        crate::pool::recycle(std::mem::take(self.data.get_mut()));
+        if let Some(g) = self.grad.get_mut().take() {
+            crate::pool::recycle(g);
+        }
         // Iterative graph teardown: a transformer training graph is a chain
         // thousands of nodes long, and the default recursive Rc drop would
         // overflow the stack — both via `parents` and via the parent handles
@@ -147,7 +155,7 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Self::from_vec(vec![0.0; n], shape)
+        Self::from_vec(crate::pool::take_zeroed(n), shape)
     }
 
     /// All-ones tensor.
@@ -279,6 +287,13 @@ impl Tensor {
         self.0.grad.borrow().clone()
     }
 
+    /// Run `f` over the accumulated gradient without cloning it, if one
+    /// is present. The optimizer's fused clip+step uses this to read each
+    /// gradient exactly once per traversal.
+    pub fn with_grad<T>(&self, f: impl FnOnce(&[f32]) -> T) -> Option<T> {
+        self.0.grad.borrow().as_deref().map(f)
+    }
+
     /// Gradient, or zeros when none has been accumulated.
     pub fn grad_or_zeros(&self) -> Vec<f32> {
         self.0
@@ -290,7 +305,9 @@ impl Tensor {
 
     /// Clear this tensor's gradient.
     pub fn zero_grad(&self) {
-        *self.0.grad.borrow_mut() = None;
+        if let Some(g) = self.0.grad.borrow_mut().take() {
+            crate::pool::recycle(g);
+        }
     }
 
     /// Accumulate `g` into this tensor's gradient buffer.
@@ -303,7 +320,11 @@ impl Tensor {
                     *b += x;
                 }
             }
-            None => *slot = Some(g.to_vec()),
+            None => {
+                let mut buf = crate::pool::take_scratch(g.len());
+                buf.copy_from_slice(g);
+                *slot = Some(buf);
+            }
         }
     }
 

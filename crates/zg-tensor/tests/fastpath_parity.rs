@@ -1,0 +1,222 @@
+//! Bit-identity of the op fast paths: every gated kernel (sliced broadcast
+//! binaries, dead-gradient GEMM skip, run-copy/transpose permute and
+//! broadcast gathers) must produce outputs and gradients **bitwise equal**
+//! to the strided reference implementations, across every broadcast plan
+//! and requires-grad combination.
+
+use zg_tensor::{set_op_fast_paths, Tensor};
+
+/// Deterministic quarter-quantized values in [-2, 2): coarse enough to
+/// produce exact ties (exercising maximum/minimum tie routing) and signed
+/// zeros are avoided only by luck, not construction — the comparison is on
+/// raw bits either way.
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 16) as f32 - 8.0) * 0.25
+        })
+        .collect()
+}
+
+/// Like `fill`, but strictly positive (safe denominators).
+fn fill_pos(n: usize, seed: u64) -> Vec<f32> {
+    fill(n, seed).into_iter().map(|v| v * v + 0.25).collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn with_fast<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    let prev = set_op_fast_paths(enabled);
+    let r = f();
+    set_op_fast_paths(prev);
+    r
+}
+
+type OpResult = (Vec<u32>, Option<Vec<u32>>, Option<Vec<u32>>);
+
+/// Run `op`, backprop a position-varying gradient through it, and return
+/// (output bits, grad-a bits, grad-b bits).
+fn run_binop(
+    sa: &[usize],
+    sb: &[usize],
+    op: impl Fn(&Tensor, &Tensor) -> Tensor,
+    need_a: bool,
+    need_b: bool,
+    positive_b: bool,
+) -> OpResult {
+    let na: usize = sa.iter().product();
+    let nb: usize = sb.iter().product();
+    let av = fill(na, 3);
+    let bv = if positive_b {
+        fill_pos(nb, 5)
+    } else {
+        fill(nb, 5)
+    };
+    let a = if need_a {
+        Tensor::param(av, sa.to_vec())
+    } else {
+        Tensor::from_vec(av, sa.to_vec())
+    };
+    let b = if need_b {
+        Tensor::param(bv, sb.to_vec())
+    } else {
+        Tensor::from_vec(bv, sb.to_vec())
+    };
+    let c = op(&a, &b);
+    let out = bits(&c.data());
+    let w = Tensor::from_vec(fill(c.numel(), 11), c.dims().to_vec());
+    c.mul(&w).sum().backward();
+    (out, a.grad().map(|g| bits(&g)), b.grad().map(|g| bits(&g)))
+}
+
+/// Shape pairs covering every plan combination the classifier produces:
+/// Full/Full, leading-broadcast cycles, trailing-broadcast repeats, scalar
+/// operands, and genuinely strided fallbacks (middle or two-sided
+/// broadcasts).
+const SHAPE_PAIRS: &[(&[usize], &[usize])] = &[
+    (&[2, 3, 4], &[2, 3, 4]),
+    (&[2, 3, 4], &[4]),
+    (&[2, 3, 4], &[3, 4]),
+    (&[2, 3, 4], &[1, 3, 4]),
+    (&[3, 4], &[2, 3, 4]),
+    (&[2, 3, 4], &[2, 3, 1]),
+    (&[2, 3, 1], &[2, 3, 4]),
+    (&[2, 3, 4], &[2, 1, 1]),
+    (&[2, 3, 4], &[1]),
+    (&[1], &[2, 3, 4]),
+    (&[2, 3, 4], &[]),
+    (&[3, 1], &[1, 4]),
+    (&[2, 3, 4], &[2, 1, 4]),
+    (&[2, 1, 4], &[1, 3, 1]),
+];
+
+#[test]
+fn binary_ops_bitwise_match_reference_across_plans() {
+    type BinOp = fn(&Tensor, &Tensor) -> Tensor;
+    let ops: &[(&str, BinOp, bool)] = &[
+        ("add", Tensor::add, false),
+        ("sub", Tensor::sub, false),
+        ("mul", Tensor::mul, false),
+        ("div", Tensor::div, true),
+        ("maximum", Tensor::maximum, false),
+        ("minimum", Tensor::minimum, false),
+    ];
+    for &(name, op, positive_b) in ops {
+        for &(sa, sb) in SHAPE_PAIRS {
+            for (need_a, need_b) in [(true, true), (true, false), (false, true)] {
+                let slow = with_fast(false, || run_binop(sa, sb, op, need_a, need_b, positive_b));
+                let fast = with_fast(true, || run_binop(sa, sb, op, need_a, need_b, positive_b));
+                assert_eq!(
+                    slow, fast,
+                    "{name} {sa:?} x {sb:?} need=({need_a},{need_b}) diverged"
+                );
+            }
+        }
+    }
+}
+
+fn run_permute(dims: &[usize], axes: &[usize]) -> OpResult {
+    let n: usize = dims.iter().product();
+    let x = Tensor::param(fill(n, 17), dims.to_vec());
+    let y = x.permute(axes);
+    let out = bits(&y.data());
+    let w = Tensor::from_vec(fill(n, 23), y.dims().to_vec());
+    y.mul(&w).sum().backward();
+    (out, x.grad().map(|g| bits(&g)), None)
+}
+
+#[test]
+fn permute_bitwise_matches_reference() {
+    let cases: &[(&[usize], &[usize])] = &[
+        (&[2, 3, 4, 5], &[0, 2, 1, 3]), // run-copy: last axis fixed
+        (&[2, 3, 4, 5], &[0, 1, 3, 2]), // trailing transpose
+        (&[2, 3, 4, 5], &[3, 2, 1, 0]), // full reversal
+        (&[2, 3, 4, 5], &[2, 0, 3, 1]), // irregular
+        (&[6, 7], &[1, 0]),             // plain matrix transpose
+        (&[2, 3, 4], &[0, 1, 2]),       // identity (single full run)
+        (&[5], &[0]),                   // rank 1
+    ];
+    for &(dims, axes) in cases {
+        let slow = with_fast(false, || run_permute(dims, axes));
+        let fast = with_fast(true, || run_permute(dims, axes));
+        assert_eq!(slow, fast, "permute {dims:?} by {axes:?} diverged");
+    }
+}
+
+fn run_broadcast_to(dims: &[usize], target: &[usize]) -> OpResult {
+    let n: usize = dims.iter().product();
+    let x = Tensor::param(fill(n, 29), dims.to_vec());
+    let y = x.broadcast_to(target.to_vec());
+    let out = bits(&y.data());
+    let w = Tensor::from_vec(fill(y.numel(), 31), target.to_vec());
+    y.mul(&w).sum().backward();
+    (out, x.grad().map(|g| bits(&g)), None)
+}
+
+#[test]
+fn broadcast_to_bitwise_matches_reference() {
+    let cases: &[(&[usize], &[usize])] = &[
+        (&[2, 1, 4], &[2, 3, 4]), // middle broadcast: run-copy of 4
+        (&[4], &[2, 3, 4]),       // leading broadcast: run-copy of 4
+        (&[2, 3, 1], &[2, 3, 4]), // trailing broadcast: elementwise
+        (&[2, 1], &[2, 3]),
+        (&[], &[2, 3]),
+        (&[1, 3, 1], &[2, 3, 4]),
+    ];
+    for &(dims, target) in cases {
+        let slow = with_fast(false, || run_broadcast_to(dims, target));
+        let fast = with_fast(true, || run_broadcast_to(dims, target));
+        assert_eq!(slow, fast, "broadcast {dims:?} -> {target:?} diverged");
+    }
+}
+
+fn run_matmul(sa: &[usize], sb: &[usize], need_a: bool, need_b: bool) -> OpResult {
+    let na: usize = sa.iter().product();
+    let nb: usize = sb.iter().product();
+    let av = fill(na, 37);
+    let bv = fill(nb, 41);
+    let a = if need_a {
+        Tensor::param(av, sa.to_vec())
+    } else {
+        Tensor::from_vec(av, sa.to_vec())
+    };
+    let b = if need_b {
+        Tensor::param(bv, sb.to_vec())
+    } else {
+        Tensor::from_vec(bv, sb.to_vec())
+    };
+    let c = a.matmul(&b);
+    let out = bits(&c.data());
+    let w = Tensor::from_vec(fill(c.numel(), 43), c.dims().to_vec());
+    c.mul(&w).sum().backward();
+    (out, a.grad().map(|g| bits(&g)), b.grad().map(|g| bits(&g)))
+}
+
+/// The dead-gradient GEMM skip must be invisible: whichever side requires
+/// grad gets the exact reference gradient, including broadcast-batch
+/// reduction cases.
+#[test]
+fn matmul_grad_skip_bitwise_matches_reference() {
+    let cases: &[(&[usize], &[usize])] = &[
+        (&[4, 6], &[6, 5]),
+        (&[2, 3, 4], &[4, 5]),          // batched x unbatched (dB reduces)
+        (&[3, 4], &[2, 4, 5]),          // unbatched x batched (dA reduces)
+        (&[2, 1, 3, 4], &[1, 5, 4, 2]), // two-sided batch broadcast
+    ];
+    for &(sa, sb) in cases {
+        for (need_a, need_b) in [(true, true), (true, false), (false, true)] {
+            let slow = with_fast(false, || run_matmul(sa, sb, need_a, need_b));
+            let fast = with_fast(true, || run_matmul(sa, sb, need_a, need_b));
+            assert_eq!(
+                slow, fast,
+                "matmul {sa:?} x {sb:?} need=({need_a},{need_b}) diverged"
+            );
+        }
+    }
+}

@@ -40,6 +40,18 @@ pub struct TrainConfig {
     pub pretrain_epochs: usize,
     /// Peak learning rate for the pretraining stage.
     pub pretrain_lr: f32,
+    /// Worker threads for data-parallel gradient accumulation
+    /// (`1` = serial, `0` = all available cores).
+    ///
+    /// Micro-batches within one optimizer step are split across workers,
+    /// each holding a bit-exact model replica; per-micro-batch gradients
+    /// are reduced on the main thread in micro-batch order, so losses and
+    /// final weights are **bit-identical** for any worker count (pinned
+    /// by the trainer's parity tests). Both built-in presets default to
+    /// `1` (serial): worker replicas cost memory, and on a single-core
+    /// host the fast path's wins come from pooling and the fused
+    /// optimizer rather than thread parallelism.
+    pub train_workers: usize,
 }
 
 /// Full ZiGong configuration (Table 3).
@@ -86,6 +98,7 @@ impl ZiGongConfig {
                 checkpoint_every: 20,
                 pretrain_epochs: 6,
                 pretrain_lr: 1e-2,
+                train_workers: 1,
             },
             vocab_size,
             seed,
@@ -126,6 +139,7 @@ impl ZiGongConfig {
                 checkpoint_every: 500,
                 pretrain_epochs: 0, // Mistral 7B arrives pretrained
                 pretrain_lr: 0.0,
+                train_workers: 1,
             },
             vocab_size: 32_000,
             seed: 0,

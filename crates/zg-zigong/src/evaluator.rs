@@ -3,8 +3,6 @@
 //! so Miss is measured identically for all models) and a positive-class
 //! score (for KS/AUC).
 
-use std::collections::BTreeMap;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -12,8 +10,7 @@ use zg_data::{Dataset, Record};
 use zg_eval::{evaluate_binary, ks_statistic, roc_auc, EvalResult, Prediction};
 use zg_influence::par_map_init;
 use zg_instruct::{parse_binary, render_classification, InstructExample};
-use zg_model::{Adapter, CausalLm, ModelConfig};
-use zg_tensor::Tensor;
+use zg_model::{CausalLm, LmSpec};
 use zg_tokenizer::{BpeTokenizer, Special};
 
 /// One evaluation item: the raw record (for feature-based expert systems)
@@ -222,22 +219,17 @@ impl CreditClassifier for ZiGongModel {
     }
 }
 
-/// A `Send` blueprint of a [`ZiGongModel`]: configuration, raw `f32`
-/// weight buffers, tokenizer, and LoRA adapter geometry.
+/// A `Send` blueprint of a [`ZiGongModel`]: an [`LmSpec`] of the
+/// underlying `CausalLm` plus the tokenizer and display metadata.
 ///
 /// `CausalLm` tensors are `Rc`-backed and cannot cross threads, so the
 /// parallel evaluator ships this plain-data spec to each worker and
-/// rebuilds a private replica there. Replicas are exact: every parameter
-/// (base weights *and* adapter matrices) is restored by name, and the
-/// adapter slots are recreated first because [`CausalLm::restore`]-style
-/// matching by name would silently drop weights for slots that do not
-/// exist yet.
+/// rebuilds a private replica there. The model half delegates to
+/// [`LmSpec`] (shared with the trainer's data-parallel workers), which
+/// restores every parameter — base weights *and* adapter matrices — by
+/// name, recreating adapter slots first.
 pub struct ZiGongSpec {
-    cfg: ModelConfig,
-    weights: Vec<(String, Vec<f32>)>,
-    /// Per block, per q/k/v/o projection: `(rank, scale)` of an attached
-    /// adapter.
-    adapters: Vec<[Option<(usize, f32)>; 4]>,
+    lm: LmSpec,
     tokenizer: BpeTokenizer,
     max_seq_len: usize,
     display_name: String,
@@ -246,30 +238,8 @@ pub struct ZiGongSpec {
 impl ZiGongModel {
     /// Snapshot this model into a thread-shippable [`ZiGongSpec`].
     pub fn spec(&self) -> ZiGongSpec {
-        let weights = self
-            .lm
-            .params()
-            .into_iter()
-            .map(|(name, p)| (name, p.data().to_vec()))
-            .collect();
-        let adapters = self
-            .lm
-            .blocks
-            .iter()
-            .map(|b| {
-                let projs = b.attn.projections();
-                [0, 1, 2, 3].map(|i| {
-                    projs[i]
-                        .adapter
-                        .as_ref()
-                        .map(|ad| (ad.a.dims()[1], ad.scale))
-                })
-            })
-            .collect();
         ZiGongSpec {
-            cfg: self.lm.cfg.clone(),
-            weights,
-            adapters,
+            lm: LmSpec::snapshot(&self.lm),
             tokenizer: self.tokenizer.clone(),
             max_seq_len: self.max_seq_len,
             display_name: self.display_name.clone(),
@@ -280,40 +250,8 @@ impl ZiGongModel {
 impl ZiGongSpec {
     /// Rebuild an exact replica of the snapshotted model.
     pub fn build(&self) -> ZiGongModel {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut lm = CausalLm::new(self.cfg.clone(), &mut rng);
-        // Recreate adapter slots before restoring weights: parameters are
-        // matched by name, and `lora_a`/`lora_b` names only exist once the
-        // slot does.
-        for (block, slots) in lm.blocks.iter_mut().zip(&self.adapters) {
-            for (linear, slot) in block.attn.projections_mut().into_iter().zip(slots) {
-                if let &Some((rank, scale)) = slot {
-                    let (fin, fout) = (linear.in_features(), linear.out_features());
-                    linear.adapter = Some(Adapter {
-                        a: Tensor::param(vec![0.0; fin * rank], [fin, rank]),
-                        b: Tensor::param(vec![0.0; rank * fout], [rank, fout]),
-                        scale,
-                    });
-                }
-            }
-        }
-        let by_name: BTreeMap<&str, &Vec<f32>> =
-            self.weights.iter().map(|(n, d)| (n.as_str(), d)).collect();
-        let params = lm.params();
-        assert_eq!(
-            params.len(),
-            self.weights.len(),
-            "replica parameters must cover the spec exactly"
-        );
-        for (name, p) in params {
-            let data = by_name
-                .get(name.as_str())
-                // INVARIANT: a spec missing a replica parameter is unrecoverable corruption.
-                .unwrap_or_else(|| panic!("spec missing parameter {name}"));
-            p.set_data(data);
-        }
         ZiGongModel::new(
-            lm,
+            self.lm.build(),
             self.tokenizer.clone(),
             self.max_seq_len,
             &self.display_name,

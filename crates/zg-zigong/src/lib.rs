@@ -4,8 +4,9 @@
 //!
 //! - [`config`]: Table 3 configuration (paper reference + CPU miniature).
 //! - [`corpus`]: instruction tokenization with prompt masking.
-//! - [`trainer`]: multi-task LoRA SFT with gradient accumulation, cosine
-//!   decay, clipping, and TracIn checkpoint capture.
+//! - [`trainer`]: multi-task LoRA SFT with data-parallel gradient
+//!   accumulation (bit-identical to serial for any worker count), cosine
+//!   decay, clipping, phase profiling, and TracIn checkpoint capture.
 //! - [`pruning`]: the data-pruning pipeline — sequential agent training,
 //!   TracSeq scoring, Top-K, 70/30 hybrid mixing.
 //! - [`evaluator`] / [`baselines`] / [`replay`]: the Table 2 harness with
@@ -47,4 +48,4 @@ pub use pruning::{
     split_behavior_by_user, BehaviorSample,
 };
 pub use replay::{calibrate, paper_table2, Calibration, OperatingPoint, ReplayBaseline};
-pub use trainer::{train_sft, TrainOrder, TrainReport};
+pub use trainer::{train_sft, train_sft_profiled, Clock, Profile, TrainOrder, TrainReport};

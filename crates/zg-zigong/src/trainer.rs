@@ -2,12 +2,38 @@
 //! micro-batching with gradient accumulation (paper: batch 32 = 8×4),
 //! cosine learning-rate decay with warmup, global-norm clipping, and
 //! TracIn checkpoint capture.
+//!
+//! # Training fast path
+//!
+//! The accumulation window (the `grad_accum` micro-batches between two
+//! optimizer steps) is a data-parallel axis: weights are frozen for the
+//! whole window, so the per-micro-batch gradients are independent. With
+//! [`TrainConfig::train_workers`] `> 1` the trainer ships an [`LmSpec`]
+//! blueprint to a persistent worker pool, each worker rebuilds a
+//! bit-exact replica (same blueprint→replica pattern as the parallel
+//! evaluator), and micro-batches are assigned to workers in contiguous
+//! chunks by micro-batch index. Gradients come back per micro-batch and
+//! are reduced on the main thread **in ascending micro-batch order** —
+//! the same left-fold `((g₀ + g₁) + g₂) …` the serial loop performs via
+//! repeated `accumulate_grad` — so losses, gradients, and final weights
+//! are bit-identical for any worker count.
+//!
+//! The optimizer step uses the fused [`AdamW::clip_and_step`] (one
+//! gradient traversal instead of three), and every phase of the step is
+//! timed into a [`Profile`] through an *injected* clock — the trainer
+//! itself never reads wall time, keeping the library deterministic and
+//! testable (the `zg-bench` binaries supply a real clock).
+
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::Serialize;
 use zg_influence::LmCheckpoint;
-use zg_model::{clip_grad_norm, AdamW, CausalLm, CosineSchedule};
+use zg_model::{AdamW, CausalLm, CosineSchedule, LmSpec};
+use zg_tensor::Tensor;
 
 use crate::config::TrainConfig;
 use crate::corpus::{collate, Sample};
@@ -22,6 +48,64 @@ pub enum TrainOrder {
     Chronological,
 }
 
+/// An injected monotonic clock returning seconds. The trainer never
+/// reads wall time itself; pass `None` for fully deterministic runs
+/// (all [`Profile`] timings stay zero) or a real clock from a binary.
+pub type Clock<'a> = &'a (dyn Fn() -> f64 + Sync);
+
+/// Phase-level timing and allocator counters for one training run.
+///
+/// Timings are in seconds of the injected clock. `collate_s`, `sync_s`,
+/// `reduce_s`, and `optimizer_s` are main-thread wall time; `forward_s`
+/// and `backward_s` are summed across workers in parallel mode (CPU
+/// seconds, not wall), and plain main-thread wall time in serial mode.
+/// Pool counters are deltas of the calling thread's buffer-pool stats —
+/// worker-thread pools are thread-local and not aggregated here.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Profile {
+    /// Batch assembly: padding/packing micro-batches.
+    pub collate_s: f64,
+    /// Parallel mode only: broadcasting updated trainable weights to
+    /// worker replicas at the start of each accumulation window.
+    pub sync_s: f64,
+    /// Loss-graph construction (`sft_loss`).
+    pub forward_s: f64,
+    /// Reverse sweep (`backward`).
+    pub backward_s: f64,
+    /// In-order gradient reduction of worker results (parallel mode).
+    pub reduce_s: f64,
+    /// Fused clip + AdamW step, plus checkpoint capture.
+    pub optimizer_s: f64,
+    /// Micro-batches processed.
+    pub microbatches: u64,
+    /// Buffer-pool takes on the calling thread over the run.
+    pub pool_takes: u64,
+    /// Buffer-pool hits on the calling thread over the run.
+    pub pool_hits: u64,
+}
+
+impl Profile {
+    /// Total time across all phases.
+    pub fn total_s(&self) -> f64 {
+        self.collate_s
+            + self.sync_s
+            + self.forward_s
+            + self.backward_s
+            + self.reduce_s
+            + self.optimizer_s
+    }
+
+    /// Fraction of pool takes served from the free list (0 when the
+    /// pool saw no traffic).
+    pub fn pool_hit_rate(&self) -> f64 {
+        if self.pool_takes == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / self.pool_takes as f64
+        }
+    }
+}
+
 /// Outcome of a training run.
 pub struct TrainReport {
     /// Mean loss per optimizer step.
@@ -31,6 +115,8 @@ pub struct TrainReport {
     pub checkpoints: Vec<LmCheckpoint>,
     /// Total optimizer steps taken.
     pub steps: u64,
+    /// Phase timings (all zero unless a clock was injected).
+    pub profile: Profile,
 }
 
 impl TrainReport {
@@ -45,8 +131,49 @@ impl TrainReport {
     }
 }
 
+/// One collated micro-batch, ready to ship to a worker.
+struct MicroJob {
+    tokens: Vec<u32>,
+    labels: Vec<u32>,
+    b: usize,
+    t: usize,
+    /// Loss scale `1 / grad_accum` so accumulated gradients average.
+    scale: f32,
+    /// Index within the accumulation window — reduction order key.
+    idx: usize,
+    /// Max data period in the micro-batch (drives checkpoint `time`).
+    data_time: u32,
+}
+
+/// Worker input: a weight refresh or a chunk of micro-batches.
+enum WorkerMsg {
+    /// Updated trainable-parameter data, in `trainable_params()` order.
+    Update(Arc<Vec<Vec<f32>>>),
+    /// Contiguous chunk of the current window's micro-batches.
+    Jobs(Vec<MicroJob>),
+    /// Shut down.
+    Done,
+}
+
+/// Worker output for one micro-batch.
+struct WorkerOut {
+    idx: usize,
+    loss: f32,
+    /// Per trainable parameter: the micro-batch gradient, or `None` when
+    /// the backward pass never reached it (preserves the optimizer's
+    /// "skip params without grads" semantics bit-for-bit).
+    grads: Vec<Option<Vec<f32>>>,
+    fwd_s: f64,
+    bwd_s: f64,
+}
+
+fn now(clock: Option<Clock>) -> f64 {
+    clock.map(|c| c()).unwrap_or(0.0)
+}
+
 /// Run SFT over `samples`. The model must already have its trainable set
-/// configured (typically LoRA-attached). Deterministic in `seed`.
+/// configured (typically LoRA-attached). Deterministic in `seed` — and in
+/// `cfg.train_workers`, whose only effect is wall time.
 pub fn train_sft(
     lm: &CausalLm,
     samples: &[Sample],
@@ -54,9 +181,243 @@ pub fn train_sft(
     order: TrainOrder,
     seed: u64,
 ) -> TrainReport {
+    train_sft_profiled(lm, samples, cfg, order, seed, None)
+}
+
+/// [`train_sft`] with an injected clock for phase timing; pass `None`
+/// to skip timing entirely.
+pub fn train_sft_profiled(
+    lm: &CausalLm,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    order: TrainOrder,
+    seed: u64,
+    clock: Option<Clock>,
+) -> TrainReport {
     assert!(!samples.is_empty(), "no training samples");
     let params = lm.trainable_params();
     assert!(!params.is_empty(), "model has no trainable parameters");
+    let workers = match cfg.train_workers {
+        0 => zg_tensor::available_threads(),
+        w => w,
+    };
+    if workers <= 1 {
+        return train_serial(lm, samples, cfg, order, seed, clock, &params);
+    }
+    train_parallel(lm, samples, cfg, order, seed, clock, &params, workers)
+}
+
+fn train_serial(
+    lm: &CausalLm,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    order: TrainOrder,
+    seed: u64,
+    clock: Option<Clock>,
+    params: &[(String, Tensor)],
+) -> TrainReport {
+    let mut run_window = |jobs: Vec<MicroJob>, prof: &mut Profile| -> Vec<f32> {
+        jobs.iter()
+            .map(|job| {
+                let t0 = now(clock);
+                let loss = lm.sft_loss(&job.tokens, &job.labels, job.b, job.t, 0);
+                let v = loss.item();
+                let t1 = now(clock);
+                prof.forward_s += t1 - t0;
+                loss.mul_scalar(job.scale).backward();
+                prof.backward_s += now(clock) - t1;
+                v
+            })
+            .collect()
+    };
+    train_loop(
+        lm,
+        samples,
+        cfg,
+        order,
+        seed,
+        clock,
+        params,
+        &mut run_window,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_parallel(
+    lm: &CausalLm,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    order: TrainOrder,
+    seed: u64,
+    clock: Option<Clock>,
+    params: &[(String, Tensor)],
+    workers: usize,
+) -> TrainReport {
+    let spec = LmSpec::snapshot(lm);
+    std::thread::scope(|s| {
+        let (out_tx, out_rx) = mpsc::channel::<WorkerOut>();
+        let mut job_txs: Vec<mpsc::Sender<WorkerMsg>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            job_txs.push(tx);
+            let out_tx = out_tx.clone();
+            let spec = &spec;
+            s.spawn(move || train_worker(spec, rx, out_tx, clock));
+        }
+        drop(out_tx);
+
+        let mut run_window = |jobs: Vec<MicroJob>, prof: &mut Profile| -> Vec<f32> {
+            let n = jobs.len();
+            // Broadcast the post-step trainable weights so every replica
+            // matches the main model bit-for-bit for this window.
+            let t0 = now(clock);
+            let weights: Arc<Vec<Vec<f32>>> =
+                Arc::new(params.iter().map(|(_, p)| p.data().to_vec()).collect());
+            for tx in &job_txs {
+                tx.send(WorkerMsg::Update(weights.clone()))
+                    // INVARIANT: workers outlive the training loop; a closed
+                    // channel means a worker panicked, which is unrecoverable.
+                    .expect("worker disconnected");
+            }
+            // Contiguous chunks by micro-batch index: deterministic
+            // assignment, independent of worker scheduling.
+            let per = n.div_ceil(job_txs.len());
+            let mut jobs = jobs;
+            for tx in &job_txs {
+                if jobs.is_empty() {
+                    break;
+                }
+                let rest = jobs.split_off(per.min(jobs.len()));
+                let chunk = std::mem::replace(&mut jobs, rest);
+                tx.send(WorkerMsg::Jobs(chunk))
+                    // INVARIANT: see the Update send above.
+                    .expect("worker disconnected");
+            }
+            prof.sync_s += now(clock) - t0;
+
+            // Collect all n results, then reduce in ascending micro-batch
+            // order — the serial loop's exact accumulation order.
+            let mut slots: Vec<Option<WorkerOut>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                // INVARIANT: each worker sends exactly one result per job;
+                // a closed channel means a worker panicked.
+                let out = out_rx.recv().expect("training worker disconnected");
+                prof.forward_s += out.fwd_s;
+                prof.backward_s += out.bwd_s;
+                let idx = out.idx;
+                slots[idx] = Some(out);
+            }
+            let t0 = now(clock);
+            let mut losses = Vec::with_capacity(n);
+            for slot in slots {
+                // INVARIANT: the loop above filled every slot.
+                let out = slot.expect("missing micro-batch result");
+                losses.push(out.loss);
+                for ((_, p), g) in params.iter().zip(&out.grads) {
+                    if let Some(g) = g {
+                        p.accumulate_grad(g);
+                    }
+                }
+            }
+            prof.reduce_s += now(clock) - t0;
+            losses
+        };
+        let report = train_loop(
+            lm,
+            samples,
+            cfg,
+            order,
+            seed,
+            clock,
+            params,
+            &mut run_window,
+        );
+        for tx in &job_txs {
+            let _ = tx.send(WorkerMsg::Done);
+        }
+        report
+    })
+}
+
+/// Worker thread: rebuild a replica from the blueprint, then serve
+/// weight refreshes and micro-batch jobs until shutdown.
+fn train_worker(
+    spec: &LmSpec,
+    rx: mpsc::Receiver<WorkerMsg>,
+    tx: mpsc::Sender<WorkerOut>,
+    clock: Option<Clock>,
+) {
+    let replica = spec.build();
+    let tparams = replica.trainable_params();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Update(weights) => {
+                assert_eq!(
+                    tparams.len(),
+                    weights.len(),
+                    "replica trainable set must match the main model"
+                );
+                for ((_, p), data) in tparams.iter().zip(weights.iter()) {
+                    p.set_data(data);
+                }
+            }
+            WorkerMsg::Jobs(jobs) => {
+                for job in jobs {
+                    // Debug-mode sanitizer: a micro-batch must not leave
+                    // tape nodes or checked-out pooled buffers behind.
+                    let _leak = zg_tensor::GraphLeakGuard::new("train_sft worker micro-batch");
+                    let t0 = now(clock);
+                    let loss = replica.sft_loss(&job.tokens, &job.labels, job.b, job.t, 0);
+                    let v = loss.item();
+                    let t1 = now(clock);
+                    loss.mul_scalar(job.scale).backward();
+                    let t2 = now(clock);
+                    let grads: Vec<Option<Vec<f32>>> = tparams
+                        .iter()
+                        .map(|(_, p)| {
+                            let g = p.with_grad(|g| g.to_vec());
+                            p.zero_grad();
+                            g
+                        })
+                        .collect();
+                    if tx
+                        .send(WorkerOut {
+                            idx: job.idx,
+                            loss: v,
+                            grads,
+                            fwd_s: t1 - t0,
+                            bwd_s: t2 - t1,
+                        })
+                        .is_err()
+                    {
+                        // Main thread went away (panic unwinding); stop.
+                        return;
+                    }
+                }
+            }
+            WorkerMsg::Done => break,
+        }
+    }
+}
+
+/// The epoch/step skeleton shared by the serial and parallel engines.
+///
+/// `run_window` receives one accumulation window of collated micro-batch
+/// jobs, leaves their summed (scaled) gradients on `params`, and returns
+/// the per-micro-batch losses in window order. Everything that touches
+/// the RNG (epoch shuffling) happens here, on the main thread, so the
+/// sample order stream is identical for any engine and worker count.
+#[allow(clippy::too_many_arguments)]
+fn train_loop(
+    lm: &CausalLm,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    order: TrainOrder,
+    seed: u64,
+    clock: Option<Clock>,
+    params: &[(String, Tensor)],
+    run_window: &mut dyn FnMut(Vec<MicroJob>, &mut Profile) -> Vec<f32>,
+) -> TrainReport {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let micro_per_epoch = samples.len().div_ceil(cfg.batch_size);
@@ -79,87 +440,68 @@ pub fn train_sft(
         losses: Vec::new(),
         checkpoints: Vec::new(),
         steps: 0,
+        profile: Profile::default(),
     };
+    let pool0 = zg_tensor::pool_stats();
     let mut step: u64 = 0;
     for _epoch in 0..cfg.epochs {
         if order == TrainOrder::Shuffled {
             indices.shuffle(&mut rng);
         }
-        let mut micro_in_step = 0usize;
-        let mut loss_acc = 0.0f32;
-        let mut last_time: u32 = 0;
-        for chunk in indices.chunks(cfg.batch_size) {
-            let batch: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
-            last_time = batch
-                .iter()
-                .filter_map(|s| s.time)
-                .max()
-                .unwrap_or(step as u32);
-            let (tokens, labels, b, t) = collate(&batch);
-            let loss = lm.sft_loss(&tokens, &labels, b, t, 0);
-            loss_acc += loss.item();
-            // Scale so accumulated gradients average over micro-batches.
-            loss.mul_scalar(1.0 / cfg.grad_accum as f32).backward();
-            micro_in_step += 1;
-            if micro_in_step == cfg.grad_accum {
-                optimizer_step(
-                    lm,
-                    &params,
-                    &mut opt,
-                    &schedule,
-                    cfg,
-                    step,
-                    last_time,
-                    loss_acc / micro_in_step as f32,
-                    &mut report,
-                );
-                step += 1;
-                micro_in_step = 0;
-                loss_acc = 0.0;
+        for window in indices.chunks(cfg.batch_size * cfg.grad_accum) {
+            let t0 = now(clock);
+            let jobs: Vec<MicroJob> = window
+                .chunks(cfg.batch_size)
+                .enumerate()
+                .map(|(idx, chunk)| {
+                    let batch: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+                    let data_time = batch
+                        .iter()
+                        .filter_map(|s| s.time)
+                        .max()
+                        .unwrap_or(step as u32);
+                    let (tokens, labels, b, t) = collate(&batch);
+                    MicroJob {
+                        tokens,
+                        labels,
+                        b,
+                        t,
+                        scale: 1.0 / cfg.grad_accum as f32,
+                        idx,
+                        data_time,
+                    }
+                })
+                .collect();
+            report.profile.collate_s += now(clock) - t0;
+            let n = jobs.len();
+            // INVARIANT: every window holds at least one micro-batch.
+            let last_time = jobs.last().expect("non-empty window").data_time;
+
+            let losses = run_window(jobs, &mut report.profile);
+            debug_assert_eq!(losses.len(), n);
+            report.profile.microbatches += n as u64;
+            let mean_loss = losses.iter().sum::<f32>() / n as f32;
+
+            let t0 = now(clock);
+            opt.lr = schedule.lr_at(step);
+            opt.clip_and_step(params, cfg.clip_norm);
+            report.losses.push(mean_loss);
+            if cfg.checkpoint_every > 0 && (step + 1).is_multiple_of(cfg.checkpoint_every as u64) {
+                report.checkpoints.push(LmCheckpoint {
+                    store: lm.checkpoint(),
+                    eta: opt.lr,
+                    time: last_time,
+                });
             }
-        }
-        if micro_in_step > 0 {
-            optimizer_step(
-                lm,
-                &params,
-                &mut opt,
-                &schedule,
-                cfg,
-                step,
-                last_time,
-                loss_acc / micro_in_step as f32,
-                &mut report,
-            );
+            report.profile.optimizer_s += now(clock) - t0;
             step += 1;
         }
     }
+    let pool1 = zg_tensor::pool_stats();
+    report.profile.pool_takes = pool1.takes - pool0.takes;
+    report.profile.pool_hits = pool1.hits - pool0.hits;
     report.steps = step;
     report
-}
-
-#[allow(clippy::too_many_arguments)]
-fn optimizer_step(
-    lm: &CausalLm,
-    params: &[(String, zg_tensor::Tensor)],
-    opt: &mut AdamW,
-    schedule: &CosineSchedule,
-    cfg: &TrainConfig,
-    step: u64,
-    data_time: u32,
-    mean_loss: f32,
-    report: &mut TrainReport,
-) {
-    clip_grad_norm(params, cfg.clip_norm);
-    opt.lr = schedule.lr_at(step);
-    opt.step(params);
-    report.losses.push(mean_loss);
-    if cfg.checkpoint_every > 0 && (step + 1).is_multiple_of(cfg.checkpoint_every as u64) {
-        report.checkpoints.push(LmCheckpoint {
-            store: lm.checkpoint(),
-            eta: opt.lr,
-            time: data_time,
-        });
-    }
 }
 
 #[cfg(test)]
@@ -219,6 +561,7 @@ mod tests {
             checkpoint_every: 2,
             pretrain_epochs: 0,
             pretrain_lr: 0.0,
+            train_workers: 1,
         }
     }
 
@@ -331,5 +674,97 @@ mod tests {
             let report = train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 12);
             assert!(report.final_loss().is_finite());
         }
+    }
+
+    #[test]
+    fn parallel_training_bit_identical_to_serial() {
+        // The tentpole guarantee: losses AND final weights are exactly
+        // (f64/bitwise) equal for any worker count.
+        let examples = toy_examples(24);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let run = |workers: usize| {
+            let lm = toy_lm(tok.vocab_size(), 5);
+            let cfg = TrainConfig {
+                train_workers: workers,
+                ..train_cfg()
+            };
+            let report = train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 9);
+            let weights: Vec<Vec<f32>> = lm
+                .trainable_params()
+                .into_iter()
+                .map(|(_, p)| p.data().to_vec())
+                .collect();
+            (report.losses, weights, report.steps)
+        };
+        let (base_losses, base_weights, base_steps) = run(1);
+        for workers in [2usize, 3, 5] {
+            let (losses, weights, steps) = run(workers);
+            assert_eq!(steps, base_steps);
+            let exact: Vec<f64> = losses.iter().map(|&l| l as f64).collect();
+            let base_exact: Vec<f64> = base_losses.iter().map(|&l| l as f64).collect();
+            assert_eq!(
+                exact, base_exact,
+                "losses diverged from serial at {workers} workers"
+            );
+            assert_eq!(
+                weights, base_weights,
+                "final weights diverged from serial at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn profiler_counts_phases_with_injected_clock() {
+        let examples = toy_examples(16);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 13);
+        // A deterministic fake clock: each read advances by 1 "second",
+        // so every timed phase accrues a positive duration.
+        let ticks = std::sync::atomic::AtomicU64::new(0);
+        let clock = move || ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as f64;
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..train_cfg()
+        };
+        let report =
+            train_sft_profiled(&lm, &samples, &cfg, TrainOrder::Shuffled, 14, Some(&clock));
+        let p = report.profile;
+        assert!(p.collate_s > 0.0 && p.forward_s > 0.0 && p.backward_s > 0.0);
+        assert!(p.optimizer_s > 0.0);
+        assert_eq!(p.microbatches, 2); // 16 samples / batch 8
+        assert!(p.total_s() > 0.0);
+        // Serial run: no sync/reduce phases.
+        assert_eq!(p.sync_s, 0.0);
+        assert_eq!(p.reduce_s, 0.0);
+        // The training loop recycles backward scratch through the pool.
+        assert!(p.pool_takes > 0, "pool saw no traffic");
+        assert!(p.pool_hit_rate() > 0.0, "pool never hit");
+        // Without a clock all timings stay zero.
+        let lm2 = toy_lm(tok.vocab_size(), 13);
+        let silent = train_sft(&lm2, &samples, &cfg, TrainOrder::Shuffled, 14);
+        assert_eq!(silent.profile.total_s(), 0.0);
+    }
+
+    #[test]
+    fn parallel_run_leaves_no_pooled_buffers_checked_out() {
+        let examples = toy_examples(16);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 15);
+        let cfg = TrainConfig {
+            epochs: 1,
+            train_workers: 2,
+            ..train_cfg()
+        };
+        let before = zg_tensor::pool_stats().checked_out;
+        let report = train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 16);
+        assert!(report.steps > 0);
+        let after = zg_tensor::pool_stats().checked_out;
+        assert_eq!(
+            before, after,
+            "training leaked checked-out pooled buffers on the main thread"
+        );
     }
 }
