@@ -188,10 +188,7 @@ fn main() {
 
     // --- 2. Fast serial: op fast paths, pool, fused optimizer,
     // reshape-free loss.
-    let epoch_clock = {
-        let origin = Instant::now();
-        move || origin.elapsed().as_secs_f64()
-    };
+    let epoch_clock = zg_trace::wall_clock();
     let checked_out_before = pool_stats().checked_out;
     let mut fast_s = f64::INFINITY;
     let mut fast = None;
@@ -204,7 +201,7 @@ fn main() {
             &cfg,
             TrainOrder::Shuffled,
             seed,
-            Some(&epoch_clock),
+            Some(epoch_clock.clone()),
         );
         let s = t0.elapsed().as_secs_f64();
         if s < fast_s {
@@ -243,7 +240,7 @@ fn main() {
             &par_cfg,
             TrainOrder::Shuffled,
             seed,
-            Some(&epoch_clock),
+            Some(epoch_clock.clone()),
         );
         let s = t0.elapsed().as_secs_f64();
         if s < par_s {

@@ -26,6 +26,7 @@ pub fn bootstrap_ci(
     seed: u64,
     metric: impl Fn(&[usize]) -> f64,
 ) -> Interval {
+    let _span = zg_trace::span_arg("eval.bootstrap", resamples as i64);
     assert!(n_obs > 0, "need at least one observation");
     assert!((0.0..1.0).contains(&level) && level > 0.5, "bad level");
     let full: Vec<usize> = (0..n_obs).collect();

@@ -9,6 +9,7 @@
 /// binary labels. Returns 0 when either class is absent.
 pub fn ks_statistic(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let _span = zg_trace::span_arg("eval.ks", scores.len() as i64);
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
@@ -47,6 +48,7 @@ pub fn ks_statistic(scores: &[f64], labels: &[bool]) -> f64 {
 /// correction. Returns 0.5 when either class is absent.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len());
+    let _span = zg_trace::span_arg("eval.auc", scores.len() as i64);
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {

@@ -34,6 +34,7 @@ pub struct EvalResult {
 
 /// Evaluate binary predictions against labels.
 pub fn evaluate_binary(preds: &[Prediction], labels: &[bool]) -> EvalResult {
+    let _span = zg_trace::span_arg("eval.binary", preds.len() as i64);
     assert_eq!(
         preds.len(),
         labels.len(),

@@ -124,8 +124,19 @@ where
 {
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 {
+        // Inline fallback still gets its own chunk stream (installs are a
+        // stack, so this nests cleanly under the caller's stream) — the
+        // trace shows the same per-chunk shape at every worker count.
+        let _stream = zg_trace::fork_stream("chunk0").map(zg_trace::StreamHandle::install);
+        let _span = zg_trace::span_arg("par.chunk", 0);
         let mut state = init();
-        return items.iter().map(|t| f(&mut state, t)).collect();
+        return items
+            .iter()
+            .map(|t| {
+                zg_trace::counter_add("par.items", 1.0);
+                f(&mut state, t)
+            })
+            .collect();
     }
     let chunk = items.len().div_ceil(workers);
     let init = &init;
@@ -133,10 +144,21 @@ where
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|part| {
+            .enumerate()
+            .map(|(ci, part)| {
+                // Stream ids allocate here, on the spawning thread in
+                // chunk order, so the merged trace is scheduling-independent.
+                let stream = zg_trace::fork_stream(&format!("chunk{ci}"));
                 s.spawn(move || {
+                    let _guard = stream.map(zg_trace::StreamHandle::install);
+                    let _span = zg_trace::span_arg("par.chunk", ci as i64);
                     let mut state = init();
-                    part.iter().map(|t| f(&mut state, t)).collect::<Vec<U>>()
+                    part.iter()
+                        .map(|t| {
+                            zg_trace::counter_add("par.items", 1.0);
+                            f(&mut state, t)
+                        })
+                        .collect::<Vec<U>>()
                 })
             })
             .collect();
@@ -178,6 +200,8 @@ pub fn influence_scores_with(
 ) -> Vec<f32> {
     cfg.validate();
     assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let _span = zg_trace::span_arg("influence.scores", checkpoints[0].train.len() as i64);
+    zg_trace::counter_add("influence.checkpoints", checkpoints.len() as f64);
     let n_train = checkpoints[0].train.len();
     let n_test = checkpoints[0].test.len();
     assert!(n_test > 0, "need at least one test sample");

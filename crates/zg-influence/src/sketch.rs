@@ -113,6 +113,7 @@ impl Sketcher {
     /// splits — scores are inner products between them, so they must live
     /// in one shared sketch space.
     pub fn sketch_checkpoints(&self, checkpoints: &[CheckpointGrads]) -> Vec<CheckpointGrads> {
+        let _span = zg_trace::span_arg("influence.sketch", checkpoints.len() as i64);
         checkpoints
             .iter()
             .map(|ck| CheckpointGrads {
@@ -183,8 +184,10 @@ impl GradStore {
         compute: impl FnOnce() -> Vec<f32>,
     ) -> Arc<Vec<f32>> {
         if let Some(g) = self.get(&key) {
+            zg_trace::counter_add("influence.grad_cache_hits", 1.0);
             return g;
         }
+        zg_trace::counter_add("influence.grad_cache_misses", 1.0);
         let g = Arc::new(compute());
         let mut w = self.map.write();
         // A racing worker may have inserted meanwhile; keep the first.

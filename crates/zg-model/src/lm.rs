@@ -33,6 +33,7 @@ impl KvCache {
     /// independently. This is what lets one prompt prefill serve many
     /// candidate continuations.
     pub fn fork(&self) -> KvCache {
+        zg_trace::counter_add("model.kv_forks", 1.0);
         KvCache {
             layers: self.layers.clone(),
             pos: self.pos,
@@ -117,6 +118,16 @@ impl CausalLm {
             cache.pos,
             self.cfg.max_seq_len
         );
+        // Single-token chunks are cached decode steps; multi-token chunks
+        // are prompt ingestion. Spans only for the latter — a span per
+        // decoded token would dominate the trace.
+        let _span = if t > 1 {
+            zg_trace::counter_add("model.prefill_tokens", t as f64);
+            Some(zg_trace::span_arg("model.prefill", t as i64))
+        } else {
+            zg_trace::counter_add("model.decode_steps", 1.0);
+            None
+        };
         no_grad(|| {
             let mut h = self.embed.forward(tokens, 1, t);
             for (block, layer_cache) in self.blocks.iter().zip(&mut cache.layers) {
@@ -163,6 +174,7 @@ impl CausalLm {
         rng: &mut impl Rng,
     ) -> Vec<u32> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let _span = zg_trace::span_arg("model.generate", max_new as i64);
         let _leak = GraphLeakGuard::new("CausalLm::generate");
         // The whole decode runs under no_grad — chunked prompt prefill,
         // then one cached step per sampled token.
@@ -204,6 +216,7 @@ impl CausalLm {
     /// on exactly the needed positions (`O(|cont|·V)`, not `O(t·V)`).
     pub fn score_continuations(&self, prompt: &[u32], continuations: &[&[u32]]) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let _span = zg_trace::span_arg("model.score", continuations.len() as i64);
         let _leak = GraphLeakGuard::new("CausalLm::score_continuations");
         let mut cache = self.new_cache();
         let prompt_logits = self.prefill(prompt, &mut cache);
@@ -220,6 +233,8 @@ impl CausalLm {
         next_logits: &[f32],
         continuations: &[&[u32]],
     ) -> Vec<f32> {
+        let _span = zg_trace::span_arg("model.score_cached", continuations.len() as i64);
+        zg_trace::counter_add("model.continuations", continuations.len() as f64);
         let _leak = GraphLeakGuard::new("CausalLm::score_continuations_with_cache");
         no_grad(|| {
             continuations

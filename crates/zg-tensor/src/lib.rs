@@ -51,8 +51,8 @@ pub use ops_matmul::{
     set_gemm_kernel, GemmKernel,
 };
 pub use pool::{
-    clear_pool, live_pooled_buffers, pool_stats, reset_pool_stats, set_pool_enabled, PoolStats,
-    PooledBuf,
+    clear_pool, live_pooled_buffers, pool_stats, pool_stats_scope, reset_pool_stats,
+    set_pool_enabled, PoolStats, PoolStatsScope, PooledBuf,
 };
 pub use shape::{Shape, StridedIter};
 pub use store::TensorStore;

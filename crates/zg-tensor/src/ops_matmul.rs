@@ -77,20 +77,45 @@ const THREADED_MIN_FLOPS: usize = 128 * 128 * 128;
 #[allow(clippy::too_many_arguments)]
 pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     let flops = m * n * k;
-    match gemm_kernel() {
-        GemmKernel::Naive => gemm_naive(ta, tb, m, n, k, a, b, c),
-        _ if flops < TILED_MIN_FLOPS || m < MR / 2 || n < NR / 2 => {
-            gemm_naive(ta, tb, m, n, k, a, b, c)
-        }
-        GemmKernel::Tiled => gemm_tiled(ta, tb, m, n, k, a, b, c),
+    // Resolve the dispatch first so tracing sees the actual kernel used,
+    // not just the thread-local selection.
+    enum Dispatch {
+        Naive,
+        Tiled,
+        Threaded(usize),
+    }
+    let dispatch = match gemm_kernel() {
+        GemmKernel::Naive => Dispatch::Naive,
+        _ if flops < TILED_MIN_FLOPS || m < MR / 2 || n < NR / 2 => Dispatch::Naive,
+        GemmKernel::Tiled => Dispatch::Tiled,
         GemmKernel::Auto => {
             let threads = if flops >= THREADED_MIN_FLOPS {
                 available_threads()
             } else {
                 1
             };
-            gemm_with_threads(ta, tb, m, n, k, a, b, c, threads);
+            if threads > 1 {
+                Dispatch::Threaded(threads)
+            } else {
+                Dispatch::Tiled
+            }
         }
+    };
+    if zg_trace::enabled() {
+        zg_trace::counter_add(
+            match dispatch {
+                Dispatch::Naive => "gemm.dispatch.naive",
+                Dispatch::Tiled => "gemm.dispatch.tiled",
+                Dispatch::Threaded(_) => "gemm.dispatch.threaded",
+            },
+            1.0,
+        );
+        zg_trace::hist_record("gemm.mnk", flops as f64);
+    }
+    match dispatch {
+        Dispatch::Naive => gemm_naive(ta, tb, m, n, k, a, b, c),
+        Dispatch::Tiled => gemm_tiled(ta, tb, m, n, k, a, b, c),
+        Dispatch::Threaded(threads) => gemm_with_threads(ta, tb, m, n, k, a, b, c, threads),
     }
 }
 

@@ -298,6 +298,56 @@ pub fn reset_pool_stats() {
     });
 }
 
+/// Scoped counter isolation for this thread's pool stats, from
+/// [`pool_stats_scope`]. While the scope is alive, [`pool_stats`] reports
+/// only activity since the scope opened; on drop the pre-scope counters
+/// are merged back in, so enclosing observers still see cumulative
+/// totals. This is what lets two tests (or a test and the code under
+/// test) assert on `pool_stats()` without perturbing each other.
+pub struct PoolStatsScope {
+    saved: PoolStats,
+    /// Thread-local state: the guard must drop on the creating thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a [`PoolStatsScope`]: snapshot and reset this thread's pool
+/// counters, restoring (merged) counters when the guard drops.
+pub fn pool_stats_scope() -> PoolStatsScope {
+    let saved = pool_stats();
+    reset_pool_stats();
+    PoolStatsScope {
+        saved,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl PoolStatsScope {
+    /// Counters accumulated inside this scope so far (same as
+    /// [`pool_stats`] while the scope is the active one).
+    pub fn stats(&self) -> PoolStats {
+        pool_stats()
+    }
+}
+
+impl Drop for PoolStatsScope {
+    fn drop(&mut self) {
+        let _ = POOL.try_with(|cell| {
+            let mut p = cell.borrow_mut();
+            let inner = p.stats;
+            p.stats = PoolStats {
+                takes: self.saved.takes + inner.takes,
+                hits: self.saved.hits + inner.hits,
+                misses: self.saved.misses + inner.misses,
+                recycled: self.saved.recycled + inner.recycled,
+                // Live levels are current truth, not scope-relative.
+                checked_out: inner.checked_out,
+                high_water: self.saved.high_water.max(inner.high_water),
+                retained_elems: inner.retained_elems,
+            };
+        });
+    }
+}
+
 /// Enable or disable recycling on this thread; returns the previous state.
 ///
 /// While disabled every take allocates fresh and every recycle drops, which
@@ -455,6 +505,60 @@ mod tests {
         assert!(s.retained_elems as usize <= MAX_RETAINED_ELEMS);
         clear_pool();
         assert_eq!(pool_stats().retained_elems, 0);
+    }
+
+    #[test]
+    fn stats_scope_isolates_and_merges_back() {
+        reset();
+        recycle(vec![0.0; 512]);
+        let _ = take_zeroed(512); // outer: 1 take, 1 hit
+        let outer_before = pool_stats();
+        assert_eq!(outer_before.takes, 1);
+        {
+            let scope = pool_stats_scope();
+            assert_eq!(pool_stats().takes, 0, "scope starts clean");
+            let _ = take_zeroed(512); // inner: 1 take, 1 miss
+            assert_eq!(scope.stats().takes, 1);
+            assert_eq!(scope.stats().hits, 0);
+        }
+        // After the scope, cumulative counters include inner activity.
+        let outer_after = pool_stats();
+        assert_eq!(outer_after.takes, 2);
+        assert_eq!(outer_after.hits, 1);
+        assert_eq!(outer_after.misses, 1);
+    }
+
+    #[test]
+    fn stats_scopes_nest() {
+        reset();
+        let s1 = pool_stats_scope();
+        let _ = take_zeroed(256);
+        {
+            let s2 = pool_stats_scope();
+            let _ = take_zeroed(256);
+            let _ = take_zeroed(256);
+            assert_eq!(s2.stats().takes, 2);
+        }
+        assert_eq!(s1.stats().takes, 3, "inner scope merges into outer");
+        drop(s1);
+        assert_eq!(pool_stats().takes, 3);
+    }
+
+    #[test]
+    fn stats_scope_tracks_live_checkouts_truthfully() {
+        reset();
+        let held = PooledBuf::zeroed(128);
+        {
+            let scope = pool_stats_scope();
+            // The pre-existing checkout is a live level, not scope activity.
+            assert_eq!(scope.stats().checked_out, 1);
+            let inner = PooledBuf::zeroed(128);
+            assert_eq!(scope.stats().checked_out, 2);
+            drop(inner);
+        }
+        assert_eq!(pool_stats().checked_out, 1);
+        drop(held);
+        assert_eq!(pool_stats().checked_out, 0);
     }
 
     #[test]

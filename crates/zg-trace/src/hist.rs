@@ -1,0 +1,165 @@
+//! Fixed-bucket histograms: a value is counted into the first bucket
+//! whose upper edge is `>= value`, with one implicit overflow bucket at
+//! the end. Bucket edges are fixed at construction, so merging two
+//! histograms of the same metric is element-wise count addition —
+//! deterministic in merge order, no rebinning, no quantile sketches.
+
+/// Default edges: powers of 4 from 1 to 4^14 (~2.7e8). Wide enough for
+/// token counts, micro-batch sizes, and `m·n·k` GEMM volumes alike while
+/// keeping the bucket array small and fixed.
+pub const DEFAULT_HIST_EDGES: &[f64] = &[
+    1.0,
+    4.0,
+    16.0,
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+    67108864.0,
+    268435456.0,
+];
+
+/// A fixed-bucket histogram with running sum and count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    /// Inclusive upper edges, ascending. Values above the last edge land
+    /// in the implicit overflow bucket.
+    pub edges: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == edges.len() + 1` (overflow last).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl Hist {
+    /// Empty histogram over `edges` (must be non-empty and ascending).
+    pub fn new(edges: &[f64]) -> Hist {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must strictly ascend"
+        );
+        Hist {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Empty histogram over [`DEFAULT_HIST_EDGES`].
+    pub fn default_edges() -> Hist {
+        Hist::new(DEFAULT_HIST_EDGES)
+    }
+
+    /// Count `v` into its bucket.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| v <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// Add another histogram of the same metric into this one.
+    /// Panics when the bucket layouts differ (they are fixed per name).
+    pub fn merge(&mut self, other: &Hist) {
+        assert_eq!(
+            self.edges, other.edges,
+            "cannot merge histograms with different bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+
+    /// Mean of observed values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// `(label, count)` for every non-empty bucket, in edge order; the
+    /// overflow bucket is labelled `>last_edge`.
+    pub fn nonzero_buckets(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let label = if i < self.edges.len() {
+                format!("<={}", self.edges[i])
+            } else {
+                // INVARIANT: `new` requires at least one edge.
+                format!(">{}", self.edges.last().expect("non-empty edges"))
+            };
+            out.push((label, c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_first_covering_bucket() {
+        let mut h = Hist::new(&[1.0, 10.0, 100.0]);
+        h.record(0.5); // <=1
+        h.record(1.0); // <=1 (inclusive)
+        h.record(7.0); // <=10
+        h.record(100.0); // <=100
+        h.record(1e6); // overflow
+        assert_eq!(h.counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.n, 5);
+        assert!((h.sum - (0.5 + 1.0 + 7.0 + 100.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Hist::new(&[1.0, 10.0]);
+        a.record(0.5);
+        let mut b = Hist::new(&[1.0, 10.0]);
+        b.record(5.0);
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket edges")]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = Hist::new(&[1.0]);
+        a.merge(&Hist::new(&[2.0]));
+    }
+
+    #[test]
+    fn nonzero_buckets_label_overflow() {
+        let mut h = Hist::new(&[1.0, 10.0]);
+        h.record(99.0);
+        assert_eq!(h.nonzero_buckets(), vec![(">10".to_string(), 1)]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Hist::default_edges().mean(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! # zg-trace — deterministic workspace-wide tracing and metrics
+//!
+//! A dependency-free observability subsystem for the ZiGong
+//! reproduction. Three design rules keep it compatible with the
+//! workspace's determinism discipline:
+//!
+//! 1. **Injectable clock.** The tracer never reads time itself; it is
+//!    handed a [`Clock`] closure. The only real-clock constructor in the
+//!    workspace is [`wall_clock`] (allowlisted for zg-lint rule D2);
+//!    tests inject [`tick_clock`] or no clock at all, which makes trace
+//!    bytes reproducible run-over-run.
+//! 2. **Deterministic collection.** Stream ids are allocated on the
+//!    spawning thread in program order ([`Tracer::handle`],
+//!    [`fork_stream`]), each stream buffers locally, and [`Tracer::finish`]
+//!    merges by id — so the merged trace does not depend on OS
+//!    scheduling. All metric maps are `BTreeMap` (rule D1).
+//! 3. **Free when off.** Instrumentation goes through ambient free
+//!    functions ([`span`], [`counter_add`], ...) that check a
+//!    thread-local and no-op when no stream is installed; parity tests
+//!    elsewhere in the workspace prove outputs are bit-identical with
+//!    tracing on vs off.
+//!
+//! ## Capturing a trace
+//!
+//! ```
+//! use zg_trace::{tick_clock, Tracer, span, counter_add, render_report, Trace};
+//!
+//! let tracer = Tracer::with_clock(tick_clock());
+//! {
+//!     let _stream = tracer.install("main");
+//!     let _phase = span("demo.phase");
+//!     counter_add("demo.items", 3.0);
+//! }
+//! let trace = tracer.finish();
+//! let jsonl = trace.to_jsonl();                       // canonical bytes
+//! assert_eq!(Trace::from_jsonl(&jsonl).unwrap(), trace);
+//! let _chrome = trace.to_chrome_json();               // chrome://tracing
+//! assert!(render_report(&trace).contains("demo.phase"));
+//! ```
+//!
+//! Worker pools allocate one stream per worker up front (deterministic
+//! ids), install on the worker thread, and the guards submit on drop:
+//!
+//! ```
+//! use zg_trace::{Tracer, fork_stream, span};
+//!
+//! let tracer = Tracer::new();
+//! let _main = tracer.install("main");
+//! let handles: Vec<_> = (0..4)
+//!     .map(|i| fork_stream(&format!("w{i}")).unwrap())
+//!     .collect();
+//! std::thread::scope(|scope| {
+//!     for h in handles {
+//!         scope.spawn(move || {
+//!             let _stream = h.install();
+//!             let _s = span("work");
+//!         });
+//!     }
+//! });
+//! ```
+
+mod clock;
+mod hist;
+mod jsonl;
+mod report;
+mod trace;
+mod tracer;
+
+pub use clock::{tick_clock, wall_clock, Clock};
+pub use hist::{Hist, DEFAULT_HIST_EDGES};
+pub use report::render_report;
+pub use trace::{EventKind, SpanTotal, Trace, TraceEvent, TraceStream};
+pub use tracer::{
+    counter_add, enabled, fork_stream, gauge_set, hist_record, span, span_arg, totals, Span,
+    StreamGuard, StreamHandle, Totals, Tracer,
+};

@@ -1,0 +1,212 @@
+//! Plain-text trace report: a self-time span tree (aggregated by call
+//! path across all streams), flat per-span totals, and counter / gauge /
+//! histogram summaries. Output is fully deterministic — BTreeMap
+//! ordering everywhere and fixed-precision formatting — so reports can
+//! be diffed between runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{EventKind, Trace};
+
+#[derive(Default)]
+struct Node {
+    count: u64,
+    total_s: f64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn child_total(&self) -> f64 {
+        self.children.values().map(|c| c.total_s).sum()
+    }
+}
+
+fn build_tree(trace: &Trace) -> Node {
+    let mut root = Node::default();
+    for stream in &trace.streams {
+        let mut path: Vec<(&str, f64)> = Vec::new();
+        for ev in &stream.events {
+            match &ev.kind {
+                EventKind::Begin { name, .. } => path.push((name, ev.t)),
+                EventKind::End => {
+                    if let Some((leaf, t0)) = path.pop() {
+                        // Walk down the still-open path, then charge the
+                        // closed frame as its leaf child.
+                        let mut node = &mut root;
+                        for (name, _) in &path {
+                            node = node.children.entry((*name).to_string()).or_default();
+                        }
+                        let leaf_node = node.children.entry(leaf.to_string()).or_default();
+                        leaf_node.count += 1;
+                        leaf_node.total_s += ev.t - t0;
+                    }
+                }
+            }
+        }
+    }
+    root
+}
+
+fn render_node(out: &mut String, name: &str, node: &Node, depth: usize) {
+    let self_s = (node.total_s - node.child_total()).max(0.0);
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{:>12.6} {:>12.6} {:>8}  {indent}{name}",
+        node.total_s, self_s, node.count
+    );
+    for (child_name, child) in &node.children {
+        render_node(out, child_name, child, depth + 1);
+    }
+}
+
+/// Render the full plain-text report for `trace`.
+pub fn render_report(trace: &Trace) -> String {
+    let mut out = String::new();
+
+    let root = build_tree(trace);
+    out.push_str("== spans (self-time tree) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>8}  span",
+        "total_s", "self_s", "count"
+    );
+    if root.children.is_empty() {
+        out.push_str("(no completed spans)\n");
+    } else {
+        for (name, node) in &root.children {
+            render_node(&mut out, name, node, 0);
+        }
+    }
+
+    out.push_str("\n== span totals (flat) ==\n");
+    let totals = trace.span_totals();
+    if totals.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        let _ = writeln!(out, "{:>12} {:>8}  span", "total_s", "count");
+        for (name, t) in &totals {
+            let _ = writeln!(out, "{:>12.6} {:>8}  {name}", t.total_s, t.count);
+        }
+    }
+
+    out.push_str("\n== counters ==\n");
+    let counters = trace.counters();
+    if counters.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        for (name, v) in &counters {
+            let _ = writeln!(out, "{v:>14}  {name}");
+        }
+    }
+
+    out.push_str("\n== gauges (max across streams) ==\n");
+    let gauges = trace.gauges();
+    if gauges.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        for (name, v) in &gauges {
+            let _ = writeln!(out, "{v:>14}  {name}");
+        }
+    }
+
+    out.push_str("\n== histograms ==\n");
+    let hists = trace.hists();
+    if hists.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        for (name, h) in &hists {
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(label, c)| format!("{label}:{c}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{name}: n={} mean={:.3} [{}]",
+                h.n,
+                h.mean(),
+                buckets.join(" ")
+            );
+        }
+    }
+
+    out.push_str("\n== streams ==\n");
+    for s in &trace.streams {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<16} {:>6} events",
+            s.id,
+            s.label,
+            s.events.len()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::tick_clock;
+    use crate::tracer::{counter_add, gauge_set, hist_record, span, Tracer};
+
+    fn sample_trace() -> Trace {
+        let tracer = Tracer::with_clock(tick_clock());
+        {
+            let _g = tracer.install("main");
+            let _root = span("run");
+            for _ in 0..2 {
+                let _s = span("step");
+                counter_add("items", 3.0);
+                hist_record("sizes", 40.0);
+            }
+            gauge_set("peak", 11.0);
+        }
+        tracer.finish()
+    }
+
+    #[test]
+    fn report_contains_tree_and_metric_sections() {
+        let report = render_report(&sample_trace());
+        assert!(report.contains("== spans (self-time tree) =="));
+        assert!(report.contains("run"));
+        assert!(
+            report.contains("  step"),
+            "step nested under run:\n{report}"
+        );
+        assert!(report.contains("== counters =="));
+        assert!(report.contains("items"));
+        assert!(report.contains("peak"));
+        assert!(report.contains("sizes: n=2"));
+        assert!(report.contains("main"));
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let trace = sample_trace();
+        let report = render_report(&trace);
+        // tick clock: run spans ticks 0..5 (total 5), the two steps take
+        // 1 tick each, so run's self time is 5 - 2 = 3.
+        let run_line = report
+            .lines()
+            .find(|l| l.trim_end().ends_with("  run") || l.trim_end().ends_with(" run"))
+            .expect("run line");
+        assert!(run_line.contains("5.000000"), "total: {run_line}");
+        assert!(run_line.contains("3.000000"), "self: {run_line}");
+    }
+
+    #[test]
+    fn report_of_empty_trace_is_stable() {
+        let report = render_report(&Trace::default());
+        assert!(report.contains("(no completed spans)"));
+        assert!(report.contains("(none)"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = render_report(&sample_trace());
+        let b = render_report(&sample_trace());
+        assert_eq!(a, b);
+    }
+}

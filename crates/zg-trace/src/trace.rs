@@ -1,0 +1,497 @@
+//! The owned, serializable form of a finished trace, with two exports:
+//! a line-oriented JSONL event stream (the canonical byte-reproducible
+//! format, parseable back with [`Trace::from_jsonl`]) and a Chrome
+//! `trace_event` JSON file loadable in `chrome://tracing` / Perfetto.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::Hist;
+use crate::jsonl::{esc, num, parse, Json};
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Span open, with its name and optional integer argument.
+    Begin {
+        /// Span name.
+        name: String,
+        /// Optional integer argument attached at the callsite.
+        arg: Option<i64>,
+    },
+    /// Close of the most recently opened span on the same stream.
+    End,
+}
+
+/// One begin/end event at time `t` (seconds on the injected clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Begin or end.
+    pub kind: EventKind,
+    /// Timestamp in clock seconds (`0.0` throughout when no clock).
+    pub t: f64,
+}
+
+/// One stream: the event log plus aggregated metrics of a single
+/// installed `StreamGuard` (usually one worker thread or scope).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStream {
+    /// Deterministically allocated stream id (allocation order).
+    pub id: u64,
+    /// Human label, e.g. `"main"` or `"chunk3"`.
+    pub label: String,
+    /// Begin/end events in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Summed counters.
+    pub counters: BTreeMap<String, f64>,
+    /// Last-set gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub hists: BTreeMap<String, Hist>,
+}
+
+/// Aggregated time/count for one span name or path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTotal {
+    /// Completed spans.
+    pub count: u64,
+    /// Sum of end−begin over completed spans, in clock seconds.
+    pub total_s: f64,
+}
+
+impl TraceStream {
+    /// Completed-span totals for this stream, keyed by span name.
+    /// Unclosed begins are ignored.
+    pub fn span_totals(&self) -> BTreeMap<String, SpanTotal> {
+        let mut out: BTreeMap<String, SpanTotal> = BTreeMap::new();
+        let mut stack: Vec<(&str, f64)> = Vec::new();
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Begin { name, .. } => stack.push((name, ev.t)),
+                EventKind::End => {
+                    if let Some((name, t0)) = stack.pop() {
+                        let e = out.entry(name.to_string()).or_default();
+                        e.count += 1;
+                        e.total_s += ev.t - t0;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A finished trace: streams sorted by id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All submitted streams, ascending by id.
+    pub streams: Vec<TraceStream>,
+}
+
+impl Trace {
+    /// Completed-span totals across all streams, keyed by span name.
+    pub fn span_totals(&self) -> BTreeMap<String, SpanTotal> {
+        let mut out: BTreeMap<String, SpanTotal> = BTreeMap::new();
+        for s in &self.streams {
+            for (name, t) in s.span_totals() {
+                let e = out.entry(name).or_default();
+                e.count += t.count;
+                e.total_s += t.total_s;
+            }
+        }
+        out
+    }
+
+    /// Counters summed across streams.
+    pub fn counters(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for s in &self.streams {
+            for (k, v) in &s.counters {
+                *out.entry(k.clone()).or_insert(0.0) += v;
+            }
+        }
+        out
+    }
+
+    /// Gauges merged across streams by **maximum** (a gauge is a level,
+    /// so the peak across workers is the conservative summary).
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for s in &self.streams {
+            for (k, v) in &s.gauges {
+                let e = out.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+                if *v > *e {
+                    *e = *v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Histograms merged across streams (edges are fixed per name, so
+    /// the merge is element-wise count addition).
+    pub fn hists(&self) -> BTreeMap<String, Hist> {
+        let mut out: BTreeMap<String, Hist> = BTreeMap::new();
+        for s in &self.streams {
+            for (k, h) in &s.hists {
+                match out.get_mut(k) {
+                    Some(acc) => acc.merge(h),
+                    None => {
+                        out.insert(k.clone(), h.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize to the canonical JSONL form: a header line, then per
+    /// stream (ascending id) a `stream` line, its events, and its
+    /// metrics in BTreeMap (name) order. Every piece of the format is
+    /// deterministic, so identical traces serialize to identical bytes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"trace\",\"version\":1,\"streams\":{}}}",
+            self.streams.len()
+        );
+        for s in &self.streams {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"stream\",\"id\":{},\"label\":\"{}\"}}",
+                s.id,
+                esc(&s.label)
+            );
+            for ev in &s.events {
+                match &ev.kind {
+                    EventKind::Begin { name, arg } => {
+                        let _ = write!(
+                            out,
+                            "{{\"kind\":\"b\",\"id\":{},\"name\":\"{}\",\"t\":{}",
+                            s.id,
+                            esc(name),
+                            num(ev.t)
+                        );
+                        if let Some(a) = arg {
+                            let _ = write!(out, ",\"arg\":{a}");
+                        }
+                        out.push_str("}\n");
+                    }
+                    EventKind::End => {
+                        let _ = writeln!(
+                            out,
+                            "{{\"kind\":\"e\",\"id\":{},\"t\":{}}}",
+                            s.id,
+                            num(ev.t)
+                        );
+                    }
+                }
+            }
+            for (name, v) in &s.counters {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"counter\",\"id\":{},\"name\":\"{}\",\"value\":{}}}",
+                    s.id,
+                    esc(name),
+                    num(*v)
+                );
+            }
+            for (name, v) in &s.gauges {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"gauge\",\"id\":{},\"name\":\"{}\",\"value\":{}}}",
+                    s.id,
+                    esc(name),
+                    num(*v)
+                );
+            }
+            for (name, h) in &s.hists {
+                let edges: Vec<String> = h.edges.iter().map(|e| num(*e)).collect();
+                let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"hist\",\"id\":{},\"name\":\"{}\",\"edges\":[{}],\"counts\":[{}],\"sum\":{},\"n\":{}}}",
+                    s.id,
+                    esc(name),
+                    edges.join(","),
+                    counts.join(","),
+                    num(h.sum),
+                    h.n
+                );
+            }
+        }
+        out
+    }
+
+    /// Parse a trace back from its JSONL form.
+    pub fn from_jsonl(text: &str) -> Result<Trace, String> {
+        let mut streams: Vec<TraceStream> = Vec::new();
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?;
+            if kind == "trace" {
+                saw_header = true;
+                continue;
+            }
+            let id = v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: missing id", lineno + 1))?;
+            if kind == "stream" {
+                let label = v
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: stream missing label", lineno + 1))?
+                    .to_string();
+                by_id.insert(id, streams.len());
+                streams.push(TraceStream {
+                    id,
+                    label,
+                    events: Vec::new(),
+                    counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
+                    hists: BTreeMap::new(),
+                });
+                continue;
+            }
+            let idx = *by_id
+                .get(&id)
+                .ok_or_else(|| format!("line {}: event before stream {id}", lineno + 1))?;
+            let s = &mut streams[idx];
+            let name = || -> Result<String, String> {
+                v.get("name")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing name", lineno + 1))
+            };
+            let field = |key: &str| -> Result<f64, String> {
+                v.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {}: missing {key}", lineno + 1))
+            };
+            match kind {
+                "b" => s.events.push(TraceEvent {
+                    kind: EventKind::Begin {
+                        name: name()?,
+                        arg: v.get("arg").and_then(Json::as_i64),
+                    },
+                    t: field("t")?,
+                }),
+                "e" => s.events.push(TraceEvent {
+                    kind: EventKind::End,
+                    t: field("t")?,
+                }),
+                "counter" => {
+                    s.counters.insert(name()?, field("value")?);
+                }
+                "gauge" => {
+                    s.gauges.insert(name()?, field("value")?);
+                }
+                "hist" => {
+                    let nums = |key: &str| -> Result<Vec<f64>, String> {
+                        v.get(key)
+                            .and_then(Json::as_arr)
+                            .map(|a| a.iter().filter_map(Json::as_f64).collect::<Vec<f64>>())
+                            .ok_or_else(|| format!("line {}: missing {key}", lineno + 1))
+                    };
+                    let edges = nums("edges")?;
+                    let counts = nums("counts")?;
+                    if counts.len() != edges.len() + 1 {
+                        return Err(format!(
+                            "line {}: hist has {} counts for {} edges",
+                            lineno + 1,
+                            counts.len(),
+                            edges.len()
+                        ));
+                    }
+                    let mut h = Hist::new(&edges);
+                    h.counts = counts.iter().map(|c| *c as u64).collect();
+                    h.sum = field("sum")?;
+                    h.n = v
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {}: missing n", lineno + 1))?;
+                    s.hists.insert(name()?, h);
+                }
+                other => return Err(format!("line {}: unknown kind `{other}`", lineno + 1)),
+            }
+        }
+        if !saw_header {
+            return Err("missing trace header line".to_string());
+        }
+        streams.sort_by_key(|s| s.id);
+        Ok(Trace { streams })
+    }
+
+    /// Export as Chrome `trace_event` JSON: one `"X"` (complete) event
+    /// per closed span, `ts`/`dur` in microseconds, `pid` 0, `tid` the
+    /// stream id, plus one metadata event naming each stream.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        for s in &self.streams {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                s.id,
+                esc(&s.label)
+            ));
+            let mut stack: Vec<(&str, f64, Option<i64>)> = Vec::new();
+            for ev in &s.events {
+                match &ev.kind {
+                    EventKind::Begin { name, arg } => stack.push((name, ev.t, *arg)),
+                    EventKind::End => {
+                        if let Some((name, t0, arg)) = stack.pop() {
+                            let args = match arg {
+                                Some(a) => format!(",\"args\":{{\"arg\":{a}}}"),
+                                None => String::new(),
+                            };
+                            events.push(format!(
+                                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}{}}}",
+                                esc(name),
+                                num(t0 * 1e6),
+                                num((ev.t - t0) * 1e6),
+                                s.id,
+                                args
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut h = Hist::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(50.0);
+        Trace {
+            streams: vec![
+                TraceStream {
+                    id: 0,
+                    label: "main".to_string(),
+                    events: vec![
+                        TraceEvent {
+                            kind: EventKind::Begin {
+                                name: "outer".to_string(),
+                                arg: None,
+                            },
+                            t: 0.0,
+                        },
+                        TraceEvent {
+                            kind: EventKind::Begin {
+                                name: "inner".to_string(),
+                                arg: Some(3),
+                            },
+                            t: 1.0,
+                        },
+                        TraceEvent {
+                            kind: EventKind::End,
+                            t: 2.5,
+                        },
+                        TraceEvent {
+                            kind: EventKind::End,
+                            t: 4.0,
+                        },
+                    ],
+                    counters: [("work".to_string(), 5.0)].into_iter().collect(),
+                    gauges: [("level".to_string(), 2.0)].into_iter().collect(),
+                    hists: [("sizes".to_string(), h)].into_iter().collect(),
+                },
+                TraceStream {
+                    id: 1,
+                    label: "w\"0".to_string(),
+                    events: vec![],
+                    counters: [("work".to_string(), 7.0)].into_iter().collect(),
+                    gauges: [("level".to_string(), 9.0)].into_iter().collect(),
+                    hists: BTreeMap::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_exactly() {
+        let t = sample();
+        let text = t.to_jsonl();
+        let back = Trace::from_jsonl(&text).expect("parse");
+        assert_eq!(back, t);
+        // Re-serializing the parsed trace is byte-identical.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn span_totals_handle_nesting_and_unclosed() {
+        let mut t = sample();
+        // Add an unclosed begin; it must not contribute.
+        t.streams[0].events.push(TraceEvent {
+            kind: EventKind::Begin {
+                name: "dangling".to_string(),
+                arg: None,
+            },
+            t: 9.0,
+        });
+        let totals = t.span_totals();
+        assert_eq!(totals.get("outer").map(|s| s.total_s), Some(4.0));
+        assert_eq!(totals.get("inner").map(|s| s.total_s), Some(1.5));
+        assert!(!totals.contains_key("dangling"));
+    }
+
+    #[test]
+    fn merged_metrics() {
+        let t = sample();
+        assert_eq!(t.counters().get("work"), Some(&12.0));
+        assert_eq!(t.gauges().get("level"), Some(&9.0));
+        assert_eq!(t.hists().get("sizes").map(|h| h.n), Some(2));
+    }
+
+    #[test]
+    fn chrome_export_has_complete_and_metadata_events() {
+        let json = sample().to_chrome_json();
+        let v = crate::jsonl::parse(json.trim()).expect("valid json");
+        let evs = v.get("traceEvents").and_then(Json::as_arr).expect("array");
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        // 2 metadata (one per stream) + 2 complete spans.
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        let inner = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("inner"))
+            .expect("inner event");
+        assert_eq!(inner.get("ts").and_then(Json::as_f64), Some(1e6));
+        assert_eq!(inner.get("dur").and_then(Json::as_f64), Some(1.5e6));
+        assert_eq!(
+            inner
+                .get("args")
+                .and_then(|a| a.get("arg"))
+                .and_then(Json::as_i64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_input() {
+        assert!(Trace::from_jsonl("").is_err()); // no header
+        assert!(Trace::from_jsonl("{\"kind\":\"b\",\"id\":0,\"name\":\"x\",\"t\":0}").is_err());
+        let orphan =
+            "{\"kind\":\"trace\",\"version\":1,\"streams\":0}\n{\"kind\":\"e\",\"id\":5,\"t\":0}";
+        assert!(Trace::from_jsonl(orphan).is_err());
+    }
+}

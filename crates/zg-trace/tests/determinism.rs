@@ -1,0 +1,95 @@
+//! Property tests for the collector's determinism guarantees: for a
+//! fixed workload, the merged trace bytes must not depend on how many
+//! worker threads ran it or how the OS scheduled them, and the JSONL
+//! form must roundtrip exactly.
+
+use proptest::prelude::*;
+use zg_trace::{counter_add, fork_stream, hist_record, span, span_arg, Trace, Tracer};
+
+/// Deterministic per-task workload: nested spans, counters, histograms,
+/// derived only from the op bytes.
+fn run_task(ops: &[u8]) {
+    for &op in ops {
+        let _s = match op % 3 {
+            0 => span("op.a"),
+            1 => span_arg("op.b", i64::from(op)),
+            _ => span("op.c"),
+        };
+        counter_add("ops", 1.0);
+        hist_record("op_size", f64::from(op));
+        if op % 4 == 0 {
+            let _inner = span("op.nested");
+        }
+    }
+}
+
+/// Run every task on its own stream (ids allocated in task order on the
+/// main thread), executed by `workers` threads with tasks dealt
+/// round-robin, and return the serialized trace.
+fn run_with_workers(tasks: &[Vec<u8>], workers: usize) -> String {
+    let tracer = Tracer::new();
+    let main_guard = tracer.install("main");
+    let handles: Vec<_> = (0..tasks.len())
+        .map(|i| fork_stream(&format!("task{i}")).expect("tracer installed"))
+        .collect();
+    let mut buckets: Vec<Vec<(zg_trace::StreamHandle, &[u8])>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (i, (h, t)) in handles.into_iter().zip(tasks).enumerate() {
+        buckets[i % workers].push((h, t.as_slice()));
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (h, ops) in bucket {
+                    let _g = h.install();
+                    run_task(ops);
+                }
+            });
+        }
+    });
+    drop(main_guard);
+    tracer.finish().to_jsonl()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merged_trace_bytes_are_independent_of_worker_count(
+        tasks in prop::collection::vec(prop::collection::vec(0u8..16, 0..8), 0..10),
+    ) {
+        let reference = run_with_workers(&tasks, 1);
+        for workers in [2usize, 3, 7] {
+            let got = run_with_workers(&tasks, workers);
+            prop_assert!(got == reference, "trace differs at workers = {}", workers);
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_for_generated_traces(
+        tasks in prop::collection::vec(prop::collection::vec(0u8..16, 0..8), 0..6),
+    ) {
+        let text = run_with_workers(&tasks, 3);
+        let parsed = Trace::from_jsonl(&text).expect("parse serialized trace");
+        prop_assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn span_totals_match_event_counts(
+        tasks in prop::collection::vec(prop::collection::vec(0u8..16, 1..8), 1..6),
+    ) {
+        let text = run_with_workers(&tasks, 2);
+        let trace = Trace::from_jsonl(&text).expect("parse");
+        let total_ops: usize = tasks.iter().map(Vec::len).sum();
+        let totals = trace.span_totals();
+        let spans: u64 = totals.values().map(|t| t.count).sum();
+        let nested: u64 = tasks
+            .iter()
+            .flatten()
+            .filter(|op| *op % 4 == 0)
+            .count() as u64;
+        prop_assert_eq!(spans, total_ops as u64 + nested);
+        prop_assert_eq!(trace.counters().get("ops").copied(), Some(total_ops as f64));
+        prop_assert_eq!(trace.hists().get("op_size").map(|h| h.n), Some(total_ops as u64));
+    }
+}

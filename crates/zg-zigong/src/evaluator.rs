@@ -154,6 +154,7 @@ impl ZiGongModel {
     /// to the independent paths to preserve those exact semantics.
     pub fn evaluate_item(&mut self, item: &EvalItem) -> (String, f64) {
         const ANSWER_TOKENS: usize = 6;
+        let _span = zg_trace::span("eval.item");
         // Debug-mode sanitizer: one eval item must not leave autograd tape
         // nodes behind (the eval loop runs thousands of items).
         let _leak = zg_tensor::GraphLeakGuard::new("ZiGongModel::evaluate_item");
@@ -271,6 +272,8 @@ impl ZiGongSpec {
 /// bit-identical for any worker count (pinned by the determinism test).
 pub fn evaluate_zigong(model: &ZiGongModel, items: &[EvalItem<'_>], workers: usize) -> CellResult {
     assert!(!items.is_empty(), "no evaluation items");
+    let _span = zg_trace::span_arg("eval.zigong", items.len() as i64);
+    zg_trace::counter_add("eval.items", items.len() as f64);
     let workers = if workers == 0 {
         zg_tensor::available_threads()
     } else {
@@ -290,6 +293,10 @@ pub fn evaluate_zigong(model: &ZiGongModel, items: &[EvalItem<'_>], workers: usi
             let pred = parse_binary(&text, neg, pos);
             (pred, item.record.label, score)
         },
+    );
+    zg_trace::gauge_set(
+        "tensor.live_tape_nodes",
+        zg_tensor::live_tape_nodes() as f64,
     );
     let mut preds = Vec::with_capacity(items.len());
     let mut labels = Vec::with_capacity(items.len());

@@ -20,9 +20,15 @@
 //!
 //! The optimizer step uses the fused [`AdamW::clip_and_step`] (one
 //! gradient traversal instead of three), and every phase of the step is
-//! timed into a [`Profile`] through an *injected* clock — the trainer
-//! itself never reads wall time, keeping the library deterministic and
-//! testable (the `zg-bench` binaries supply a real clock).
+//! recorded as a `zg-trace` span (`train.collate`, `train.sync`,
+//! `train.forward`, `train.backward`, `train.reduce`, `train.optimizer`)
+//! — the trainer itself never reads wall time, keeping the library
+//! deterministic and testable. When the caller already runs under an
+//! ambient [`zg_trace::Tracer`], the trainer's spans and per-worker
+//! streams land in that trace; otherwise an injected [`Clock`] spins up
+//! a private tracer just long enough to fill the [`Profile`] (the
+//! `zg-bench` binaries supply a real clock); with neither, tracing is
+//! fully off and all timings stay zero.
 
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -48,10 +54,12 @@ pub enum TrainOrder {
     Chronological,
 }
 
-/// An injected monotonic clock returning seconds. The trainer never
-/// reads wall time itself; pass `None` for fully deterministic runs
-/// (all [`Profile`] timings stay zero) or a real clock from a binary.
-pub type Clock<'a> = &'a (dyn Fn() -> f64 + Sync);
+/// An injected monotonic clock returning seconds (re-export of
+/// [`zg_trace::Clock`]). The trainer never reads wall time itself; pass
+/// `None` for fully deterministic runs (all [`Profile`] timings stay
+/// zero unless an ambient tracer is installed) or a real clock from a
+/// binary ([`zg_trace::wall_clock`]).
+pub type Clock = zg_trace::Clock;
 
 /// Phase-level timing and allocator counters for one training run.
 ///
@@ -163,12 +171,6 @@ struct WorkerOut {
     /// the backward pass never reached it (preserves the optimizer's
     /// "skip params without grads" semantics bit-for-bit).
     grads: Vec<Option<Vec<f32>>>,
-    fwd_s: f64,
-    bwd_s: f64,
-}
-
-fn now(clock: Option<Clock>) -> f64 {
-    clock.map(|c| c()).unwrap_or(0.0)
 }
 
 /// Run SFT over `samples`. The model must already have its trainable set
@@ -201,10 +203,34 @@ pub fn train_sft_profiled(
         0 => zg_tensor::available_threads(),
         w => w,
     };
-    if workers <= 1 {
-        return train_serial(lm, samples, cfg, order, seed, clock, &params);
-    }
-    train_parallel(lm, samples, cfg, order, seed, clock, &params, workers)
+    // An ambient tracer installed by the caller wins (the injected clock
+    // is ignored); otherwise a clock spins up a private tracer whose only
+    // consumer is the Profile delta below. With neither, every span is a
+    // no-op and all timings stay zero.
+    let own = if zg_trace::enabled() {
+        None
+    } else {
+        clock.map(zg_trace::Tracer::with_clock)
+    };
+    let root = own.as_ref().map(|t| t.install("train"));
+    let before = zg_trace::totals();
+    let mut report = if workers <= 1 {
+        train_serial(lm, samples, cfg, order, seed, &params)
+    } else {
+        train_parallel(lm, samples, cfg, order, seed, &params, workers)
+    };
+    // Worker streams are submitted when the thread scope in
+    // `train_parallel` ends, so this delta sees every phase span from
+    // every stream, not just the main thread's.
+    let delta = zg_trace::totals().delta(&before);
+    report.profile.collate_s = delta.span_seconds("train.collate");
+    report.profile.sync_s = delta.span_seconds("train.sync");
+    report.profile.forward_s = delta.span_seconds("train.forward");
+    report.profile.backward_s = delta.span_seconds("train.backward");
+    report.profile.reduce_s = delta.span_seconds("train.reduce");
+    report.profile.optimizer_s = delta.span_seconds("train.optimizer");
+    drop(root);
+    report
 }
 
 fn train_serial(
@@ -213,43 +239,33 @@ fn train_serial(
     cfg: &TrainConfig,
     order: TrainOrder,
     seed: u64,
-    clock: Option<Clock>,
     params: &[(String, Tensor)],
 ) -> TrainReport {
-    let mut run_window = |jobs: Vec<MicroJob>, prof: &mut Profile| -> Vec<f32> {
+    let mut run_window = |jobs: Vec<MicroJob>| -> Vec<f32> {
         jobs.iter()
             .map(|job| {
-                let t0 = now(clock);
-                let loss = lm.sft_loss(&job.tokens, &job.labels, job.b, job.t, 0);
-                let v = loss.item();
-                let t1 = now(clock);
-                prof.forward_s += t1 - t0;
+                let loss;
+                let v;
+                {
+                    let _fwd = zg_trace::span("train.forward");
+                    loss = lm.sft_loss(&job.tokens, &job.labels, job.b, job.t, 0);
+                    v = loss.item();
+                }
+                let _bwd = zg_trace::span("train.backward");
                 loss.mul_scalar(job.scale).backward();
-                prof.backward_s += now(clock) - t1;
                 v
             })
             .collect()
     };
-    train_loop(
-        lm,
-        samples,
-        cfg,
-        order,
-        seed,
-        clock,
-        params,
-        &mut run_window,
-    )
+    train_loop(lm, samples, cfg, order, seed, params, &mut run_window)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn train_parallel(
     lm: &CausalLm,
     samples: &[Sample],
     cfg: &TrainConfig,
     order: TrainOrder,
     seed: u64,
-    clock: Option<Clock>,
     params: &[(String, Tensor)],
     workers: usize,
 ) -> TrainReport {
@@ -257,43 +273,48 @@ fn train_parallel(
     std::thread::scope(|s| {
         let (out_tx, out_rx) = mpsc::channel::<WorkerOut>();
         let mut job_txs: Vec<mpsc::Sender<WorkerMsg>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let (tx, rx) = mpsc::channel::<WorkerMsg>();
             job_txs.push(tx);
             let out_tx = out_tx.clone();
             let spec = &spec;
-            s.spawn(move || train_worker(spec, rx, out_tx, clock));
+            // Stream ids are allocated here, on the main thread, in worker
+            // order — the merged trace is byte-identical however the
+            // worker threads race.
+            let stream = zg_trace::fork_stream(&format!("train.worker{w}"));
+            s.spawn(move || train_worker(spec, rx, out_tx, stream));
         }
         drop(out_tx);
 
-        let mut run_window = |jobs: Vec<MicroJob>, prof: &mut Profile| -> Vec<f32> {
+        let mut run_window = |jobs: Vec<MicroJob>| -> Vec<f32> {
             let n = jobs.len();
-            // Broadcast the post-step trainable weights so every replica
-            // matches the main model bit-for-bit for this window.
-            let t0 = now(clock);
-            let weights: Arc<Vec<Vec<f32>>> =
-                Arc::new(params.iter().map(|(_, p)| p.data().to_vec()).collect());
-            for tx in &job_txs {
-                tx.send(WorkerMsg::Update(weights.clone()))
-                    // INVARIANT: workers outlive the training loop; a closed
-                    // channel means a worker panicked, which is unrecoverable.
-                    .expect("worker disconnected");
-            }
-            // Contiguous chunks by micro-batch index: deterministic
-            // assignment, independent of worker scheduling.
-            let per = n.div_ceil(job_txs.len());
-            let mut jobs = jobs;
-            for tx in &job_txs {
-                if jobs.is_empty() {
-                    break;
+            {
+                // Broadcast the post-step trainable weights so every replica
+                // matches the main model bit-for-bit for this window.
+                let _sync = zg_trace::span("train.sync");
+                let weights: Arc<Vec<Vec<f32>>> =
+                    Arc::new(params.iter().map(|(_, p)| p.data().to_vec()).collect());
+                for tx in &job_txs {
+                    tx.send(WorkerMsg::Update(weights.clone()))
+                        // INVARIANT: workers outlive the training loop; a closed
+                        // channel means a worker panicked, which is unrecoverable.
+                        .expect("worker disconnected");
                 }
-                let rest = jobs.split_off(per.min(jobs.len()));
-                let chunk = std::mem::replace(&mut jobs, rest);
-                tx.send(WorkerMsg::Jobs(chunk))
-                    // INVARIANT: see the Update send above.
-                    .expect("worker disconnected");
+                // Contiguous chunks by micro-batch index: deterministic
+                // assignment, independent of worker scheduling.
+                let per = n.div_ceil(job_txs.len());
+                let mut jobs = jobs;
+                for tx in &job_txs {
+                    if jobs.is_empty() {
+                        break;
+                    }
+                    let rest = jobs.split_off(per.min(jobs.len()));
+                    let chunk = std::mem::replace(&mut jobs, rest);
+                    tx.send(WorkerMsg::Jobs(chunk))
+                        // INVARIANT: see the Update send above.
+                        .expect("worker disconnected");
+                }
             }
-            prof.sync_s += now(clock) - t0;
 
             // Collect all n results, then reduce in ascending micro-batch
             // order — the serial loop's exact accumulation order.
@@ -302,12 +323,10 @@ fn train_parallel(
                 // INVARIANT: each worker sends exactly one result per job;
                 // a closed channel means a worker panicked.
                 let out = out_rx.recv().expect("training worker disconnected");
-                prof.forward_s += out.fwd_s;
-                prof.backward_s += out.bwd_s;
                 let idx = out.idx;
                 slots[idx] = Some(out);
             }
-            let t0 = now(clock);
+            let _reduce = zg_trace::span("train.reduce");
             let mut losses = Vec::with_capacity(n);
             for slot in slots {
                 // INVARIANT: the loop above filled every slot.
@@ -319,19 +338,9 @@ fn train_parallel(
                     }
                 }
             }
-            prof.reduce_s += now(clock) - t0;
             losses
         };
-        let report = train_loop(
-            lm,
-            samples,
-            cfg,
-            order,
-            seed,
-            clock,
-            params,
-            &mut run_window,
-        );
+        let report = train_loop(lm, samples, cfg, order, seed, params, &mut run_window);
         for tx in &job_txs {
             let _ = tx.send(WorkerMsg::Done);
         }
@@ -345,8 +354,9 @@ fn train_worker(
     spec: &LmSpec,
     rx: mpsc::Receiver<WorkerMsg>,
     tx: mpsc::Sender<WorkerOut>,
-    clock: Option<Clock>,
+    stream: Option<zg_trace::StreamHandle>,
 ) {
+    let _stream = stream.map(zg_trace::StreamHandle::install);
     let replica = spec.build();
     let tparams = replica.trainable_params();
     while let Ok(msg) = rx.recv() {
@@ -366,12 +376,17 @@ fn train_worker(
                     // Debug-mode sanitizer: a micro-batch must not leave
                     // tape nodes or checked-out pooled buffers behind.
                     let _leak = zg_tensor::GraphLeakGuard::new("train_sft worker micro-batch");
-                    let t0 = now(clock);
-                    let loss = replica.sft_loss(&job.tokens, &job.labels, job.b, job.t, 0);
-                    let v = loss.item();
-                    let t1 = now(clock);
-                    loss.mul_scalar(job.scale).backward();
-                    let t2 = now(clock);
+                    let loss;
+                    let v;
+                    {
+                        let _fwd = zg_trace::span("train.forward");
+                        loss = replica.sft_loss(&job.tokens, &job.labels, job.b, job.t, 0);
+                        v = loss.item();
+                    }
+                    {
+                        let _bwd = zg_trace::span("train.backward");
+                        loss.mul_scalar(job.scale).backward();
+                    }
                     let grads: Vec<Option<Vec<f32>>> = tparams
                         .iter()
                         .map(|(_, p)| {
@@ -385,8 +400,6 @@ fn train_worker(
                             idx: job.idx,
                             loss: v,
                             grads,
-                            fwd_s: t1 - t0,
-                            bwd_s: t2 - t1,
                         })
                         .is_err()
                     {
@@ -407,16 +420,14 @@ fn train_worker(
 /// the per-micro-batch losses in window order. Everything that touches
 /// the RNG (epoch shuffling) happens here, on the main thread, so the
 /// sample order stream is identical for any engine and worker count.
-#[allow(clippy::too_many_arguments)]
 fn train_loop(
     lm: &CausalLm,
     samples: &[Sample],
     cfg: &TrainConfig,
     order: TrainOrder,
     seed: u64,
-    clock: Option<Clock>,
     params: &[(String, Tensor)],
-    run_window: &mut dyn FnMut(Vec<MicroJob>, &mut Profile) -> Vec<f32>,
+    run_window: &mut dyn FnMut(Vec<MicroJob>) -> Vec<f32>,
 ) -> TrainReport {
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -449,57 +460,70 @@ fn train_loop(
             indices.shuffle(&mut rng);
         }
         for window in indices.chunks(cfg.batch_size * cfg.grad_accum) {
-            let t0 = now(clock);
-            let jobs: Vec<MicroJob> = window
-                .chunks(cfg.batch_size)
-                .enumerate()
-                .map(|(idx, chunk)| {
-                    let batch: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
-                    let data_time = batch
-                        .iter()
-                        .filter_map(|s| s.time)
-                        .max()
-                        .unwrap_or(step as u32);
-                    let (tokens, labels, b, t) = collate(&batch);
-                    MicroJob {
-                        tokens,
-                        labels,
-                        b,
-                        t,
-                        scale: 1.0 / cfg.grad_accum as f32,
-                        idx,
-                        data_time,
-                    }
-                })
-                .collect();
-            report.profile.collate_s += now(clock) - t0;
+            let jobs: Vec<MicroJob> = {
+                let _collate = zg_trace::span("train.collate");
+                window
+                    .chunks(cfg.batch_size)
+                    .enumerate()
+                    .map(|(idx, chunk)| {
+                        let batch: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
+                        let data_time = batch
+                            .iter()
+                            .filter_map(|s| s.time)
+                            .max()
+                            .unwrap_or(step as u32);
+                        let (tokens, labels, b, t) = collate(&batch);
+                        MicroJob {
+                            tokens,
+                            labels,
+                            b,
+                            t,
+                            scale: 1.0 / cfg.grad_accum as f32,
+                            idx,
+                            data_time,
+                        }
+                    })
+                    .collect()
+            };
             let n = jobs.len();
             // INVARIANT: every window holds at least one micro-batch.
             let last_time = jobs.last().expect("non-empty window").data_time;
 
-            let losses = run_window(jobs, &mut report.profile);
+            let losses = run_window(jobs);
             debug_assert_eq!(losses.len(), n);
             report.profile.microbatches += n as u64;
+            zg_trace::counter_add("train.microbatches", n as f64);
             let mean_loss = losses.iter().sum::<f32>() / n as f32;
 
-            let t0 = now(clock);
-            opt.lr = schedule.lr_at(step);
-            opt.clip_and_step(params, cfg.clip_norm);
-            report.losses.push(mean_loss);
-            if cfg.checkpoint_every > 0 && (step + 1).is_multiple_of(cfg.checkpoint_every as u64) {
-                report.checkpoints.push(LmCheckpoint {
-                    store: lm.checkpoint(),
-                    eta: opt.lr,
-                    time: last_time,
-                });
+            {
+                let _opt = zg_trace::span("train.optimizer");
+                opt.lr = schedule.lr_at(step);
+                opt.clip_and_step(params, cfg.clip_norm);
+                report.losses.push(mean_loss);
+                if cfg.checkpoint_every > 0
+                    && (step + 1).is_multiple_of(cfg.checkpoint_every as u64)
+                {
+                    report.checkpoints.push(LmCheckpoint {
+                        store: lm.checkpoint(),
+                        eta: opt.lr,
+                        time: last_time,
+                    });
+                }
             }
-            report.profile.optimizer_s += now(clock) - t0;
             step += 1;
         }
     }
     let pool1 = zg_tensor::pool_stats();
     report.profile.pool_takes = pool1.takes - pool0.takes;
     report.profile.pool_hits = pool1.hits - pool0.hits;
+    if zg_trace::enabled() {
+        zg_trace::counter_add("pool.takes", report.profile.pool_takes as f64);
+        zg_trace::counter_add("pool.hits", report.profile.pool_hits as f64);
+        zg_trace::gauge_set(
+            "tensor.live_tape_nodes",
+            zg_tensor::live_tape_nodes() as f64,
+        );
+    }
     report.steps = step;
     report
 }
@@ -721,15 +745,19 @@ mod tests {
         let samples = tokenize_all(&tok, &examples, 64);
         let lm = toy_lm(tok.vocab_size(), 13);
         // A deterministic fake clock: each read advances by 1 "second",
-        // so every timed phase accrues a positive duration.
-        let ticks = std::sync::atomic::AtomicU64::new(0);
-        let clock = move || ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as f64;
+        // so every span accrues a positive duration.
         let cfg = TrainConfig {
             epochs: 1,
             ..train_cfg()
         };
-        let report =
-            train_sft_profiled(&lm, &samples, &cfg, TrainOrder::Shuffled, 14, Some(&clock));
+        let report = train_sft_profiled(
+            &lm,
+            &samples,
+            &cfg,
+            TrainOrder::Shuffled,
+            14,
+            Some(zg_trace::tick_clock()),
+        );
         let p = report.profile;
         assert!(p.collate_s > 0.0 && p.forward_s > 0.0 && p.backward_s > 0.0);
         assert!(p.optimizer_s > 0.0);
@@ -741,10 +769,48 @@ mod tests {
         // The training loop recycles backward scratch through the pool.
         assert!(p.pool_takes > 0, "pool saw no traffic");
         assert!(p.pool_hit_rate() > 0.0, "pool never hit");
-        // Without a clock all timings stay zero.
+        // Without a clock (and no ambient tracer) all timings stay zero.
         let lm2 = toy_lm(tok.vocab_size(), 13);
         let silent = train_sft(&lm2, &samples, &cfg, TrainOrder::Shuffled, 14);
         assert_eq!(silent.profile.total_s(), 0.0);
+    }
+
+    #[test]
+    fn ambient_tracer_captures_training_spans_and_worker_streams() {
+        let examples = toy_examples(16);
+        let tok = train_tokenizer(&examples, 300);
+        let samples = tokenize_all(&tok, &examples, 64);
+        let lm = toy_lm(tok.vocab_size(), 17);
+        let cfg = TrainConfig {
+            epochs: 1,
+            train_workers: 2,
+            ..train_cfg()
+        };
+        let tracer = zg_trace::Tracer::with_clock(zg_trace::tick_clock());
+        let report = {
+            let _root = tracer.install("test");
+            // No clock injected: the ambient tracer still fills the profile.
+            train_sft(&lm, &samples, &cfg, TrainOrder::Shuffled, 18)
+        };
+        let p = report.profile;
+        assert!(p.collate_s > 0.0 && p.optimizer_s > 0.0);
+        assert!(p.sync_s > 0.0 && p.reduce_s > 0.0, "parallel phases timed");
+        assert!(
+            p.forward_s > 0.0 && p.backward_s > 0.0,
+            "worker spans folded in"
+        );
+        let trace = tracer.finish();
+        assert_eq!(trace.streams.len(), 3, "root + one stream per worker");
+        assert_eq!(trace.streams[1].label, "train.worker0");
+        assert_eq!(trace.streams[2].label, "train.worker1");
+        let totals = trace.span_totals();
+        assert_eq!(
+            totals["train.forward"].count, p.microbatches,
+            "one forward span per micro-batch"
+        );
+        let counters = trace.counters();
+        assert_eq!(counters["train.microbatches"], p.microbatches as f64);
+        assert_eq!(counters["pool.takes"], p.pool_takes as f64);
     }
 
     #[test]

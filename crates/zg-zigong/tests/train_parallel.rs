@@ -188,8 +188,6 @@ fn profiled_run_matches_unprofiled_bitwise() {
     let lm_a = toy_lm(tok.vocab_size(), 21);
     let plain = train_sft(&lm_a, &samples, &cfg, TrainOrder::Shuffled, 33);
 
-    let ticks = std::sync::atomic::AtomicU64::new(0);
-    let clock = move || ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as f64;
     let lm_b = toy_lm(tok.vocab_size(), 21);
     let profiled = train_sft_profiled(
         &lm_b,
@@ -197,7 +195,7 @@ fn profiled_run_matches_unprofiled_bitwise() {
         &cfg,
         TrainOrder::Shuffled,
         33,
-        Some(&clock),
+        Some(zg_trace::tick_clock()),
     );
 
     assert_eq!(plain.losses, profiled.losses);
