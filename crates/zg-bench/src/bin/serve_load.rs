@@ -1,0 +1,283 @@
+//! Serving load benchmark: drives the zg-serve continuous-batching
+//! server with open-loop Poisson traffic (seeded), reports p50/p99
+//! latency and sustained QPS, and gates on the server's two hard
+//! invariants before writing `results/serve_load.json`:
+//!
+//! 1. **bitwise parity** — every served `(answer, p)` is exact-`f64`
+//!    equal to the offline `ZiGongModel::evaluate_item` on the same
+//!    item, prefix sharing and batching included;
+//! 2. **simulation determinism** — two deterministic-clock runs with
+//!    the same seed produce byte-identical zg-trace JSONL.
+//!
+//! Exits non-zero if either gate fails or p99 exceeds the sanity
+//! ceiling, so CI can run `serve_load --quick` as a smoke test.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_bench::{quick_mode, write_result};
+use zg_model::{CausalLm, ModelConfig};
+use zg_serve::{
+    drive, poisson_arrivals, EngineConfig, LatencyRecorder, Reply, Request, ServeConfig, Server,
+    ZiGongEngine,
+};
+use zg_trace::{ManualClock, Tracer};
+use zg_zigong::{eval_items, train_tokenizer, EvalItem, ZiGongModel};
+
+const SEED: u64 = 0x5E4E;
+
+/// The benchmark model: miniature geometry, trained BPE tokenizer, and
+/// a prompt budget wide enough that rendered credit prompts fit
+/// untruncated — so the load run exercises the shared-prefill +
+/// prefix-pool path, not the truncation fallback.
+fn bench_model(examples: &[zg_instruct::InstructExample]) -> ZiGongModel {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let tokenizer = train_tokenizer(examples, 768);
+    let mut cfg = ModelConfig::mistral_miniature(tokenizer.vocab_size());
+    cfg.max_seq_len = 512;
+    let lm = CausalLm::new(cfg, &mut rng);
+    ZiGongModel::new(lm, tokenizer, 512, "serve-bench")
+}
+
+fn score_request(items: &[EvalItem<'_>], i: usize) -> Request {
+    let ex = &items[i % items.len()].example;
+    Request::score(
+        ex.prompt.clone(),
+        ex.candidates[0].clone(),
+        ex.candidates[1].clone(),
+    )
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (n_requests, rate, n_items) = if quick {
+        (24, 40.0, 6)
+    } else {
+        (160, 80.0, 16)
+    };
+    let workers = zg_tensor::available_threads().clamp(1, 4);
+    let p99_ceiling = 20.0;
+
+    println!("== serve_load: continuous-batching server benchmark ==");
+    println!("requests={n_requests} offered_rate={rate}/s workers={workers} seed={SEED:#x}");
+
+    // Model + items (same recipe as the inference benchmark).
+    let ds = zg_data::german(64, 0x2F);
+    let (train, test) = ds.split(0.5);
+    let train_examples: Vec<_> = train
+        .iter()
+        .take(40)
+        .map(|r| zg_instruct::render_classification(&ds, r))
+        .collect();
+    let mut model = bench_model(&train_examples);
+    let capped: Vec<_> = test.iter().copied().take(n_items).collect();
+    let items = eval_items(&ds, &capped);
+
+    // Offline oracle, computed once per distinct item.
+    let oracle: Vec<(String, f64)> = items.iter().map(|it| model.evaluate_item(it)).collect();
+
+    // ---- Wall-clock load run (traced) ----
+    let tracer = Tracer::with_clock(zg_trace::wall_clock());
+    let guard = tracer.install("serve_load");
+    let engine = ZiGongEngine::new(
+        model.spec(),
+        EngineConfig {
+            workers,
+            prefix_tokens: 24,
+            // Sized to the distinct-item working set: requests cycle over
+            // `n_items` prompts, and a smaller LRU pool would thrash.
+            pool_capacity: n_items,
+        },
+    );
+    let cfg = ServeConfig {
+        queue_capacity: n_requests,
+        max_batch: 2 * workers.max(1),
+        default_timeout: None,
+    };
+    let mut server = Server::new(engine, cfg, zg_trace::wall_clock());
+    let arrivals = poisson_arrivals(SEED, rate, n_requests);
+
+    let t0 = Instant::now();
+    let mut submitted = 0usize;
+    let mut completions = Vec::with_capacity(n_requests);
+    while submitted < n_requests || server.queue_len() > 0 {
+        let now = t0.elapsed().as_secs_f64();
+        while submitted < n_requests && arrivals[submitted] <= now {
+            server
+                .submit(score_request(&items, submitted))
+                .expect("queue sized to the full load");
+            submitted += 1;
+        }
+        if server.queue_len() > 0 {
+            completions.extend(server.tick());
+        } else if submitted < n_requests {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Parity check: every reply must match the oracle bit-for-bit.
+    let mut parity = true;
+    let mut latencies = LatencyRecorder::new();
+    let mut first_arrival = f64::INFINITY;
+    let mut last_finish = f64::NEG_INFINITY;
+    for c in &completions {
+        latencies.record(c.latency());
+        first_arrival = first_arrival.min(c.arrived);
+        last_finish = last_finish.max(c.finished);
+        let (want_answer, want_p) = &oracle[c.id as usize % items.len()];
+        match &c.result {
+            Ok(Reply::Scored { answer, p_positive }) => {
+                if answer != want_answer || p_positive.to_bits() != want_p.to_bits() {
+                    parity = false;
+                    println!(
+                        "PARITY FAIL req {}: served ({answer:?}, {p_positive}) vs offline ({want_answer:?}, {want_p})",
+                        c.id
+                    );
+                }
+            }
+            other => {
+                parity = false;
+                println!("PARITY FAIL req {}: unexpected result {other:?}", c.id);
+            }
+        }
+    }
+    let complete = completions.len() == n_requests;
+    let sustained_qps = completions.len() as f64 / (last_finish - first_arrival).max(1e-9);
+    let summary = latencies.summary();
+    let server_stats = server.stats();
+    let (audit, prefix) = server.engine_mut().audit();
+    let audit_clean = audit.is_ok();
+    if let Err(e) = &audit {
+        println!("LEAK AUDIT FAIL: {e}");
+    }
+    server.shutdown();
+    drop(guard);
+    let trace = tracer.finish();
+    write_result("serve_trace.jsonl", &trace.to_jsonl());
+
+    println!(
+        "served {}/{n_requests} in {wall:.2}s wall: p50 {:.1} ms, p99 {:.1} ms, sustained {sustained_qps:.1} QPS",
+        completions.len(),
+        summary.p50 * 1e3,
+        summary.p99 * 1e3,
+    );
+    println!(
+        "prefix pool: {} hits / {} misses / {} inserts / {} evictions",
+        prefix.hits, prefix.misses, prefix.inserts, prefix.evictions
+    );
+
+    // ---- Deterministic simulation gate: same seed, byte-identical trace ----
+    let sim_requests = if quick { 8 } else { 24 };
+    let sim_run = || {
+        let clock = ManualClock::new();
+        let sim_tracer = Tracer::with_clock(clock.clock());
+        let sim_guard = sim_tracer.install("serve_sim");
+        // Inline engine: the whole simulation runs on this thread under
+        // the manual clock, so the trace is a pure function of the seed.
+        let engine = ZiGongEngine::new(
+            model.spec(),
+            EngineConfig {
+                workers: 1,
+                prefix_tokens: 24,
+                pool_capacity: 8,
+            },
+        );
+        let cfg = ServeConfig {
+            queue_capacity: sim_requests,
+            max_batch: 4,
+            default_timeout: None,
+        };
+        let mut server = Server::new(engine, cfg, clock.clock());
+        let traffic: Vec<(f64, Request)> = poisson_arrivals(SEED, 200.0, sim_requests)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, score_request(&items, i)))
+            .collect();
+        let out = drive(&mut server, &clock, &traffic, 0.01);
+        let completed = out.completions.len();
+        server.shutdown();
+        drop(sim_guard);
+        (completed, sim_tracer.finish().to_jsonl())
+    };
+    let (sim_completed_a, trace_a) = sim_run();
+    let (_, trace_b) = sim_run();
+    let trace_deterministic = trace_a == trace_b;
+    println!(
+        "simulation: {sim_completed_a}/{sim_requests} served, trace {} bytes, deterministic: {trace_deterministic}",
+        trace_a.len()
+    );
+
+    let p99_ok = summary.p99 <= p99_ceiling;
+    // The vendored `json!` macro takes flat maps only; nest via values.
+    let latency = serde_json::json!({
+        "n": summary.n,
+        "p50_s": summary.p50,
+        "p99_s": summary.p99,
+        "mean_s": summary.mean,
+        "max_s": summary.max,
+    });
+    let server_obj = serde_json::json!({
+        "admitted": server_stats.admitted,
+        "completed": server_stats.completed,
+        "rejected": server_stats.rejected,
+        "timed_out": server_stats.timed_out,
+        "batches": server_stats.batches,
+    });
+    let prefix_obj = serde_json::json!({
+        "hits": prefix.hits,
+        "misses": prefix.misses,
+        "inserts": prefix.inserts,
+        "evictions": prefix.evictions,
+    });
+    let sim_obj = serde_json::json!({
+        "requests": sim_requests,
+        "completed": sim_completed_a,
+        "trace_bytes": trace_a.len(),
+    });
+    let out = serde_json::to_string_pretty(&serde_json::json!({
+        "seed": SEED,
+        "workers": workers,
+        "requests": n_requests,
+        "offered_rate_qps": rate,
+        "wall_seconds": wall,
+        "latency": latency,
+        "sustained_qps": sustained_qps,
+        "server": server_obj,
+        "prefix_pool": prefix_obj,
+        "bitwise_parity": parity && complete,
+        "leak_audit_clean": audit_clean,
+        "trace_deterministic": trace_deterministic,
+        "p99_ceiling_s": p99_ceiling,
+        "p99_within_ceiling": p99_ok,
+        "sim": sim_obj,
+    }))
+    .expect("benchmark serializes");
+    write_result("serve_load.json", &out);
+
+    let mut failed = false;
+    if !(parity && complete) {
+        println!("FAIL: served results are not bit-identical to the offline evaluator");
+        failed = true;
+    }
+    if !trace_deterministic {
+        println!("FAIL: seeded simulation traces are not byte-identical");
+        failed = true;
+    }
+    if !audit_clean {
+        println!("FAIL: prefix-lease leak audit");
+        failed = true;
+    }
+    if !p99_ok {
+        println!(
+            "FAIL: p99 {:.2}s exceeds the {p99_ceiling:.0}s sanity ceiling",
+            summary.p99
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("serve_load gates passed: parity, determinism, leak audit, p99 ceiling");
+}

@@ -18,6 +18,7 @@ mod layers;
 mod lm;
 mod mlp;
 mod optim;
+mod prefix;
 mod rope;
 mod sampling;
 mod spec;
@@ -30,6 +31,7 @@ pub use layers::{Adapter, Embedding, Linear, RmsNorm};
 pub use lm::{log_prob_row, sample_logits, CausalLm, KvCache};
 pub use mlp::SwiGluMlp;
 pub use optim::{clip_grad_norm, AdamW, CosineSchedule};
+pub use prefix::{PrefixBlock, PrefixPool, PrefixStats};
 pub use rope::RopeCache;
 pub use sampling::{sample_filtered, SamplingConfig};
 pub use spec::LmSpec;

@@ -1,0 +1,479 @@
+//! Refcounted shared-prefix KV blocks: [`KvCache::fork`] extended from
+//! per-candidate to cross-request reuse.
+//!
+//! In the serving workload every user prompt begins with the same
+//! rendered instruction template, so the template's KV state can be
+//! prefetched once and *forked* per request instead of being recomputed
+//! per request. A [`PrefixPool`] owns those template states keyed by
+//! their token prefix; [`PrefixBlock`] is a refcounted lease on one
+//! entry, and forking a lease hands back an independent [`KvCache`]
+//! (plus the next-token logits after the prefix) that the request then
+//! extends privately.
+//!
+//! **Bitwise transparency.** Prefilling `prompt[..k]` and then
+//! `prompt[k..]` produces bit-identical KV state and logits to one
+//! prefill over the whole prompt: every per-position projection, RoPE
+//! rotation, and norm depends only on that position's absolute index,
+//! and masked attention entries (`-1e9` additive mask) underflow to an
+//! exact `0.0` in the softmax, so chunk boundaries never change the
+//! visible-key sums — including when the sliding window has already
+//! trimmed keys out of the stored cache. The `split_prefill_bit_identity`
+//! test below pins this, which is what lets the serving path share
+//! prefixes across requests while staying exact-`f64` identical to the
+//! offline single-prefill evaluator.
+//!
+//! The pool is deliberately single-threaded (`Rc`-based, like the
+//! tensors inside [`KvCache`]): a parallel server gives each worker
+//! replica its own pool, which keeps reuse hits deterministic per
+//! worker and requires no locking on the decode hot path.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::lm::KvCache;
+
+/// Aggregate pool statistics (monotonic counters plus live state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// `acquire` calls that found a cached prefix.
+    pub hits: u64,
+    /// `acquire` calls that found nothing reusable.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Outstanding leases across all entries.
+    pub live_leases: usize,
+}
+
+struct Entry {
+    cache: KvCache,
+    logits: Vec<f32>,
+    refs: usize,
+    /// Monotonic recency stamp (updated on acquire), for deterministic
+    /// least-recently-used eviction.
+    last_used: u64,
+}
+
+struct Inner {
+    entries: BTreeMap<Vec<u32>, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+    live_leases: usize,
+}
+
+impl Inner {
+    /// Evict unreferenced entries, least-recently-used first, until the
+    /// pool fits its capacity. Entries with outstanding leases are
+    /// never evicted (the pool may transiently exceed capacity while
+    /// every entry is leased).
+    fn enforce_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.refs == 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.evictions += 1;
+                    zg_trace::counter_add("prefix.evictions", 1.0);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A pool of refcounted template-prefix KV blocks.
+///
+/// Cloning shares the pool (it is a handle, like the `Rc` tensors it
+/// stores).
+#[derive(Clone)]
+pub struct PrefixPool {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl PrefixPool {
+    /// A pool retaining at most `capacity` unleased entries.
+    pub fn new(capacity: usize) -> PrefixPool {
+        assert!(capacity > 0, "prefix pool capacity must be positive");
+        PrefixPool {
+            inner: Rc::new(RefCell::new(Inner {
+                entries: BTreeMap::new(),
+                capacity,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                inserts: 0,
+                evictions: 0,
+                live_leases: 0,
+            })),
+        }
+    }
+
+    /// Look up the longest cached entry whose key is a *strict* prefix
+    /// of `prompt` and lease it. Returns the lease and the matched
+    /// prefix length, or `None` (a miss) when nothing reusable is
+    /// cached. The strictness guarantee means at least one prompt token
+    /// always remains for the caller to prefill, so the caller always
+    /// obtains fresh next-token logits for the full prompt.
+    pub fn acquire(&self, prompt: &[u32]) -> Option<(PrefixBlock, usize)> {
+        let mut inner = self.inner.borrow_mut();
+        let best: Option<Vec<u32>> = inner
+            .entries
+            .keys()
+            .filter(|k| k.len() < prompt.len() && prompt.starts_with(k))
+            .max_by_key(|k| k.len())
+            .cloned();
+        match best {
+            Some(key) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.hits += 1;
+                inner.live_leases += 1;
+                // INVARIANT: `key` was found in `entries` two lines up and the map
+                // is not touched in between.
+                let e = inner.entries.get_mut(&key).expect("entry just found");
+                e.refs += 1;
+                e.last_used = tick;
+                let len = key.len();
+                zg_trace::counter_add("prefix.hits", 1.0);
+                drop(inner);
+                Some((
+                    PrefixBlock {
+                        pool: Rc::clone(&self.inner),
+                        key,
+                    },
+                    len,
+                ))
+            }
+            None => {
+                inner.misses += 1;
+                zg_trace::counter_add("prefix.misses", 1.0);
+                None
+            }
+        }
+    }
+
+    /// Insert the KV state (and next-token logits) of a freshly
+    /// prefilled prefix under `key`, returning a lease on it. Inserting
+    /// over an existing key replaces its cache/logits while preserving
+    /// outstanding leases (they only pin the refcount, not the tensors).
+    pub fn insert(&self, key: &[u32], cache: KvCache, logits: Vec<f32>) -> PrefixBlock {
+        assert!(!key.is_empty(), "prefix key must be non-empty");
+        assert_eq!(
+            cache.pos,
+            key.len(),
+            "cache position must equal the prefix length"
+        );
+        let mut inner = self.inner.borrow_mut();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.inserts += 1;
+        inner.live_leases += 1;
+        let entry = inner.entries.entry(key.to_vec()).or_insert(Entry {
+            cache: cache.fork(),
+            logits: Vec::new(),
+            refs: 0,
+            last_used: tick,
+        });
+        entry.cache = cache;
+        entry.logits = logits;
+        entry.refs += 1;
+        entry.last_used = tick;
+        inner.enforce_capacity();
+        zg_trace::counter_add("prefix.inserts", 1.0);
+        PrefixBlock {
+            pool: Rc::clone(&self.inner),
+            key: key.to_vec(),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PrefixStats {
+        let inner = self.inner.borrow();
+        PrefixStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts: inner.inserts,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            live_leases: inner.live_leases,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().entries.len()
+    }
+
+    /// Whether the pool holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Assert the pool is quiescent: no outstanding leases anywhere.
+    /// The serving engine calls this between requests in its leak
+    /// audits — a lease that outlives its request is a refcount leak
+    /// exactly like a stray autograd tape node.
+    pub fn assert_quiescent(&self) {
+        let inner = self.inner.borrow();
+        assert_eq!(
+            inner.live_leases, 0,
+            "prefix pool has {} outstanding lease(s)",
+            inner.live_leases
+        );
+        debug_assert!(inner.entries.values().all(|e| e.refs == 0));
+    }
+}
+
+/// A refcounted lease on one pooled prefix entry. Dropping the lease
+/// releases the reference; the entry itself stays cached (subject to
+/// LRU eviction) for the next request with the same template.
+pub struct PrefixBlock {
+    pool: Rc<RefCell<Inner>>,
+    key: Vec<u32>,
+}
+
+impl PrefixBlock {
+    /// Fork the cached KV state for private extension, together with a
+    /// copy of the next-token logits after the prefix. The fork is a
+    /// cheap per-layer `Rc` copy ([`KvCache::fork`]); extending it never
+    /// mutates the pooled entry.
+    pub fn fork(&self) -> (KvCache, Vec<f32>) {
+        let inner = self.pool.borrow();
+        // INVARIANT: a live lease pins its entry — eviction skips entries with
+        // refs > 0 and drop is the only place refs reach 0.
+        let e = inner.entries.get(&self.key).expect("leased entry resident");
+        (e.cache.fork(), e.logits.clone())
+    }
+
+    /// The token prefix this lease covers.
+    pub fn key(&self) -> &[u32] {
+        &self.key
+    }
+}
+
+impl Drop for PrefixBlock {
+    fn drop(&mut self) {
+        let mut inner = self.pool.borrow_mut();
+        inner.live_leases = inner.live_leases.saturating_sub(1);
+        if let Some(e) = inner.entries.get_mut(&self.key) {
+            e.refs = e.refs.saturating_sub(1);
+        }
+        inner.enforce_capacity();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::lm::CausalLm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_lm(window: usize) -> CausalLm {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut cfg = ModelConfig::mistral_miniature(40);
+        cfg.n_layers = 2;
+        cfg.d_model = 16;
+        cfg.n_heads = 2;
+        cfg.n_kv_heads = 1;
+        cfg.d_ff = 32;
+        cfg.max_seq_len = 64;
+        cfg.sliding_window = window;
+        CausalLm::new(cfg, &mut rng)
+    }
+
+    fn toks(n: usize, salt: usize) -> Vec<u32> {
+        (0..n).map(|i| ((i * 7 + salt * 13) % 40) as u32).collect()
+    }
+
+    /// The foundational claim of the whole prefix-sharing design:
+    /// prefilling in two chunks is bit-identical to one chunk, within
+    /// and beyond the sliding window.
+    #[test]
+    fn split_prefill_bit_identity() {
+        for window in [64usize, 5] {
+            let lm = tiny_lm(window);
+            let prompt = toks(24, 9);
+            let mut whole = lm.new_cache();
+            let a = lm.prefill(&prompt, &mut whole);
+            for split in [1usize, 8, 23] {
+                let mut parts = lm.new_cache();
+                let _ = lm.prefill(&prompt[..split], &mut parts);
+                let b = lm.prefill(&prompt[split..], &mut parts);
+                assert_eq!(a, b, "logits window={window} split={split}");
+                let conts: Vec<Vec<u32>> = vec![toks(2, 11), toks(4, 12)];
+                let refs: Vec<&[u32]> = conts.iter().map(Vec::as_slice).collect();
+                assert_eq!(
+                    lm.score_continuations_with_cache(&whole, &a, &refs),
+                    lm.score_continuations_with_cache(&parts, &b, &refs),
+                    "scores window={window} split={split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acquire_miss_then_hit_roundtrip() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(4);
+        let prompt = toks(12, 1);
+        assert!(pool.acquire(&prompt).is_none(), "cold pool misses");
+
+        let mut cache = lm.new_cache();
+        let logits = lm.prefill(&prompt[..6], &mut cache);
+        let lease = pool.insert(&prompt[..6], cache, logits);
+        drop(lease);
+
+        let (block, len) = pool.acquire(&prompt).expect("warm pool hits");
+        assert_eq!(len, 6);
+        let (mut fork, row) = block.fork();
+        assert_eq!(fork.pos, 6);
+        let rest = lm.prefill(&prompt[6..], &mut fork);
+
+        // Exactness: the pooled path reproduces the single-prefill bits.
+        let mut whole = lm.new_cache();
+        let full = lm.prefill(&prompt, &mut whole);
+        assert_eq!(rest, full);
+        // The stored logits are the prefix's own next-token row.
+        let mut prefix_only = lm.new_cache();
+        let expect_row = lm.prefill(&prompt[..6], &mut prefix_only);
+        assert_eq!(row, expect_row);
+
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn acquire_never_matches_whole_prompt() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(4);
+        let prompt = toks(8, 2);
+        let mut cache = lm.new_cache();
+        let logits = lm.prefill(&prompt, &mut cache);
+        let _lease = pool.insert(&prompt, cache, logits);
+        // The full prompt is cached, but acquire demands a strict prefix.
+        assert!(pool.acquire(&prompt).is_none());
+        // A longer prompt sharing the 8-token prefix does match.
+        let longer = toks(10, 2);
+        assert!(pool.acquire(&longer).is_some());
+    }
+
+    #[test]
+    fn acquire_prefers_longest_prefix() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(4);
+        let prompt = toks(12, 3);
+        for k in [3usize, 7] {
+            let mut c = lm.new_cache();
+            let l = lm.prefill(&prompt[..k], &mut c);
+            drop(pool.insert(&prompt[..k], c, l));
+        }
+        let (_, len) = pool.acquire(&prompt).expect("hit");
+        assert_eq!(len, 7, "longest cached prefix wins");
+    }
+
+    #[test]
+    fn refcounts_pin_entries_against_eviction() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(2);
+        let mk = |salt: usize| {
+            let p = toks(6, salt);
+            let mut c = lm.new_cache();
+            let l = lm.prefill(&p, &mut c);
+            (p, c, l)
+        };
+        let (p1, c1, l1) = mk(1);
+        let (p2, c2, l2) = mk(2);
+        let (p3, c3, l3) = mk(3);
+        let lease1 = pool.insert(&p1, c1, l1);
+        let lease2 = pool.insert(&p2, c2, l2);
+        let lease3 = pool.insert(&p3, c3, l3);
+        // All three leased: nothing evictable, pool exceeds capacity.
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.stats().live_leases, 3);
+        // Releasing the oldest makes it the (only) eviction victim.
+        drop(lease1);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        assert!(pool.acquire(&toks(7, 1)).is_none(), "entry 1 evicted");
+        assert!(pool.acquire(&toks(7, 2)).is_some(), "entry 2 resident");
+        drop(lease2);
+        drop(lease3);
+        pool.assert_quiescent();
+    }
+
+    #[test]
+    fn lru_eviction_is_recency_ordered() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(2);
+        for salt in 1..=2usize {
+            let p = toks(6, salt);
+            let mut c = lm.new_cache();
+            let l = lm.prefill(&p, &mut c);
+            drop(pool.insert(&p, c, l));
+        }
+        // Touch entry 1 so entry 2 becomes least recently used.
+        drop(pool.acquire(&toks(8, 1)).expect("hit"));
+        let p3 = toks(6, 3);
+        let mut c = lm.new_cache();
+        let l = lm.prefill(&p3, &mut c);
+        drop(pool.insert(&p3, c, l));
+        assert!(pool.acquire(&toks(8, 1)).is_some(), "recently used kept");
+        assert!(pool.acquire(&toks(8, 2)).is_none(), "LRU entry evicted");
+        assert!(pool.acquire(&toks(8, 3)).is_some());
+    }
+
+    #[test]
+    fn concurrent_style_interleaved_release_is_leak_free() {
+        // Many overlapping leases on the same entry, released in an
+        // interleaved (non-LIFO) order — the pattern a batch of
+        // concurrent requests produces.
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(2);
+        let p = toks(10, 4);
+        let mut c = lm.new_cache();
+        let l = lm.prefill(&p[..5], &mut c);
+        let seed_lease = pool.insert(&p[..5], c, l);
+        let mut leases: Vec<PrefixBlock> =
+            (0..8).map(|_| pool.acquire(&p).expect("hit").0).collect();
+        assert_eq!(pool.stats().live_leases, 9);
+        // Interleaved release: evens first, then odds, then the seed.
+        for i in (0..8).step_by(2).chain((1..8).step_by(2)) {
+            // Forks taken mid-release must stay valid.
+            let (fork, _) = leases[i].fork();
+            assert_eq!(fork.pos, 5);
+            leases.push(pool.acquire(&p).expect("still resident").0);
+        }
+        leases.clear();
+        drop(seed_lease);
+        pool.assert_quiescent();
+        assert_eq!(pool.len(), 1, "entry survives lease churn");
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding lease")]
+    fn quiescence_audit_catches_leaked_lease() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(2);
+        let p = toks(6, 5);
+        let mut c = lm.new_cache();
+        let l = lm.prefill(&p, &mut c);
+        let _leak = pool.insert(&p, c, l);
+        pool.assert_quiescent();
+    }
+}

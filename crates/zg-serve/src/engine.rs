@@ -1,0 +1,424 @@
+//! Execution engines: the trait the scheduler dispatches batches to, and
+//! [`ZiGongEngine`] — a persistent pool of bit-exact model replicas with
+//! cross-request KV prefix sharing.
+//!
+//! ## Exactness contract
+//!
+//! `ZiGongEngine` serves [`Payload::Score`] with *exactly* the float-op
+//! sequence of the offline `ZiGongModel::evaluate_item`, and
+//! [`Payload::Generate`] with exactly `ZiGongModel::generate_answer`.
+//! Prefix sharing is bitwise-transparent (split prefill is bit-identical
+//! to whole prefill — pinned by `zg-model`'s `split_prefill_bit_identity`
+//! test), replicas are bit-exact rebuilds of one [`ZiGongSpec`], and the
+//! batch is split into contiguous chunks merged in index order, so the
+//! served answer and probability are exact-`f64` equal to the offline
+//! evaluator for **any** worker count and **any** request interleaving.
+//!
+//! ## Determinism model
+//!
+//! Workers are persistent threads, each owning a private replica and a
+//! private [`PrefixPool`] (the pool is `Rc`-based and single-threaded by
+//! design — no locks on the decode path, and per-worker hit sequences
+//! stay deterministic). Chunk assignment is a pure function of batch
+//! length and worker count; results are merged by chunk index, never by
+//! completion order. Worker trace streams are forked on the spawning
+//! thread in loop order, so stream ids are stable across runs.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_model::{KvCache, PrefixBlock, PrefixPool, PrefixStats};
+use zg_tokenizer::Special;
+use zg_zigong::{two_way_probability, ZiGongModel, ZiGongSpec, ANSWER_TOKENS, SCORE_RESERVE};
+
+use crate::queue::QueuedRequest;
+use crate::request::{Payload, Reply, RequestId};
+
+/// Executes batches of admitted requests. The scheduler treats this as a
+/// black box; the simulation tests substitute deterministic mocks.
+pub trait Engine {
+    /// Serve every request in `batch`, returning `(id, reply)` pairs in
+    /// batch order. Must return exactly one reply per request.
+    fn execute(&mut self, batch: &[QueuedRequest]) -> Vec<(RequestId, Reply)>;
+
+    /// Release worker resources. Called once by `Server::shutdown`;
+    /// engines with no threads need not override it.
+    fn shutdown(&mut self) {}
+}
+
+/// Tuning knobs for [`ZiGongEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker replicas. `0` and `1` both mean "inline on the caller's
+    /// thread" (no worker threads, still one replica + pool).
+    pub workers: usize,
+    /// Token length of the shared template prefix each replica caches
+    /// (clamped per prompt to leave at least one token to prefill).
+    pub prefix_tokens: usize,
+    /// Capacity of each worker's prefix pool (distinct templates).
+    pub pool_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 1,
+            prefix_tokens: 24,
+            pool_capacity: 8,
+        }
+    }
+}
+
+/// One worker's state: a bit-exact model replica plus its private
+/// prefix pool. Also used inline when `workers <= 1`.
+struct Replica {
+    model: ZiGongModel,
+    pool: PrefixPool,
+    prefix_tokens: usize,
+    /// Greedy decoding at temperature 0 never consumes this RNG; it only
+    /// satisfies the sampler's signature. Seeded to match the offline
+    /// evaluator for auditability.
+    rng: StdRng,
+}
+
+impl Replica {
+    fn new(spec: &ZiGongSpec, cfg: &EngineConfig) -> Replica {
+        Replica {
+            model: spec.build(),
+            pool: PrefixPool::new(cfg.pool_capacity),
+            prefix_tokens: cfg.prefix_tokens,
+            rng: StdRng::seed_from_u64(0xD1D1),
+        }
+    }
+
+    /// Prefill `ids` reusing (and feeding) the prefix pool. Returns the
+    /// full-prompt cache, the next-token logits, and the lease pinning
+    /// the shared block for the rest of the request.
+    ///
+    /// Both branches are bit-identical to `lm.prefill(ids)` in one shot:
+    /// split prefill is bitwise-transparent (see module docs).
+    fn prefill_shared(&mut self, ids: &[u32]) -> (KvCache, Vec<f32>, Option<PrefixBlock>) {
+        if let Some((block, len)) = self.pool.acquire(ids) {
+            let (mut cache, _prefix_logits) = block.fork();
+            let logits = self.model.lm.prefill(&ids[len..], &mut cache);
+            return (cache, logits, Some(block));
+        }
+        let key_len = self.prefix_tokens.min(ids.len().saturating_sub(1));
+        let mut cache = self.model.lm.new_cache();
+        if key_len == 0 {
+            let logits = self.model.lm.prefill(ids, &mut cache);
+            return (cache, logits, None);
+        }
+        let key_logits = self.model.lm.prefill(&ids[..key_len], &mut cache);
+        let block = self.pool.insert(&ids[..key_len], cache.fork(), key_logits);
+        let logits = self.model.lm.prefill(&ids[key_len..], &mut cache);
+        (cache, logits, Some(block))
+    }
+
+    /// Serve one scoring request — the float-op mirror of
+    /// `ZiGongModel::evaluate_item`, with the single prompt prefill
+    /// routed through the prefix pool.
+    fn serve_score(&mut self, prompt: &str, negative: &str, positive: &str) -> Reply {
+        let _span = zg_trace::span("serve.score");
+        let _leak = zg_tensor::GraphLeakGuard::new("ZiGongEngine::serve_score");
+        let p_ans = self.model.prompt_ids(prompt, ANSWER_TOKENS);
+        let p_score = self.model.prompt_ids(prompt, SCORE_RESERVE);
+        if p_ans != p_score {
+            // Truncation split the budgets; fall back to the offline
+            // evaluator's independent answer/score paths verbatim.
+            let answer = self.model.generate_answer(prompt, ANSWER_TOKENS);
+            let neg = self.model.tokenizer.encode(&format!(" {negative}"));
+            let pos = self.model.tokenizer.encode(&format!(" {positive}"));
+            let scores = self.model.lm.score_continuations(&p_score, &[&neg, &pos]);
+            let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
+            return Reply::Scored {
+                answer,
+                p_positive: p,
+            };
+        }
+        let neg = self.model.tokenizer.encode(&format!(" {negative}"));
+        let pos = self.model.tokenizer.encode(&format!(" {positive}"));
+        let (cache, logits, _lease) = self.prefill_shared(&p_ans);
+        // Greedy answer decode on a fork — same sampling as the offline
+        // path (temperature 0: pure argmax, RNG untouched).
+        let mut fork = cache.fork();
+        let mut row = logits.clone();
+        let mut out = Vec::new();
+        for _ in 0..ANSWER_TOKENS {
+            let next = zg_model::sample_logits(&row, 0.0, &mut self.rng);
+            if next == Special::Eos.id() {
+                break;
+            }
+            out.push(next);
+            row = self.model.lm.step(next, &mut fork);
+        }
+        let answer = self.model.tokenizer.decode(&out);
+        let scores = self
+            .model
+            .lm
+            .score_continuations_with_cache(&cache, &logits, &[&neg, &pos]);
+        let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
+        Reply::Scored {
+            answer,
+            p_positive: p,
+        }
+    }
+
+    /// Serve one generation request — exactly
+    /// `ZiGongModel::generate_answer`.
+    fn serve_generate(&mut self, prompt: &str, max_new: usize) -> Reply {
+        let _span = zg_trace::span("serve.generate");
+        let _leak = zg_tensor::GraphLeakGuard::new("ZiGongEngine::serve_generate");
+        Reply::Generated {
+            text: self.model.generate_answer(prompt, max_new),
+        }
+    }
+
+    fn serve(&mut self, req: &QueuedRequest) -> (RequestId, Reply) {
+        zg_trace::counter_add("serve.requests", 1.0);
+        let reply = match &req.payload {
+            Payload::Score {
+                prompt,
+                negative,
+                positive,
+            } => self.serve_score(prompt, negative, positive),
+            Payload::Generate { prompt, max_new } => self.serve_generate(prompt, *max_new),
+        };
+        (req.id, reply)
+    }
+
+    fn serve_chunk(&mut self, chunk: &[QueuedRequest]) -> Vec<(RequestId, Reply)> {
+        let _span = zg_trace::span_arg("serve.chunk", chunk.len() as i64);
+        chunk.iter().map(|r| self.serve(r)).collect()
+    }
+
+    /// Leak audit: every prefix lease must be back in the pool between
+    /// batches.
+    fn audit(&self) -> Result<(), String> {
+        let s = self.pool.stats();
+        if s.live_leases != 0 {
+            return Err(format!("{} outstanding prefix lease(s)", s.live_leases));
+        }
+        Ok(())
+    }
+}
+
+enum Msg {
+    Batch(Vec<QueuedRequest>),
+    Audit,
+    Stop,
+}
+
+enum Out {
+    Batch(Vec<(RequestId, Reply)>),
+    Audit(Result<(), String>, PrefixStats),
+}
+
+struct Worker {
+    tx: Sender<Msg>,
+    rx: Receiver<Out>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The production engine: persistent bit-exact replicas serving batches
+/// with cross-request prefix reuse. See the module docs for the
+/// exactness and determinism contracts.
+pub struct ZiGongEngine {
+    inline: Option<Replica>,
+    workers: Vec<Worker>,
+}
+
+impl ZiGongEngine {
+    /// Build an engine from a model snapshot.
+    ///
+    /// With `cfg.workers >= 2`, worker threads are spawned *now*, each
+    /// rebuilding a private replica from a clone of `spec`. Their trace
+    /// streams are forked here, on the calling thread in loop order, so
+    /// construct the engine after installing a tracer if worker spans
+    /// should be captured.
+    pub fn new(spec: ZiGongSpec, cfg: EngineConfig) -> ZiGongEngine {
+        if cfg.workers <= 1 {
+            return ZiGongEngine {
+                inline: Some(Replica::new(&spec, &cfg)),
+                workers: Vec::new(),
+            };
+        }
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let stream = zg_trace::fork_stream(&format!("serve.worker{i}"));
+                let (tx, job_rx) = std::sync::mpsc::channel::<Msg>();
+                let (out_tx, rx) = std::sync::mpsc::channel::<Out>();
+                let spec = spec.clone();
+                let join = std::thread::spawn(move || {
+                    let _guard = stream.map(|s| s.install());
+                    let mut replica = Replica::new(&spec, &cfg);
+                    while let Ok(msg) = job_rx.recv() {
+                        match msg {
+                            Msg::Batch(chunk) => {
+                                let out = replica.serve_chunk(&chunk);
+                                if out_tx.send(Out::Batch(out)).is_err() {
+                                    break;
+                                }
+                            }
+                            Msg::Audit => {
+                                let res = Out::Audit(replica.audit(), replica.pool.stats());
+                                if out_tx.send(res).is_err() {
+                                    break;
+                                }
+                            }
+                            Msg::Stop => break,
+                        }
+                    }
+                });
+                Worker {
+                    tx,
+                    rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ZiGongEngine {
+            inline: None,
+            workers,
+        }
+    }
+
+    /// Number of replicas (1 for the inline engine).
+    pub fn replicas(&self) -> usize {
+        if self.inline.is_some() {
+            1
+        } else {
+            self.workers.len()
+        }
+    }
+
+    /// Aggregate prefix-pool statistics across all replicas, plus the
+    /// per-replica leak-audit verdict.
+    pub fn audit(&mut self) -> (Result<(), String>, PrefixStats) {
+        if let Some(replica) = &self.inline {
+            return (replica.audit(), replica.pool.stats());
+        }
+        let mut verdict = Ok(());
+        let mut total = PrefixStats::default();
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.tx.send(Msg::Audit).is_err() {
+                verdict = Err(format!("worker {i} hung up"));
+                continue;
+            }
+            match w.rx.recv() {
+                Ok(Out::Audit(res, stats)) => {
+                    if let Err(e) = res {
+                        verdict = Err(format!("worker {i}: {e}"));
+                    }
+                    total.hits += stats.hits;
+                    total.misses += stats.misses;
+                    total.inserts += stats.inserts;
+                    total.evictions += stats.evictions;
+                    total.entries += stats.entries;
+                    total.live_leases += stats.live_leases;
+                }
+                _ => verdict = Err(format!("worker {i} returned no audit")),
+            }
+        }
+        (verdict, total)
+    }
+
+    /// Contiguous chunk ranges: first `len % n` chunks get one extra
+    /// item. A pure function of `(len, n)` — the merge order (and hence
+    /// every downstream float op) is independent of thread scheduling.
+    fn chunks(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+        let base = len / n;
+        let rem = len % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let size = base + usize::from(i < rem);
+            out.push(start..start + size);
+            start += size;
+        }
+        out
+    }
+}
+
+impl Engine for ZiGongEngine {
+    fn execute(&mut self, batch: &[QueuedRequest]) -> Vec<(RequestId, Reply)> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let _span = zg_trace::span_arg("serve.execute", batch.len() as i64);
+        if let Some(replica) = &mut self.inline {
+            return replica.serve_chunk(batch);
+        }
+        let ranges = Self::chunks(batch.len(), self.workers.len());
+        // Dispatch every non-empty chunk, then collect in worker order:
+        // workers run concurrently but the merge is by chunk index.
+        let mut dispatched = Vec::new();
+        for (w, range) in self.workers.iter().zip(&ranges) {
+            if range.is_empty() {
+                continue;
+            }
+            w.tx.send(Msg::Batch(batch[range.clone()].to_vec()))
+                // INVARIANT: workers only exit when told to stop or when
+                // this (sending) side is gone, so the channel is open here.
+                .expect("serve worker channel open");
+            dispatched.push(w);
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        for w in dispatched {
+            // INVARIANT: every dispatched worker answers each Batch with
+            // exactly one Out::Batch before processing anything else.
+            match w.rx.recv().expect("serve worker reply") {
+                Out::Batch(chunk) => out.extend(chunk),
+                // INVARIANT: audits are never in flight during execute —
+                // both run on the caller's thread, strictly serialized.
+                Out::Audit(..) => unreachable!("audit reply during execute"),
+            }
+        }
+        out
+    }
+
+    fn shutdown(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(Msg::Stop);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+        self.workers.clear();
+        self.inline = None;
+    }
+}
+
+impl Drop for ZiGongEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_contiguous_and_exhaustive() {
+        for len in 0..12usize {
+            for n in 1..5usize {
+                let ranges = ZiGongEngine::chunks(len, n);
+                assert_eq!(ranges.len(), n);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges[n - 1].end, len);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let max = sizes.iter().max().copied().unwrap_or(0);
+                let min = sizes.iter().min().copied().unwrap_or(0);
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+}

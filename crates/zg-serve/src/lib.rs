@@ -1,0 +1,37 @@
+//! # zg-serve
+//!
+//! A long-lived credit-scoring/generation server over the ZiGong model:
+//! the deployment half the paper's risk-control discussion assumes, built
+//! so that *serving is a pure function of traffic and a clock*.
+//!
+//! - [`request`]: the request/response vocabulary — payloads, priorities,
+//!   typed rejections ([`Rejection`]) and failures ([`ServeFailure`]).
+//! - [`queue`]: the bounded priority-FIFO admission queue (backpressure
+//!   instead of unbounded growth).
+//! - [`engine`]: batch execution — [`ZiGongEngine`] holds persistent
+//!   bit-exact replicas (from one [`zg_zigong::ZiGongSpec`]) with
+//!   cross-request KV prefix sharing via [`zg_model::PrefixPool`];
+//!   served scores are exact-`f64` equal to the offline evaluator for
+//!   any worker count.
+//! - [`server`]: continuous batching — admission, deadline expiry, and
+//!   batch coalescing driven by an injectable [`zg_trace::Clock`].
+//! - [`metrics`]: latency percentiles for load reports.
+//! - [`sim`]: the deterministic simulation harness — seeded Poisson
+//!   traffic + [`zg_trace::ManualClock`] event loop; same seed, same
+//!   batches, byte-identical traces.
+
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod sim;
+
+pub use engine::{Engine, EngineConfig, ZiGongEngine};
+pub use metrics::{LatencyRecorder, LatencySummary};
+pub use queue::{BoundedQueue, QueuedRequest};
+pub use request::{
+    Completion, Payload, Priority, Rejection, Reply, Request, RequestId, ServeFailure,
+};
+pub use server::{ServeConfig, Server, ServerStats};
+pub use sim::{drive, poisson_arrivals, poisson_traffic, EchoEngine, SimOutcome, TimedEngine};

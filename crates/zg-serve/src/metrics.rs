@@ -1,0 +1,137 @@
+//! Latency accounting for the server: a recorder accumulating per-request
+//! latencies and a percentile summary (nearest-rank, deterministic).
+
+/// Summary of a latency sample set, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub n: usize,
+    /// Median (nearest-rank 50th percentile).
+    pub p50: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Accumulates request latencies; `summary` sorts once at the end.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Record one latency in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`) over the samples so far.
+    pub fn percentile(&self, q: f64) -> f64 {
+        percentile(&mut self.samples.clone(), q)
+    }
+
+    /// Summarize all samples. Returns an all-zero summary when empty
+    /// (the bench treats `n == 0` as "no traffic").
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary {
+                n: 0,
+                p50: 0.0,
+                p99: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        LatencySummary {
+            n,
+            p50: rank(&sorted, 0.50),
+            p99: rank(&sorted, 0.99),
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile of a *sorted* non-empty slice.
+fn rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let r = (q * n as f64).ceil() as usize;
+    sorted[r.clamp(1, n) - 1]
+}
+
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    rank(samples, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencyRecorder::new().summary();
+        assert_eq!(s.n, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        // 1..=100 in scrambled insert order.
+        for i in (1..=100u32).rev() {
+            r.record(i as f64);
+        }
+        let s = r.summary();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut r = LatencyRecorder::new();
+        r.record(0.25);
+        let s = r.summary();
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p99, 0.25);
+        assert_eq!(s.max, 0.25);
+    }
+
+    #[test]
+    fn percentile_handles_nan_free_total_order() {
+        let mut r = LatencyRecorder::new();
+        for v in [0.3, 0.1, 0.2] {
+            r.record(v);
+        }
+        assert_eq!(r.percentile(0.0), 0.1);
+        assert_eq!(r.percentile(1.0), 0.3);
+    }
+}

@@ -1,0 +1,182 @@
+//! The bounded admission queue: priority lanes with FIFO order inside
+//! each lane, capacity-based backpressure, and deadline expiry.
+
+use std::collections::VecDeque;
+
+use crate::request::{Payload, Priority, Rejection, RequestId, PRIORITY_LANES};
+
+/// A request resident in the queue (admitted, not yet dispatched).
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    /// Server-assigned id.
+    pub id: RequestId,
+    /// The work to do.
+    pub payload: Payload,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Clock time at admission.
+    pub arrived: f64,
+    /// Absolute clock time after which the request is expired, if any.
+    pub deadline: Option<f64>,
+}
+
+/// Bounded priority-FIFO queue.
+///
+/// Invariants (pinned by the simulation property tests):
+/// * total occupancy never exceeds `capacity` — `push` returns a typed
+///   [`Rejection::QueueFull`] instead of growing;
+/// * within one priority lane, requests leave in arrival order;
+/// * across lanes, a batch always drains strictly higher priorities
+///   before lower ones;
+/// * expiry removes exactly the requests whose deadline has passed,
+///   preserving relative order of the survivors.
+pub struct BoundedQueue {
+    lanes: [VecDeque<QueuedRequest>; PRIORITY_LANES],
+    capacity: usize,
+    len: usize,
+}
+
+impl BoundedQueue {
+    /// An empty queue admitting at most `capacity` requests.
+    pub fn new(capacity: usize) -> BoundedQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            lanes: std::array::from_fn(|_| VecDeque::new()),
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Admit a request, or reject it with backpressure.
+    pub fn push(&mut self, req: QueuedRequest) -> Result<(), Rejection> {
+        if self.len >= self.capacity {
+            return Err(Rejection::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.lanes[req.priority.lane()].push_back(req);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Remove and return every queued request whose deadline is at or
+    /// before `now`, in priority-FIFO order.
+    pub fn expire(&mut self, now: f64) -> Vec<QueuedRequest> {
+        let mut out = Vec::new();
+        for lane in &mut self.lanes {
+            let mut keep = VecDeque::with_capacity(lane.len());
+            for req in lane.drain(..) {
+                match req.deadline {
+                    Some(d) if d <= now => out.push(req),
+                    _ => keep.push_back(req),
+                }
+            }
+            *lane = keep;
+        }
+        self.len -= out.len();
+        out
+    }
+
+    /// Dequeue up to `max` requests: all of `High` before any `Normal`
+    /// before any `Low`, FIFO inside each lane.
+    pub fn pop_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
+        let mut out = Vec::with_capacity(max.min(self.len));
+        for lane in &mut self.lanes {
+            while out.len() < max {
+                match lane.pop_front() {
+                    Some(req) => out.push(req),
+                    None => break,
+                }
+            }
+        }
+        self.len -= out.len();
+        out
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: RequestId, priority: Priority, deadline: Option<f64>) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            payload: Payload::Generate {
+                prompt: "x".into(),
+                max_new: 1,
+            },
+            priority,
+            arrived: 0.0,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_typed_rejection() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(req(1, Priority::Normal, None)).is_ok());
+        assert!(q.push(req(2, Priority::High, None)).is_ok());
+        assert_eq!(
+            q.push(req(3, Priority::High, None)),
+            Err(Rejection::QueueFull { capacity: 2 })
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn batch_order_is_priority_then_fifo() {
+        let mut q = BoundedQueue::new(8);
+        for (id, p) in [
+            (1, Priority::Low),
+            (2, Priority::Normal),
+            (3, Priority::High),
+            (4, Priority::Normal),
+            (5, Priority::High),
+        ] {
+            q.push(req(id, p, None)).unwrap();
+        }
+        let ids: Vec<RequestId> = q.pop_batch(4).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 5, 2, 4]);
+        let ids: Vec<RequestId> = q.pop_batch(4).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn expiry_removes_exactly_the_overdue() {
+        let mut q = BoundedQueue::new(8);
+        q.push(req(1, Priority::Normal, Some(1.0))).unwrap();
+        q.push(req(2, Priority::Normal, Some(5.0))).unwrap();
+        q.push(req(3, Priority::High, None)).unwrap();
+        let expired: Vec<RequestId> = q.expire(2.0).iter().map(|r| r.id).collect();
+        assert_eq!(expired, vec![1]);
+        assert_eq!(q.len(), 2);
+        // Survivors keep their order.
+        let ids: Vec<RequestId> = q.pop_batch(8).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn expiry_frees_capacity() {
+        let mut q = BoundedQueue::new(1);
+        q.push(req(1, Priority::Normal, Some(1.0))).unwrap();
+        assert!(q.push(req(2, Priority::Normal, None)).is_err());
+        assert_eq!(q.expire(1.0).len(), 1);
+        assert!(q.push(req(2, Priority::Normal, None)).is_ok());
+    }
+}

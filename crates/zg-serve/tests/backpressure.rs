@@ -1,0 +1,128 @@
+//! Backpressure and timeout behaviour against the *real* engine: a
+//! saturated bounded queue rejects with typed errors, queued requests
+//! past their deadline resolve as `TimedOut` (never served, never
+//! panicking), and the server keeps serving afterwards.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_model::{CausalLm, ModelConfig};
+use zg_serve::{EngineConfig, Rejection, Request, ServeConfig, ServeFailure, Server, ZiGongEngine};
+use zg_tokenizer::BpeTokenizer;
+use zg_trace::ManualClock;
+use zg_zigong::ZiGongModel;
+
+fn tiny_spec() -> zg_zigong::ZiGongSpec {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut cfg = ModelConfig::mistral_miniature(260);
+    cfg.n_layers = 1;
+    cfg.d_model = 16;
+    cfg.n_heads = 2;
+    cfg.n_kv_heads = 1;
+    cfg.d_ff = 32;
+    cfg.max_seq_len = 64;
+    cfg.sliding_window = 32;
+    let lm = CausalLm::new(cfg, &mut rng);
+    ZiGongModel::new(lm, BpeTokenizer::byte_level(), 64, "tiny-bp").spec()
+}
+
+#[test]
+fn saturated_queue_rejects_then_recovers() {
+    let engine = ZiGongEngine::new(tiny_spec(), EngineConfig::default());
+    let clock = ManualClock::new();
+    let cfg = ServeConfig {
+        queue_capacity: 4,
+        max_batch: 2,
+        default_timeout: None,
+    };
+    let mut server = Server::new(engine, cfg, clock.clock());
+    for i in 0..4 {
+        server
+            .submit(Request::generate(format!("p{i}"), 2))
+            .unwrap_or_else(|r| panic!("admission {i} rejected: {r}"));
+    }
+    // Queue full: typed backpressure, not a panic and not silent loss.
+    assert_eq!(
+        server.submit(Request::generate("overflow", 2)),
+        Err(Rejection::QueueFull { capacity: 4 })
+    );
+    assert_eq!(server.stats().rejected, 1);
+    // Draining one batch frees capacity.
+    let served = server.tick();
+    assert_eq!(served.len(), 2);
+    assert!(served.iter().all(|c| c.result.is_ok()));
+    assert!(server.submit(Request::generate("retry", 2)).is_ok());
+    let rest = server.run_until_idle();
+    assert_eq!(rest.len(), 3);
+    assert!(rest.iter().all(|c| c.result.is_ok()));
+    server.shutdown();
+}
+
+#[test]
+fn expired_requests_time_out_instead_of_being_served() {
+    let engine = ZiGongEngine::new(tiny_spec(), EngineConfig::default());
+    let clock = ManualClock::new();
+    let cfg = ServeConfig {
+        queue_capacity: 8,
+        max_batch: 8,
+        default_timeout: Some(1.0),
+    };
+    let mut server = Server::new(engine, cfg, clock.clock());
+    let doomed = server.submit(Request::generate("slowpoke", 2)).unwrap();
+    clock.advance(0.5);
+    let survivor = server
+        .submit(Request::generate("fresh", 2).with_timeout(10.0))
+        .unwrap();
+    clock.advance(1.0); // `doomed` is now 1.5s old with a 1s deadline.
+    let done = server.tick();
+    assert_eq!(done.len(), 2);
+    assert_eq!(done[0].id, doomed);
+    assert_eq!(done[0].result, Err(ServeFailure::TimedOut { waited: 1.5 }));
+    assert_eq!(done[1].id, survivor);
+    assert!(done[1].result.is_ok());
+    assert_eq!(server.stats().timed_out, 1);
+    assert_eq!(server.stats().completed, 1);
+    // Leases and tape stay clean even when requests die in the queue.
+    let (audit, stats) = server.engine_mut().audit();
+    audit.expect("pool quiescent after timeouts");
+    assert_eq!(stats.live_leases, 0);
+    server.shutdown();
+}
+
+#[test]
+fn zero_capacity_burst_never_panics() {
+    // Hammer a capacity-1 queue with a burst of valid and invalid
+    // requests: every outcome is a typed result.
+    let engine = ZiGongEngine::new(tiny_spec(), EngineConfig::default());
+    let clock = ManualClock::new();
+    let cfg = ServeConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        default_timeout: Some(0.1),
+    };
+    let mut server = Server::new(engine, cfg, clock.clock());
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..20 {
+        let req = if i % 5 == 4 {
+            Request::generate("", 2) // invalid: empty prompt
+        } else {
+            Request::generate(format!("p{i}"), 1)
+        };
+        match server.submit(req) {
+            Ok(_) => admitted += 1,
+            Err(
+                Rejection::QueueFull { .. } | Rejection::EmptyPrompt | Rejection::EmptyGeneration,
+            ) => rejected += 1,
+        }
+        if i % 3 == 0 {
+            clock.advance(0.05);
+            let _ = server.tick();
+        }
+    }
+    let _ = server.run_until_idle();
+    let stats = server.stats();
+    assert_eq!(stats.admitted, admitted);
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.admitted, stats.completed + stats.timed_out);
+    server.shutdown();
+}

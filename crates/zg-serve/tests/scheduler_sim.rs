@@ -1,0 +1,203 @@
+//! Deterministic-simulation property suite for the continuous-batching
+//! scheduler: seeded Poisson traffic over a [`ManualClock`], a mock
+//! engine recording dispatch order, and invariants checked across
+//! arrival patterns, batch windows, queue capacities, and timeouts:
+//!
+//! - conservation / no starvation: every submitted request resolves
+//!   (served, timed out, or rejected at admission) — nothing is dropped
+//!   and nothing waits forever;
+//! - FIFO within priority: dispatch order restricted to one priority
+//!   class equals admission order;
+//! - typed backpressure accounting: rejections happen exactly when the
+//!   bounded queue is full, and counters reconcile;
+//! - timeout soundness: a timed-out request really waited at least its
+//!   deadline;
+//! - bit determinism: identical seeds produce identical completions and
+//!   byte-identical traces.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use zg_serve::{
+    drive, poisson_traffic, EchoEngine, Priority, Request, RequestId, ServeConfig, Server,
+    SimOutcome, TimedEngine,
+};
+use zg_trace::{ManualClock, Tracer};
+
+fn mixed_traffic(seed: u64, rate: f64, n: usize, timeout: Option<f64>) -> Vec<(f64, Request)> {
+    poisson_traffic(seed, rate, n, |i| {
+        let p = match i % 3 {
+            0 => Priority::Normal,
+            1 => Priority::High,
+            _ => Priority::Low,
+        };
+        let r = Request::generate(format!("req {i}"), 1).with_priority(p);
+        match timeout {
+            Some(t) => r.with_timeout(t),
+            None => r,
+        }
+    })
+}
+
+struct Run {
+    out: SimOutcome,
+    dispatch_order: Vec<RequestId>,
+}
+
+fn run_sim(
+    seed: u64,
+    rate: f64,
+    n: usize,
+    cfg: ServeConfig,
+    service: f64,
+    window: f64,
+    timeout: Option<f64>,
+) -> Run {
+    let clock = ManualClock::new();
+    let engine = TimedEngine::new(EchoEngine::new(), clock.clone(), service);
+    let mut server = Server::new(engine, cfg, clock.clock());
+    let traffic = mixed_traffic(seed, rate, n, timeout);
+    let out = drive(&mut server, &clock, &traffic, window);
+    let dispatch_order = server.engine_mut().inner_mut().served.clone();
+    Run {
+        out,
+        dispatch_order,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: submitted = served + timed out + rejected, and the
+    /// server's own counters agree. No admitted request starves.
+    #[test]
+    fn every_request_resolves(seed in 0u64..10_000,
+                              n in 1usize..80,
+                              rate in 5.0f64..200.0,
+                              capacity in 1usize..64,
+                              max_batch in 1usize..12,
+                              service in 0.0f64..0.02) {
+        let cfg = ServeConfig { queue_capacity: capacity, max_batch, default_timeout: None };
+        let r = run_sim(seed, rate, n, cfg, service, 0.05, None);
+        prop_assert_eq!(r.out.completions.len() + r.out.rejections.len(), n);
+        prop_assert_eq!(r.out.stats.admitted as usize, r.out.completions.len());
+        prop_assert_eq!(r.out.stats.rejected as usize, r.out.rejections.len());
+        // Without timeouts, every admitted request is actually served.
+        prop_assert_eq!(r.out.stats.timed_out, 0);
+        prop_assert_eq!(r.out.stats.completed as usize, r.out.completions.len());
+        prop_assert_eq!(r.dispatch_order.len(), r.out.completions.len());
+    }
+
+    /// FIFO within priority: for each priority class, the engine saw that
+    /// class's requests in admission (= id) order.
+    #[test]
+    fn fifo_within_priority(seed in 0u64..10_000,
+                            n in 1usize..80,
+                            rate in 5.0f64..200.0,
+                            max_batch in 1usize..12) {
+        let cfg = ServeConfig { max_batch, ..ServeConfig::default() };
+        let r = run_sim(seed, rate, n, cfg, 0.005, 0.04, None);
+        let class: BTreeMap<RequestId, Priority> = r.out.completions.iter()
+            .map(|c| (c.id, c.priority))
+            .collect();
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            let ids: Vec<RequestId> = r.dispatch_order.iter()
+                .copied()
+                .filter(|id| class.get(id) == Some(&p))
+                .collect();
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]),
+                         "priority {p:?} dispatched out of admission order: {ids:?}");
+        }
+    }
+
+    /// Timeout soundness: every timed-out completion waited at least its
+    /// deadline, every served completion has non-negative latency, and
+    /// ids never appear in both sets.
+    #[test]
+    fn timeouts_are_sound(seed in 0u64..10_000,
+                          n in 1usize..60,
+                          rate in 50.0f64..400.0,
+                          timeout in 0.01f64..0.2) {
+        let cfg = ServeConfig { queue_capacity: 8, max_batch: 2, default_timeout: None };
+        let r = run_sim(seed, rate, n, cfg, 0.03, 0.05, Some(timeout));
+        for c in &r.out.completions {
+            match c.result {
+                Err(zg_serve::ServeFailure::TimedOut { waited }) => {
+                    prop_assert!(waited + 1e-9 >= timeout,
+                                 "timed out after {waited}s with a {timeout}s deadline");
+                    prop_assert_eq!(c.latency(), waited);
+                }
+                Ok(_) => prop_assert!(c.latency() >= 0.0),
+            }
+        }
+        let served = r.out.served_ids();
+        for id in r.out.timed_out_ids() {
+            prop_assert!(!served.contains(&id));
+        }
+    }
+
+    /// Bit determinism: identical seeds yield identical dispatch orders
+    /// and bit-identical completion timestamps.
+    #[test]
+    fn identical_seeds_identical_simulations(seed in 0u64..10_000,
+                                             n in 1usize..60,
+                                             rate in 5.0f64..200.0) {
+        let cfg = ServeConfig { queue_capacity: 16, max_batch: 4, default_timeout: Some(0.5) };
+        let fingerprint = |r: &Run| {
+            (
+                r.dispatch_order.clone(),
+                r.out.completions.iter()
+                    .map(|c| (c.id, c.arrived.to_bits(), c.finished.to_bits(), c.result.is_ok()))
+                    .collect::<Vec<_>>(),
+                r.out.rejections.clone(),
+            )
+        };
+        let a = run_sim(seed, rate, n, cfg, 0.01, 0.03, None);
+        let b = run_sim(seed, rate, n, cfg, 0.01, 0.03, None);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// Trace determinism: two runs with the same seed emit byte-identical
+    /// JSONL traces (timestamps come from the simulated clock, stream
+    /// structure from the deterministic scheduler).
+    #[test]
+    fn identical_seeds_identical_traces(seed in 0u64..10_000,
+                                        n in 1usize..40,
+                                        rate in 10.0f64..100.0) {
+        let traced = || {
+            let clock = ManualClock::new();
+            let tracer = Tracer::with_clock(clock.clock());
+            let guard = tracer.install("sim");
+            let engine = TimedEngine::new(EchoEngine::new(), clock.clone(), 0.01);
+            let cfg = ServeConfig { queue_capacity: 16, max_batch: 4, default_timeout: Some(0.4) };
+            let mut server = Server::new(engine, cfg, clock.clock());
+            let traffic = mixed_traffic(seed, rate, n, None);
+            let _ = drive(&mut server, &clock, &traffic, 0.03);
+            drop(guard);
+            tracer.finish().to_jsonl()
+        };
+        let a = traced();
+        let b = traced();
+        prop_assert!(a == b, "same seed must give a byte-identical trace");
+    }
+}
+
+/// A non-property regression: saturating a tiny queue under a burst
+/// produces interleaved served/timeout/rejected outcomes and still
+/// reconciles exactly.
+#[test]
+fn burst_reconciliation() {
+    let cfg = ServeConfig {
+        queue_capacity: 3,
+        max_batch: 2,
+        default_timeout: Some(0.06),
+    };
+    let r = run_sim(42, 500.0, 50, cfg, 0.01, 0.05, None);
+    assert_eq!(r.out.completions.len() + r.out.rejections.len(), 50);
+    assert!(!r.out.rejections.is_empty(), "burst must trip backpressure");
+    assert!(
+        r.out.stats.timed_out > 0,
+        "tiny deadline must expire requests"
+    );
+    assert!(r.out.stats.completed > 0, "some requests are still served");
+}

@@ -34,6 +34,66 @@ pub fn tick_clock() -> Clock {
     Arc::new(move || ticks.fetch_add(1, Ordering::Relaxed) as f64)
 }
 
+/// A deterministic clock that only moves when the owner advances it —
+/// the substrate for discrete-event simulation (zg-serve's scheduler
+/// tests and the `serve_load` determinism audit run on one).
+///
+/// Unlike [`tick_clock`], *reading* a `ManualClock` never changes it:
+/// every reader observes exactly the time the simulation harness last
+/// set, so a simulated server's timestamps are a pure function of the
+/// harness's advance schedule, not of how many instrumentation points
+/// happened to read the clock.
+///
+/// Cloning shares the underlying time cell (a clone is another handle
+/// onto the same simulated timeline).
+#[derive(Clone)]
+pub struct ManualClock {
+    /// Current simulated time, stored as `f64` bits.
+    now_bits: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `t = 0.0`.
+    pub fn new() -> ManualClock {
+        ManualClock {
+            now_bits: Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.now_bits.load(Ordering::SeqCst))
+    }
+
+    /// Advance simulated time by `dt` seconds (must be non-negative).
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "simulated time cannot run backwards");
+        self.set(self.now() + dt);
+    }
+
+    /// Jump simulated time to `t` (must not move backwards).
+    pub fn set(&self, t: f64) {
+        assert!(
+            t >= self.now(),
+            "simulated time cannot run backwards: {} -> {t}",
+            self.now()
+        );
+        self.now_bits.store(t.to_bits(), Ordering::SeqCst);
+    }
+
+    /// This timeline as an injectable [`Clock`].
+    pub fn clock(&self) -> Clock {
+        let cell = self.clone();
+        Arc::new(move || cell.now())
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> ManualClock {
+        ManualClock::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +107,30 @@ mod tests {
         // Independent clocks restart from zero.
         let d = tick_clock();
         assert_eq!(d(), 0.0);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let m = ManualClock::new();
+        let c = m.clock();
+        assert_eq!(c(), 0.0);
+        assert_eq!(c(), 0.0, "reads never advance a manual clock");
+        m.advance(1.5);
+        assert_eq!(c(), 1.5);
+        m.set(4.0);
+        assert_eq!(c(), 4.0);
+        // Clones share the timeline.
+        let other = m.clone();
+        other.advance(0.5);
+        assert_eq!(m.now(), 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_backwards_jumps() {
+        let m = ManualClock::new();
+        m.set(2.0);
+        m.set(1.0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ mod report;
 mod trace;
 mod tracer;
 
-pub use clock::{tick_clock, wall_clock, Clock};
+pub use clock::{tick_clock, wall_clock, Clock, ManualClock};
 pub use hist::{Hist, DEFAULT_HIST_EDGES};
 pub use report::render_report;
 pub use trace::{EventKind, SpanTotal, Trace, TraceEvent, TraceStream};

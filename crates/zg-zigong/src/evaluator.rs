@@ -13,6 +13,16 @@ use zg_instruct::{parse_binary, render_classification, InstructExample};
 use zg_model::{CausalLm, LmSpec};
 use zg_tokenizer::{BpeTokenizer, Special};
 
+/// Token headroom reserved for greedy answer decoding: the budget
+/// [`ZiGongModel::evaluate_item`], [`CreditClassifier::answer`], and the
+/// serving path all use, so their prompt encodings (and therefore their
+/// KV prefills) coincide.
+pub const ANSWER_TOKENS: usize = 6;
+
+/// Token headroom reserved when scoring the two candidate answers
+/// (each candidate is at most this many tokens in every template).
+pub const SCORE_RESERVE: usize = 8;
+
 /// One evaluation item: the raw record (for feature-based expert systems)
 /// plus its rendered instruction example (for LMs).
 pub struct EvalItem<'a> {
@@ -131,7 +141,7 @@ impl ZiGongModel {
     /// prefill via [`CausalLm::score_continuations`] rather than two
     /// independent full passes.
     pub fn positive_probability(&self, example: &InstructExample) -> f64 {
-        let prompt = self.prompt_ids(&example.prompt, 8);
+        let prompt = self.prompt_ids(&example.prompt, SCORE_RESERVE);
         let neg = self
             .tokenizer
             .encode(&format!(" {}", example.candidates[0]));
@@ -144,22 +154,22 @@ impl ZiGongModel {
 
     /// Answer *and* score one item through a single prompt prefill.
     ///
-    /// The answer path reserves 6 tokens of headroom and the scoring path
-    /// 8; whenever the prompt fits untruncated those budgets encode the
-    /// prompt to identical ids, so one KV prefill serves the greedy
-    /// answer decode (on a forked cache) and both candidate scorings —
-    /// producing bit-identical text and score to the independent
-    /// [`CreditClassifier::answer`] / [`CreditClassifier::score`] calls.
-    /// Prompts long enough to truncate differently per budget fall back
-    /// to the independent paths to preserve those exact semantics.
+    /// The answer path reserves [`ANSWER_TOKENS`] tokens of headroom and
+    /// the scoring path [`SCORE_RESERVE`]; whenever the prompt fits
+    /// untruncated those budgets encode the prompt to identical ids, so
+    /// one KV prefill serves the greedy answer decode (on a forked
+    /// cache) and both candidate scorings — producing bit-identical text
+    /// and score to the independent [`CreditClassifier::answer`] /
+    /// [`CreditClassifier::score`] calls. Prompts long enough to
+    /// truncate differently per budget fall back to the independent
+    /// paths to preserve those exact semantics.
     pub fn evaluate_item(&mut self, item: &EvalItem) -> (String, f64) {
-        const ANSWER_TOKENS: usize = 6;
         let _span = zg_trace::span("eval.item");
         // Debug-mode sanitizer: one eval item must not leave autograd tape
         // nodes behind (the eval loop runs thousands of items).
         let _leak = zg_tensor::GraphLeakGuard::new("ZiGongModel::evaluate_item");
         let p_ans = self.prompt_ids(&item.example.prompt, ANSWER_TOKENS);
-        let p_score = self.prompt_ids(&item.example.prompt, 8);
+        let p_score = self.prompt_ids(&item.example.prompt, SCORE_RESERVE);
         if p_ans != p_score {
             return (
                 self.generate_answer(&item.example.prompt, ANSWER_TOKENS),
@@ -197,8 +207,9 @@ impl ZiGongModel {
 }
 
 /// Softmax over two continuation log-probs (average per-token log-prob to
-/// remove length bias) — P(positive).
-fn two_way_probability(lp_neg: f64, lp_pos: f64, neg_len: usize, pos_len: usize) -> f64 {
+/// remove length bias) — P(positive). Public so the serving engine
+/// reproduces the offline score bit-for-bit from the same log-probs.
+pub fn two_way_probability(lp_neg: f64, lp_pos: f64, neg_len: usize, pos_len: usize) -> f64 {
     let a = lp_pos / pos_len as f64;
     let b = lp_neg / neg_len as f64;
     let m = a.max(b);
@@ -229,6 +240,11 @@ impl CreditClassifier for ZiGongModel {
 /// [`LmSpec`] (shared with the trainer's data-parallel workers), which
 /// restores every parameter — base weights *and* adapter matrices — by
 /// name, recreating adapter slots first.
+///
+/// The spec is `Clone` (plain data throughout) so long-lived engines —
+/// zg-serve's persistent worker pool — can hand one copy to each worker
+/// thread at spawn time and rebuild replicas without re-snapshotting.
+#[derive(Clone)]
 pub struct ZiGongSpec {
     lm: LmSpec,
     tokenizer: BpeTokenizer,

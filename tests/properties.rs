@@ -1,6 +1,12 @@
 //! Property-based tests (proptest) on the core invariants:
 //! tokenizer losslessness, metric bounds, autograd linearity, KS/AUC
 //! ranges, influence-selection consistency, and parser totality.
+//!
+//! Determinism contract (audited): the vendored proptest derives its RNG
+//! seed from a hash of the test name — never from the wall clock or an
+//! OS entropy source — so every property here explores the same inputs
+//! on every run and a failure always reproduces byte-for-byte. Keep
+//! properties free of time/thread dependence so that stays true.
 
 use proptest::prelude::*;
 use zigong::eval::{evaluate_binary, ks_statistic, roc_auc, Prediction};
