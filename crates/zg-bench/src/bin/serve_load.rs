@@ -88,6 +88,7 @@ fn main() {
             // Sized to the distinct-item working set: requests cycle over
             // `n_items` prompts, and a smaller LRU pool would thrash.
             pool_capacity: n_items,
+            ..EngineConfig::default()
         },
     );
     let cfg = ServeConfig {
@@ -182,6 +183,7 @@ fn main() {
                 workers: 1,
                 prefix_tokens: 24,
                 pool_capacity: 8,
+                ..EngineConfig::default()
             },
         );
         let cfg = ServeConfig {

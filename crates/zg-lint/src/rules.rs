@@ -320,6 +320,25 @@ mod tests {
     }
 
     #[test]
+    fn u1_covers_target_feature_unsafe_fn() {
+        // The SIMD kernels' shape: a cfg/target_feature-gated `unsafe fn`
+        // with the SAFETY contract in the comment block directly above
+        // the signature (below the attributes) is justified...
+        let good = "#[cfg(target_arch = \"x86_64\")]\n\
+                    #[target_feature(enable = \"avx2\")]\n\
+                    // SAFETY: caller checks AVX2 and passes valid panel pointers\n\
+                    unsafe fn mk(kc: usize) {\n}\n";
+        assert!(run(good).is_empty());
+        // ...and without it the declaration itself is flagged.
+        let bad = "#[cfg(target_arch = \"x86_64\")]\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn mk(kc: usize) {\n}\n";
+        let v = run(bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "U1");
+    }
+
+    #[test]
     fn g1_missing_no_grad_flagged() {
         let cfg =
             Config::parse("[[g1]]\nfile = \"lib.rs\"\nfunction = \"generate\"\n").expect("cfg");

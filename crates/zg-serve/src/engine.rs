@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zg_model::{KvCache, PrefixBlock, PrefixPool, PrefixStats};
+use zg_tensor::GemmKernel;
 use zg_tokenizer::Special;
 use zg_zigong::{two_way_probability, ZiGongModel, ZiGongSpec, ANSWER_TOKENS, SCORE_RESERVE};
 
@@ -59,6 +60,17 @@ pub struct EngineConfig {
     pub prefix_tokens: usize,
     /// Capacity of each worker's prefix pool (distinct templates).
     pub pool_capacity: usize,
+    /// GEMM kernel pinned on each replica's serving thread (worker
+    /// threads own the setting for life; the inline engine pins the
+    /// calling thread when the replica is built). Defaults to the
+    /// process-wide [`zg_tensor::default_gemm_kernel`], which honors the
+    /// `ZG_GEMM_KERNEL` environment knob.
+    pub kernel: GemmKernel,
+    /// Serve with int8 quantized inference on frozen base weights. Each
+    /// replica calibrates after rebuilding from the spec; calibration is
+    /// a pure function of the weights, so replicas stay bit-identical to
+    /// each other and to a quantized offline evaluator.
+    pub quantized: bool,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +79,8 @@ impl Default for EngineConfig {
             workers: 1,
             prefix_tokens: 24,
             pool_capacity: 8,
+            kernel: zg_tensor::default_gemm_kernel(),
+            quantized: false,
         }
     }
 }
@@ -85,8 +99,16 @@ struct Replica {
 
 impl Replica {
     fn new(spec: &ZiGongSpec, cfg: &EngineConfig) -> Replica {
+        // Pin the GEMM kernel for this replica's serving thread. Worker
+        // replicas are built on their own thread, so the thread-local
+        // setting is private to them; the inline replica pins the caller.
+        zg_tensor::set_gemm_kernel(cfg.kernel);
+        let model = spec.build();
+        if cfg.quantized {
+            model.set_quantized(true);
+        }
         Replica {
-            model: spec.build(),
+            model,
             pool: PrefixPool::new(cfg.pool_capacity),
             prefix_tokens: cfg.prefix_tokens,
             rng: StdRng::seed_from_u64(0xD1D1),

@@ -55,6 +55,7 @@ fn serve_eval(
             workers,
             prefix_tokens: 24,
             pool_capacity: 4,
+            ..EngineConfig::default()
         },
     );
     let clock = ManualClock::new();
@@ -216,6 +217,69 @@ fn served_generation_matches_offline_greedy_decode() {
     }
 }
 
+/// Quantized serving keeps the exactness contract: with
+/// `EngineConfig::quantized`, every replica calibrates int8 weights from
+/// the same spec, and the served `(answer, p)` is exact-`f64` equal to
+/// the quantized offline evaluator for every worker count.
+#[test]
+fn served_scores_bit_identical_to_offline_quantized() {
+    let mut m = model(1024);
+    // Freeze the base — the serving shape for a deployed LoRA model; the
+    // engine quantizes frozen weights only.
+    for (_, p) in m.lm.params() {
+        p.set_requires_grad(false);
+    }
+    let ds = german(16, 9);
+    let refs: Vec<_> = ds.records.iter().take(4).collect();
+    let items = eval_items(&ds, &refs);
+    // Spec is snapshotted *before* quantization: the EngineConfig flag
+    // itself must trigger replica calibration.
+    let spec = m.spec();
+    assert!(m.set_quantized(true) > 0, "frozen model must calibrate");
+    let offline = offline_eval(&mut m, &items);
+    for workers in [1usize, 3] {
+        let engine = ZiGongEngine::new(
+            spec.clone(),
+            EngineConfig {
+                workers,
+                prefix_tokens: 24,
+                pool_capacity: 4,
+                quantized: true,
+                ..EngineConfig::default()
+            },
+        );
+        let clock = ManualClock::new();
+        let mut server = Server::new(engine, ServeConfig::default(), clock.clock());
+        for it in &items {
+            let ex = &it.example;
+            server
+                .submit(Request::score(
+                    ex.prompt.clone(),
+                    ex.candidates[0].clone(),
+                    ex.candidates[1].clone(),
+                ))
+                .unwrap();
+        }
+        let done = server.run_until_idle();
+        assert_eq!(done.len(), items.len());
+        for c in done {
+            match c.result.unwrap() {
+                Reply::Scored { answer, p_positive } => {
+                    let (oa, op) = &offline[c.id as usize];
+                    assert_eq!(&answer, oa, "workers={workers}: answer diverged");
+                    assert_eq!(
+                        p_positive.to_bits(),
+                        op.to_bits(),
+                        "workers={workers}: quantized p diverged"
+                    );
+                }
+                Reply::Generated { .. } => panic!("score request got a generate reply"),
+            }
+        }
+        server.shutdown();
+    }
+}
+
 /// The prefix pool actually engages under template traffic (hits and
 /// inserts both non-zero), and heavy reuse leaves no leases and no
 /// autograd tape nodes behind.
@@ -234,6 +298,7 @@ fn prefix_reuse_engages_and_leaks_nothing() {
             workers: 1,
             prefix_tokens: 24,
             pool_capacity: 4,
+            ..EngineConfig::default()
         },
     );
     let clock = ManualClock::new();

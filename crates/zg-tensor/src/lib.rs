@@ -38,7 +38,9 @@ mod ops_shape;
 mod ops_stats;
 mod ops_unary;
 mod pool;
+mod quant;
 mod shape;
+mod simd;
 mod store;
 mod tensor;
 
@@ -47,13 +49,15 @@ pub use gradcheck::{gradcheck, GradCheckReport};
 pub use init::randn_sample;
 pub use leak::{live_tape_nodes, GraphLeakGuard};
 pub use ops_matmul::{
-    available_threads, gemm, gemm_kernel, gemm_naive, gemm_tiled, gemm_with_threads,
-    set_gemm_kernel, GemmKernel,
+    available_threads, default_gemm_kernel, gemm, gemm_kernel, gemm_naive, gemm_tiled,
+    gemm_with_threads, set_gemm_kernel, GemmKernel,
 };
 pub use pool::{
     clear_pool, live_pooled_buffers, pool_stats, pool_stats_scope, reset_pool_stats,
     set_pool_enabled, PoolStats, PoolStatsScope, PooledBuf,
 };
+pub use quant::{quant_env_enabled, quantized_inference, set_quantized_inference, QuantizedMatrix};
 pub use shape::{Shape, StridedIter};
+pub use simd::{gemm_simd, gemm_simd_with_threads, simd_available};
 pub use store::TensorStore;
 pub use tensor::{grad_enabled, no_grad, Tensor};

@@ -1,24 +1,28 @@
 //! Batched matrix multiplication with broadcastable leading (batch)
 //! dimensions, plus the row-major GEMM kernels used throughout.
 //!
-//! Two kernels live here:
+//! Three f32 kernels live here (plus the int8 path in [`crate::quant`]):
 //!
 //! * [`gemm_naive`] — the original scalar triple loops, kept as the
 //!   bit-exact reference and as the small-matrix fallback.
 //! * [`gemm_tiled`] — a packed, register-blocked microkernel
 //!   (`MR`×`NR` accumulator tiles over packed A/B panels) with a
 //!   row-partitioned multi-threaded dispatch for large products.
+//! * [`crate::gemm_simd`] — the cache-blocked AVX2 kernel in
+//!   [`crate::simd`], selected by [`GemmKernel::Simd`] and preferred by
+//!   [`GemmKernel::Auto`] when the CPU supports it.
 //!
-//! The tiled kernel loads the destination tile into its accumulators
-//! before the k-loop and adds products in ascending-k order, which is
-//! exactly the float-operation order of the naive `ikj`/`kij` loops —
-//! so for every call site in this workspace (all of which either start
-//! from a zero `c` or accumulate through the `(ta=false)`/`(tb=false)`
-//! variants) the tiled kernel is **bit-identical** to the naive one,
-//! and the threaded dispatch is bit-identical to serial because each
-//! thread computes a disjoint set of output rows with the same kernel.
-//! (Caveat from PR 1 still applies: the CI container is 1-core, so the
-//! threaded path is exercised via explicit worker counts in tests.)
+//! The tiled and SIMD kernels load the destination tile into their
+//! accumulators before the k-loop and add products in ascending-k
+//! order, which is exactly the float-operation order of the naive
+//! `ikj`/`kij` loops — so for every call site in this workspace (all of
+//! which either start from a zero `c` or accumulate through the
+//! `(ta=false)`/`(tb=false)` variants) both are **bit-identical** to
+//! the naive kernel, and the threaded dispatches are bit-identical to
+//! serial because each thread computes a disjoint set of output rows
+//! with the same kernel. (Caveat from PR 1 still applies: the CI
+//! container is 1-core, so the threaded path is exercised via explicit
+//! worker counts in tests.)
 
 use std::cell::Cell;
 
@@ -26,21 +30,43 @@ use crate::shape::{Shape, StridedIter};
 use crate::tensor::Tensor;
 
 /// Which GEMM kernel [`gemm`] dispatches to. Thread-local; defaults to
-/// [`GemmKernel::Auto`]. The benchmark binaries pin [`GemmKernel::Naive`]
-/// to measure the pre-fast-path baseline on the same build.
+/// [`default_gemm_kernel`] ([`GemmKernel::Auto`] unless overridden by
+/// the `ZG_GEMM_KERNEL` env var). The benchmark binaries pin
+/// [`GemmKernel::Naive`] to measure the pre-fast-path baseline on the
+/// same build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmKernel {
     /// Original scalar triple loops, always.
     Naive,
     /// Tiled microkernel, single-threaded.
     Tiled,
-    /// Tiled microkernel; large products additionally fan output rows
-    /// across `available_parallelism` threads.
+    /// Cache-blocked AVX2 microkernel ([`crate::gemm_simd`]),
+    /// single-threaded; falls back to its portable edge kernel on
+    /// non-AVX2 hosts with bit-identical results.
+    Simd,
+    /// Best available kernel (SIMD when the CPU supports it, else
+    /// tiled); large products additionally fan output rows across
+    /// `available_parallelism` threads.
     Auto,
 }
 
+/// The process-wide default kernel: `ZG_GEMM_KERNEL` ∈
+/// `naive|tiled|simd|auto` when set (read once), else
+/// [`GemmKernel::Auto`]. CI uses the env override to force every test
+/// through a specific kernel.
+pub fn default_gemm_kernel() -> GemmKernel {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<GemmKernel> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("ZG_GEMM_KERNEL").as_deref() {
+        Ok("naive") => GemmKernel::Naive,
+        Ok("tiled") => GemmKernel::Tiled,
+        Ok("simd") => GemmKernel::Simd,
+        _ => GemmKernel::Auto,
+    })
+}
+
 thread_local! {
-    static GEMM_KERNEL: Cell<GemmKernel> = const { Cell::new(GemmKernel::Auto) };
+    static GEMM_KERNEL: Cell<GemmKernel> = Cell::new(default_gemm_kernel());
 }
 
 /// Select the kernel used by [`gemm`] on this thread; returns the
@@ -62,6 +88,13 @@ const NR: usize = 8;
 /// Below this `m·n·k` the packing overhead dominates and the naive
 /// loops win; measured crossover is around a 16³ product.
 const TILED_MIN_FLOPS: usize = 16 * 16 * 16;
+/// Above this `m·n·k` the KC-blocked SIMD kernel's extra packing
+/// bookkeeping is amortized and it beats both other kernels; below it
+/// (but above `TILED_MIN_FLOPS`) `Auto` keeps the tiled kernel.
+/// Measured on the CI host (`examples/gemm_crossover.rs`): naive wins
+/// through 8³, SIMD wins from 12³ up — so the floor sits at the naive
+/// guard and the tiled middle band is empty on AVX2 hosts.
+const SIMD_MIN_FLOPS: usize = TILED_MIN_FLOPS;
 /// Minimum `m·n·k` before the row-threaded dispatch is worth the
 /// thread-spawn cost (~10 µs per scoped thread).
 const THREADED_MIN_FLOPS: usize = 128 * 128 * 128;
@@ -82,22 +115,28 @@ pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f3
     enum Dispatch {
         Naive,
         Tiled,
+        Simd,
         Threaded(usize),
+        SimdThreaded(usize),
     }
     let dispatch = match gemm_kernel() {
         GemmKernel::Naive => Dispatch::Naive,
         _ if flops < TILED_MIN_FLOPS || m < MR / 2 || n < NR / 2 => Dispatch::Naive,
         GemmKernel::Tiled => Dispatch::Tiled,
+        GemmKernel::Simd => Dispatch::Simd,
         GemmKernel::Auto => {
+            let simd = crate::simd::simd_available();
             let threads = if flops >= THREADED_MIN_FLOPS {
                 available_threads()
             } else {
                 1
             };
-            if threads > 1 {
-                Dispatch::Threaded(threads)
-            } else {
-                Dispatch::Tiled
+            match (simd, threads > 1) {
+                (true, true) => Dispatch::SimdThreaded(threads),
+                (true, false) if flops >= SIMD_MIN_FLOPS => Dispatch::Simd,
+                (true, false) => Dispatch::Tiled,
+                (false, true) => Dispatch::Threaded(threads),
+                (false, false) => Dispatch::Tiled,
             }
         }
     };
@@ -106,7 +145,9 @@ pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f3
             match dispatch {
                 Dispatch::Naive => "gemm.dispatch.naive",
                 Dispatch::Tiled => "gemm.dispatch.tiled",
+                Dispatch::Simd => "gemm.dispatch.simd",
                 Dispatch::Threaded(_) => "gemm.dispatch.threaded",
+                Dispatch::SimdThreaded(_) => "gemm.dispatch.simd_threaded",
             },
             1.0,
         );
@@ -115,7 +156,30 @@ pub fn gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f3
     match dispatch {
         Dispatch::Naive => gemm_naive(ta, tb, m, n, k, a, b, c),
         Dispatch::Tiled => gemm_tiled(ta, tb, m, n, k, a, b, c),
+        Dispatch::Simd => crate::simd::gemm_simd(ta, tb, m, n, k, a, b, c),
         Dispatch::Threaded(threads) => gemm_with_threads(ta, tb, m, n, k, a, b, c, threads),
+        Dispatch::SimdThreaded(threads) => {
+            crate::simd::gemm_simd_with_threads(ta, tb, m, n, k, a, b, c, threads)
+        }
+    }
+}
+
+/// The fastest *serial* kernel on this host — what batch-parallel
+/// workers pin to avoid nested thread spawns.
+pub(crate) fn serial_kernel() -> GemmKernel {
+    if crate::simd::simd_available() {
+        GemmKernel::Simd
+    } else {
+        GemmKernel::Tiled
+    }
+}
+
+/// Trace hook for the int8 quantized path (mirrors the f32 dispatch
+/// counters; called by [`crate::QuantizedMatrix::matmul_into`]).
+pub(crate) fn count_quant_dispatch(m: usize, n: usize, k: usize) {
+    if zg_trace::enabled() {
+        zg_trace::counter_add("gemm.dispatch.quant", 1.0);
+        zg_trace::hist_record("gemm.mnk", (m * n * k) as f64);
     }
 }
 
@@ -477,9 +541,9 @@ fn batched_matmul_forward(
             let aoffs = &plan.a_offsets[b0..b0 + take];
             let boffs = &plan.b_offsets[b0..b0 + take];
             s.spawn(move || {
-                // Inside a worker, force the serial tiled kernel to
+                // Inside a worker, force the best serial kernel to
                 // avoid nested thread spawns.
-                let prev = set_gemm_kernel(GemmKernel::Tiled);
+                let prev = set_gemm_kernel(serial_kernel());
                 for (ci, (&ao, &bo)) in aoffs.iter().zip(boffs).enumerate() {
                     per_batch(ao, bo, &mut chunk[ci * m * n..(ci + 1) * m * n]);
                 }
@@ -696,12 +760,16 @@ mod tests {
 
     #[test]
     fn kernel_knob_round_trips() {
-        assert_eq!(gemm_kernel(), GemmKernel::Auto);
+        // The thread default honors ZG_GEMM_KERNEL (CI forces kernels
+        // through it), so compare against the resolved default rather
+        // than a hard-coded Auto.
+        let default = default_gemm_kernel();
+        assert_eq!(gemm_kernel(), default);
         let prev = set_gemm_kernel(GemmKernel::Naive);
-        assert_eq!(prev, GemmKernel::Auto);
+        assert_eq!(prev, default);
         assert_eq!(gemm_kernel(), GemmKernel::Naive);
         set_gemm_kernel(prev);
-        assert_eq!(gemm_kernel(), GemmKernel::Auto);
+        assert_eq!(gemm_kernel(), default);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Property tests pinning the tiled GEMM microkernel to the naive
-//! reference over random shapes — including odd, non-tile-multiple
-//! `m, n, k` — and all four transpose variants.
+//! Property tests pinning the tiled and SIMD GEMM microkernels to the
+//! naive reference over random shapes — including odd, non-tile- and
+//! non-lane-multiple `m, n, k` — and all four transpose variants, plus
+//! the int8 quantized kernel against its scalar reference.
 //!
 //! Contract under test:
 //!
@@ -8,13 +9,21 @@
 //!   tolerance for arbitrary shapes and a non-zero initial `c`;
 //! * the `tb = false` variants (sequential accumulation in the naive
 //!   loops) and *all* variants starting from `c = 0` are **bit-exact**,
-//!   because the tiled kernel seeds its accumulator tile from `c` and
-//!   adds products in the same ascending-`k` order;
-//! * the row-threaded dispatch is bit-identical to serial for every
-//!   worker count (each worker owns a disjoint row range).
+//!   because the tiled/SIMD kernels seed their accumulator tiles from
+//!   `c` and add products in the same ascending-`k` order;
+//! * the SIMD kernel is bit-identical to the tiled kernel in **all**
+//!   cases (identical per-element float-op order; AVX2 lanes are
+//!   independent output columns with no reassociation);
+//! * the row-threaded dispatches (tiled and SIMD) are bit-identical to
+//!   serial for every worker count (each worker owns a disjoint
+//!   MR-aligned row range);
+//! * the int8 AVX2 path is bit-identical to the scalar int8 reference
+//!   (integer accumulation is exact; the dequant expression is shared).
 
 use proptest::prelude::*;
-use zg_tensor::{gemm_naive, gemm_tiled, gemm_with_threads};
+use zg_tensor::{
+    gemm_naive, gemm_simd, gemm_simd_with_threads, gemm_tiled, gemm_with_threads, QuantizedMatrix,
+};
 
 /// Max |x-y| scaled by magnitude over a result pair.
 fn max_rel_err(x: &[f32], y: &[f32]) -> f32 {
@@ -114,5 +123,89 @@ proptest! {
         gemm_with_threads(ta, tb, m, n, k, &a, &b, &mut serial, 1);
         gemm_with_threads(ta, tb, m, n, k, &a, &b, &mut par, threads);
         prop_assert_eq!(&serial, &par);
+    }
+
+    #[test]
+    fn simd_matches_naive_from_zero_all_variants(
+        m in 1..40usize,
+        n in 1..40usize,
+        k in 1..40usize,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32 + seed as f32) * 0.53).sin())
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i as f32 * 1.19) + seed as f32).cos())
+            .collect();
+        let mut c0 = vec![0.0f32; m * n];
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_naive(ta, tb, m, n, k, &a, &b, &mut c0);
+        gemm_simd(ta, tb, m, n, k, &a, &b, &mut c1);
+        prop_assert_eq!(&c0, &c1);
+    }
+
+    #[test]
+    fn simd_matches_tiled_bitwise_all_variants_nonzero_c(
+        m in 1..40usize,
+        n in 1..40usize,
+        k in 1..40usize,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+    ) {
+        // Unlike the naive comparison (which needs c = 0 or tb = false),
+        // SIMD vs tiled is bit-identical unconditionally: same per-element
+        // order, vector lanes are independent columns.
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.83).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect();
+        let seed_c: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.13).tan().clamp(-3.0, 3.0)).collect();
+        let mut c0 = seed_c.clone();
+        let mut c1 = seed_c;
+        gemm_tiled(ta, tb, m, n, k, &a, &b, &mut c0);
+        gemm_simd(ta, tb, m, n, k, &a, &b, &mut c1);
+        prop_assert_eq!(&c0, &c1);
+    }
+
+    #[test]
+    fn simd_threaded_bit_identical_to_serial(
+        m in 1..48usize,
+        n in 1..48usize,
+        k in 1..48usize,
+        threads in 2usize..9,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.77).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.41).cos()).collect();
+        let mut serial = vec![0.0f32; m * n];
+        let mut par = vec![0.0f32; m * n];
+        gemm_simd_with_threads(ta, tb, m, n, k, &a, &b, &mut serial, 1);
+        gemm_simd_with_threads(ta, tb, m, n, k, &a, &b, &mut par, threads);
+        prop_assert_eq!(&serial, &par);
+    }
+
+    #[test]
+    fn quant_simd_matches_scalar_reference_bitwise(
+        m in 1..9usize,
+        n in 1..40usize,
+        k in 1..80usize,
+        seed in 0u64..1000,
+    ) {
+        // Odd k exercises the zero-padded last pair; n % 16 != 0 the
+        // ragged panel edge; m > 1 the per-row activation quantization.
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i as f32 + seed as f32) * 0.73).sin())
+            .collect();
+        let x: Vec<f32> = (0..m * k)
+            .map(|i| ((i as f32 * 1.31) + seed as f32).cos())
+            .collect();
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        let mut fast = vec![0.0f32; m * n];
+        let mut reference = vec![0.0f32; m * n];
+        q.matmul_into(&x, m, &mut fast);
+        q.matmul_reference(&x, m, &mut reference);
+        prop_assert_eq!(&fast, &reference);
     }
 }
