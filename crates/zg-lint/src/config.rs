@@ -6,14 +6,21 @@
 //! [rules]
 //! warn = ["D2"]            # rules downgraded to warnings (still reported)
 //!
+//! [r1]                     # panic-reachability roots (rule R1)
+//! roots = ["Server::tick", "ZiGongEngine::execute"]
+//!
+//! [r2]                     # inference-root discovery prefixes (rule R2)
+//! entry_prefixes = ["evaluate_", "generate", "serve_"]
+//!
 //! [[allow]]                # one allowlist entry
 //! rule = "D1"
 //! path = "crates/zg-tensor/src/autograd.rs"   # file or directory prefix
 //! reason = "membership-only HashSet; never iterated"
+//! # kind = "index"         # optional: restrict to one finding kind
 //!
 //! [[g1]]                   # inference entry point manifest (rule G1)
 //! file = "crates/zg-model/src/lm.rs"
-//! function = "generate"
+//! function = "CausalLm::generate"
 //! ```
 //!
 //! Every `[[allow]]` entry **must** carry a `reason` — the config format
@@ -32,14 +39,21 @@ pub struct AllowEntry {
     pub path: String,
     /// Why this suppression is sound.
     pub reason: String,
+    /// Optional finding kind this entry is scoped to (`"index"`,
+    /// `"panic"`, `"taint"`, ...); empty matches every kind.
+    pub kind: String,
+    /// 1-based line of the `[[allow]]` header in the config file, for
+    /// staleness diagnostics (rule A1). 0 for hand-built configs.
+    pub line: usize,
 }
 
-/// One G1 manifest entry: `function` in `file` must call `no_grad`.
+/// One G1 manifest entry: the inference root `function`
+/// (`Type::name` / free-fn name) discovered in `file`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct G1Entry {
     /// Workspace-relative file path.
     pub file: String,
-    /// Function name (outside test code) whose body must contain `no_grad`.
+    /// Qualified function name (`Type::name` for methods).
     pub function: String,
 }
 
@@ -52,6 +66,10 @@ pub struct Config {
     pub g1: Vec<G1Entry>,
     /// Rules reported as warnings instead of errors (unless `--deny-all`).
     pub warn: Vec<String>,
+    /// R1 panic-reachability roots (qualified fn names).
+    pub r1_roots: Vec<String>,
+    /// R2 inference-root discovery name prefixes.
+    pub r2_prefixes: Vec<String>,
 }
 
 /// Config parse failure with line context.
@@ -73,6 +91,8 @@ impl fmt::Display for ConfigError {
 enum Section {
     None,
     Rules,
+    R1,
+    R2,
     Allow,
     G1,
 }
@@ -93,6 +113,8 @@ impl Config {
                     rule: String::new(),
                     path: String::new(),
                     reason: String::new(),
+                    kind: String::new(),
+                    line: lineno,
                 });
                 section = Section::Allow;
             } else if line == "[[g1]]" {
@@ -103,6 +125,10 @@ impl Config {
                 section = Section::G1;
             } else if line == "[rules]" {
                 section = Section::Rules;
+            } else if line == "[r1]" {
+                section = Section::R1;
+            } else if line == "[r2]" {
+                section = Section::R2;
             } else if line.starts_with('[') {
                 return Err(ConfigError {
                     line: lineno,
@@ -120,6 +146,24 @@ impl Config {
                             })
                         }
                     },
+                    Section::R1 => match key.as_str() {
+                        "roots" => cfg.r1_roots = parse_string_array(&value, lineno)?,
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown key `{key}` in [r1]"),
+                            })
+                        }
+                    },
+                    Section::R2 => match key.as_str() {
+                        "entry_prefixes" => cfg.r2_prefixes = parse_string_array(&value, lineno)?,
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown key `{key}` in [r2]"),
+                            })
+                        }
+                    },
                     Section::Allow => {
                         // INVARIANT: entering Section::Allow pushes an entry.
                         let entry = cfg.allow.last_mut().expect("allow entry exists");
@@ -127,6 +171,7 @@ impl Config {
                             "rule" => &mut entry.rule,
                             "path" => &mut entry.path,
                             "reason" => &mut entry.reason,
+                            "kind" => &mut entry.kind,
                             _ => {
                                 return Err(ConfigError {
                                     line: lineno,
@@ -194,10 +239,20 @@ impl Config {
         Ok(())
     }
 
-    /// Whether `rule` at `path` is suppressed by an allowlist entry.
+    /// Whether `rule` at `path` is suppressed by an allowlist entry
+    /// (kind-agnostic entries only — lexical rules carry no kind).
     pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
-        self.allow.iter().any(|e| {
+        self.matching_allow(rule, path, "").is_some()
+    }
+
+    /// Index of the first allowlist entry suppressing (`rule`, `path`,
+    /// `kind`). An entry with an empty `kind` matches every kind; an
+    /// entry with a concrete kind matches only that kind. Returning the
+    /// index lets the engine track which entries ever fire (rule A1).
+    pub fn matching_allow(&self, rule: &str, path: &str, kind: &str) -> Option<usize> {
+        self.allow.iter().position(|e| {
             e.rule == rule
+                && (e.kind.is_empty() || e.kind == kind)
                 && (e.path == path
                     || (path.starts_with(&e.path)
                         && path.as_bytes().get(e.path.len()) == Some(&b'/')))
@@ -318,5 +373,44 @@ function = "generate"
     fn empty_warn_array() {
         let cfg = Config::parse("[rules]\nwarn = []\n").expect("parse");
         assert!(cfg.warn.is_empty());
+    }
+
+    #[test]
+    fn r1_and_r2_sections_parse() {
+        let cfg = Config::parse(
+            "[r1]\nroots = [\"Server::tick\", \"ZiGongEngine::execute\"]\n\n\
+             [r2]\nentry_prefixes = [\"evaluate_\", \"generate\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.r1_roots, vec!["Server::tick", "ZiGongEngine::execute"]);
+        assert_eq!(cfg.r2_prefixes, vec!["evaluate_", "generate"]);
+        assert!(Config::parse("[r1]\nbogus = []\n").is_err());
+        assert!(Config::parse("[r2]\nbogus = []\n").is_err());
+    }
+
+    #[test]
+    fn kind_scoped_allow_matches_only_its_kind() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"R1\"\npath = \"crates/zg-tensor\"\n\
+             kind = \"index\"\nreason = \"shape-checked kernels\"\n",
+        )
+        .expect("parse");
+        assert!(cfg
+            .matching_allow("R1", "crates/zg-tensor/src/ops.rs", "index")
+            .is_some());
+        assert!(cfg
+            .matching_allow("R1", "crates/zg-tensor/src/ops.rs", "panic")
+            .is_none());
+        // Kind-agnostic lookup (lexical rules) skips kind-scoped entries.
+        assert!(!cfg.is_allowed("R1", "crates/zg-tensor/src/ops.rs"));
+    }
+
+    #[test]
+    fn allow_entries_record_their_config_line() {
+        let cfg = Config::parse(
+            "# header\n\n[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\nreason = \"r\"\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.allow[0].line, 3);
     }
 }

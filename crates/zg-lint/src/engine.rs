@@ -1,20 +1,34 @@
-//! Workspace walker: collects `.rs` files under the scan roots, lexes
-//! each one, runs the rules, and filters against the allowlist. All
-//! ordering is explicit (sorted paths, sorted violations) so two runs
-//! over the same tree produce byte-identical reports.
+//! The two-phase scan pipeline.
+//!
+//! Phase 0 walks the workspace, lexes every `.rs` file, and runs the
+//! lexical rules (D1/D2/P1/U1). Phase 1 parses each lexed file into its
+//! item model ([`crate::model`]); phase 2 links the workspace call graph
+//! ([`crate::graph`]) and runs the reachability rules R1–R4 plus the
+//! emitted G1 manifest ([`crate::reach`]). Allowlist filtering and
+//! staleness tracking (rule A1) are shared across phases.
+//!
+//! All ordering is explicit — input files are sorted by path before any
+//! rule runs and violations are sorted by `(path, line, rule)` — so two
+//! scans over the same tree produce byte-identical reports regardless of
+//! directory-walk order.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::config::Config;
-use crate::lexer::lex;
+use crate::config::{Config, G1Entry};
+use crate::graph::CallGraph;
+use crate::lexer::{lex, SourceModel};
+use crate::model::{parse_file, FileModel};
+use crate::reach::{self, GraphStats};
 use crate::rules::{check_file, Violation};
 
-/// Directory names never scanned: generated/vendored code and test-only
-/// trees (integration tests, benches, examples are test code wholesale).
-const SKIP_DIRS: [&str; 6] = [
-    "target", "vendor", "tests", "benches", "examples", "fixtures",
-];
+/// Directory names never scanned: build output, vendored crates, and
+/// lint fixture corpora.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+/// Directory names scanned *as test scope*: integration tests, benches,
+/// and examples get the same rule relaxation as `#[cfg(test)]` code.
+const TEST_DIRS: [&str; 3] = ["tests", "benches", "examples"];
 
 /// Roots scanned relative to the workspace root.
 const SCAN_ROOTS: [&str; 2] = ["crates", "src"];
@@ -28,6 +42,10 @@ pub struct ScanResult {
     pub allowed: Vec<Violation>,
     /// Workspace-relative paths scanned, sorted.
     pub files: Vec<String>,
+    /// The emitted G1 manifest (discovered inference roots), sorted.
+    pub manifest: Vec<G1Entry>,
+    /// Call-graph shape counters.
+    pub stats: GraphStats,
 }
 
 /// Scan failure (I/O or config).
@@ -40,8 +58,12 @@ impl std::fmt::Display for ScanError {
     }
 }
 
-/// Walk the workspace at `root` and run every rule over every library
-/// source file.
+/// Does this workspace-relative path live in a test-scope directory?
+pub fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|seg| TEST_DIRS.contains(&seg))
+}
+
+/// Walk the workspace at `root` and run the full two-phase pipeline.
 pub fn scan_workspace(root: &Path, config: &Config) -> Result<ScanResult, ScanError> {
     let mut files: Vec<PathBuf> = Vec::new();
     for scan_root in SCAN_ROOTS {
@@ -50,39 +72,122 @@ pub fn scan_workspace(root: &Path, config: &Config) -> Result<ScanResult, ScanEr
             collect_rs_files(&dir, &mut files)?;
         }
     }
-    let mut rel_files: Vec<String> = files
-        .iter()
-        .filter_map(|p| p.strip_prefix(root).ok())
-        .map(path_to_slash)
-        .collect();
-    rel_files.sort();
-
-    let mut result = ScanResult::default();
-    for rel in &rel_files {
-        let full = root.join(rel);
-        let src =
-            fs::read_to_string(&full).map_err(|e| ScanError(format!("reading {rel}: {e}")))?;
-        let model = lex(&src);
-        for v in check_file(rel, &model, config) {
-            if config.is_allowed(v.rule, rel) {
-                result.allowed.push(v);
-            } else {
-                result.violations.push(v);
-            }
-        }
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for full in &files {
+        let Ok(rel) = full.strip_prefix(root) else {
+            continue;
+        };
+        let rel = path_to_slash(rel);
+        let src = fs::read_to_string(full).map_err(|e| ScanError(format!("reading {rel}: {e}")))?;
+        sources.push((rel, src));
     }
-    result.violations.sort();
-    result.allowed.sort();
-    result.files = rel_files;
-    Ok(result)
+    Ok(run_pipeline(sources, config))
 }
 
-/// Check a single in-memory source (fixture tests and editor integration).
+/// Run the full pipeline over in-memory sources (reachability fixture
+/// tests; multi-file). Input order does not matter — the pipeline sorts.
+pub fn scan_sources(sources: &[(&str, &str)], config: &Config) -> ScanResult {
+    run_pipeline(
+        sources
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+        config,
+    )
+}
+
+/// Check a single in-memory source with the lexical rules only (fixture
+/// tests and editor integration; no call graph is linked).
 pub fn scan_source(path: &str, src: &str, config: &Config) -> Vec<Violation> {
-    check_file(path, &lex(src), config)
+    let mut model = lex(src);
+    if is_test_path(path) {
+        force_test_scope(&mut model);
+    }
+    check_file(path, &model, config)
         .into_iter()
         .filter(|v| !config.is_allowed(v.rule, path))
         .collect()
+}
+
+fn force_test_scope(model: &mut SourceModel) {
+    for line in &mut model.lines {
+        line.in_test = true;
+    }
+}
+
+fn run_pipeline(mut sources: Vec<(String, String)>, config: &Config) -> ScanResult {
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+    sources.dedup_by(|a, b| a.0 == b.0);
+
+    let mut result = ScanResult::default();
+    let mut matched = vec![false; config.allow.len()];
+
+    // Lexical G1 (token-in-body) is superseded in graph mode by R2
+    // guard domination + manifest equality; strip the manifest so
+    // phase 0 doesn't double-report against qualified entries.
+    let mut lexical_config = config.clone();
+    lexical_config.g1.clear();
+
+    let mut models: Vec<FileModel> = Vec::new();
+    for (path, src) in &sources {
+        let mut model = lex(src);
+        if is_test_path(path) {
+            force_test_scope(&mut model);
+        }
+        for v in check_file(path, &model, &lexical_config) {
+            match config.matching_allow(v.rule, path, "") {
+                Some(i) => {
+                    matched[i] = true;
+                    result.allowed.push(v);
+                }
+                None => result.violations.push(v),
+            }
+        }
+        models.push(parse_file(path, &model));
+    }
+
+    let graph = CallGraph::link(&models);
+    let outcome = reach::analyze(&graph, config);
+    for f in outcome.findings {
+        match config.matching_allow(f.violation.rule, &f.violation.path, f.kind) {
+            Some(i) => {
+                matched[i] = true;
+                result.allowed.push(f.violation);
+            }
+            None => result.violations.push(f.violation),
+        }
+    }
+
+    // A1: reviewed exceptions must keep earning their place — an allow
+    // entry that no longer suppresses anything is itself a finding.
+    for (i, entry) in config.allow.iter().enumerate() {
+        if !matched[i] {
+            let kind = if entry.kind.is_empty() {
+                String::new()
+            } else {
+                format!(", kind \"{}\"", entry.kind)
+            };
+            result.violations.push(Violation {
+                path: "lint.toml".to_string(),
+                line: entry.line.max(1),
+                col: 1,
+                rule: "A1",
+                message: format!(
+                    "stale [[allow]] entry: rule {} under `{}`{kind} matches no \
+                     violation — the exception has rotted; remove it or fix the \
+                     rule/path",
+                    entry.rule, entry.path
+                ),
+            });
+        }
+    }
+
+    result.violations.sort();
+    result.allowed.sort();
+    result.manifest = outcome.manifest;
+    result.stats = outcome.stats;
+    result.files = sources.into_iter().map(|(p, _)| p).collect();
+    result
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError> {

@@ -2,7 +2,7 @@
 //! violations rustc-style.
 //!
 //! ```text
-//! zg-lint [ROOT] [--config PATH] [--json] [--deny-all] [--quiet]
+//! zg-lint [ROOT] [--config PATH] [--json] [--deny-all] [--quiet] [--emit PATH]
 //! ```
 //!
 //! * `ROOT` — workspace root (default: walk up from the current dir).
@@ -10,6 +10,8 @@
 //! * `--json` — print a machine-readable summary instead of diagnostics.
 //! * `--deny-all` — treat `[rules] warn` downgrades as errors too.
 //! * `--quiet` — suppress per-violation diagnostics, print the summary only.
+//! * `--emit PATH` — write the deterministic `lint_graph.json` document
+//!   (call-graph stats, per-rule findings, emitted G1 manifest) to PATH.
 //!
 //! Exit code 0 when no error-level violations remain, 1 otherwise, 2 on
 //! usage/config errors.
@@ -25,6 +27,7 @@ struct Args {
     json: bool,
     deny_all: bool,
     quiet: bool,
+    emit: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         deny_all: false,
         quiet: false,
+        emit: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -45,9 +49,14 @@ fn parse_args() -> Result<Args, String> {
                 let path = it.next().ok_or("--config needs a path")?;
                 args.config = Some(PathBuf::from(path));
             }
+            "--emit" => {
+                let path = it.next().ok_or("--emit needs a path")?;
+                args.emit = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: zg-lint [ROOT] [--config PATH] [--json] [--deny-all] [--quiet]"
+                    "usage: zg-lint [ROOT] [--config PATH] [--json] [--deny-all] [--quiet] \
+                     [--emit PATH]"
                         .to_string(),
                 )
             }
@@ -107,6 +116,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(emit) = &args.emit {
+        let path = if emit.is_absolute() {
+            emit.clone()
+        } else {
+            root.join(emit)
+        };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, report::graph_json(&result)) {
+            eprintln!("zg-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if args.json {
         println!("{}", report::to_json(&result));

@@ -1,0 +1,1036 @@
+//! Phase 1 of the two-phase engine: a lightweight per-file *item model*
+//! parsed from the lexed code view — no `syn`, no full grammar. The
+//! parser recognizes exactly what the reachability rules need:
+//!
+//! * `fn` items (free and inside `impl`/`trait` blocks) with their
+//!   visibility, `unsafe`-ness, and `#[target_feature]` attributes;
+//! * every call site in a body, classified as a free call (`foo(..)`),
+//!   a method call (`x.y.foo(..)`, receiver chain kept for
+//!   field-type resolution), or a path call (`Type::foo(..)`);
+//! * panic tokens (`.unwrap()` / `.expect(` / `panic!` family) and
+//!   slice-index expressions (`x[..]`), each with its `// INVARIANT:`
+//!   justification status;
+//! * guard tokens: `no_grad(` calls, `is_x86_feature_detected!` CPUID
+//!   gates, and direct wall-clock / OS-entropy reads (the D2 set);
+//! * `struct` field types and simple `let`/parameter types, which feed
+//!   the receiver-type heuristics in [`crate::graph`].
+//!
+//! Everything the parser cannot classify it skips; the linker treats
+//! unresolved receivers conservatively (over-approximation), so a parse
+//! miss can only add edges downstream, never silently remove a finding
+//! the lexical rules would have caught.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::SourceModel;
+
+/// One token of the code view: identifiers/numbers keep their text,
+/// punctuation is a single char. Whitespace and blanked literal/comment
+/// interiors never become tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Identifier or number text; empty for punctuation.
+    pub text: String,
+    /// Punctuation char; `'\0'` for identifiers/numbers.
+    pub punct: char,
+    /// 0-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    fn is_ident(&self) -> bool {
+        self.punct == '\0'
+            && !self.text.is_empty()
+            && !self.text.starts_with(|c: char| c.is_ascii_digit())
+    }
+    fn is(&self, p: char) -> bool {
+        self.punct == p
+    }
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallKind {
+    /// `foo(..)` — a free function (or an in-scope closure; the linker
+    /// only links names that resolve to workspace free fns).
+    Free(String),
+    /// `recv.chain.foo(..)` — `chain` is the dotted receiver path
+    /// (`["self", "model", "lm"]` for `self.model.lm.prefill(..)`);
+    /// empty when the receiver is an expression (`f(x).foo(..)`).
+    Method { name: String, chain: Vec<String> },
+    /// `Qual::foo(..)` — `qualifier` is the last path segment before the
+    /// function name (`Tensor` in `zg_tensor::Tensor::from_op(..)`).
+    Path { qualifier: String, name: String },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 0-based source line.
+    pub line: usize,
+    pub kind: CallKind,
+}
+
+/// A potentially-panicking token site inside a body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 0-based source line.
+    pub line: usize,
+    /// 1-based column of the token.
+    pub col: usize,
+    /// The token (`"unwrap"`, `"panic!"`, `"index"` ...).
+    pub what: String,
+    /// Whether an `// INVARIANT:` justification covers the line.
+    pub justified: bool,
+}
+
+/// One `fn` item with everything the reachability rules inspect.
+#[derive(Debug, Clone, Default)]
+pub struct FnItem {
+    /// Function name (unqualified).
+    pub name: String,
+    /// Enclosing `impl`/`trait` self-type, if any.
+    pub impl_type: Option<String>,
+    /// 0-based declaration line.
+    pub line: usize,
+    /// Declared with any `pub` visibility (incl. `pub(crate)`).
+    pub is_pub: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Carries a `#[target_feature(..)]` attribute.
+    pub has_target_feature: bool,
+    /// Declaration sits in test scope (`#[cfg(test)]` / `mod tests` /
+    /// a test-only directory).
+    pub in_test: bool,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Panic tokens (`unwrap`/`expect`/`panic!` family) in the body.
+    pub panic_sites: Vec<PanicSite>,
+    /// Slice-index expressions (`x[..]`) in the body.
+    pub index_sites: Vec<PanicSite>,
+    /// Body calls `no_grad(..)` — a grad-guard node for R2.
+    pub calls_no_grad: bool,
+    /// Body contains `is_x86_feature_detected!` — a CPUID gate for R4.
+    pub has_cpuid_gate: bool,
+    /// Direct wall-clock / OS-entropy token (`Instant::now`,
+    /// `SystemTime`, `thread_rng`), with its line, for R3.
+    pub d2_token: Option<(usize, String)>,
+    /// Known local types: parameter and simple `let` bindings,
+    /// name → type's last path segment.
+    pub locals: BTreeMap<String, String>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` for free fns — the form
+    /// used by rule roots and the emitted G1 manifest.
+    pub fn qualified_name(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `struct` definition's named fields (field → type's last segment).
+#[derive(Debug, Clone, Default)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: BTreeMap<String, String>,
+}
+
+/// Parsed item model of one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructDef>,
+}
+
+/// Tokenize the code view of a lexed file.
+pub fn tokenize(model: &SourceModel) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (lineno, line) in model.lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' || c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    punct: '\0',
+                    line: lineno,
+                });
+            } else {
+                toks.push(Tok {
+                    text: String::new(),
+                    punct: c,
+                    line: lineno,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// A justification comment (`tag`) on the flagged line or in the
+/// contiguous comment block directly above it. Shared with the lexical
+/// P1/U1 rules.
+pub(crate) fn justified(model: &SourceModel, idx: usize, tag: &str) -> bool {
+    if model.lines[idx].comment.contains(tag) {
+        return true;
+    }
+    for line in model.lines[..idx].iter().rev() {
+        if !line.code.trim().is_empty() {
+            return false;
+        }
+        if line.comment.contains(tag) {
+            return true;
+        }
+    }
+    false
+}
+
+const KEYWORDS: [&str; 22] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "move",
+    "ref", "mut", "box", "break", "continue", "where", "impl", "dyn", "use", "await",
+];
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    src: &'a SourceModel,
+    i: usize,
+    out: FileModel,
+}
+
+/// Parse a lexed file into its item model. `path` is workspace-relative.
+pub fn parse_file(path: &str, src: &SourceModel) -> FileModel {
+    let toks = tokenize(src);
+    let mut p = Parser {
+        toks: &toks,
+        src,
+        i: 0,
+        out: FileModel {
+            path: path.to_string(),
+            ..FileModel::default()
+        },
+    };
+    p.parse_items(None);
+    p.out
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.i + off)
+    }
+
+    fn in_test_at(&self, line: usize) -> bool {
+        self.src.lines.get(line).is_some_and(|l| l.in_test)
+    }
+
+    /// Skip a balanced `#[..]` / `#![..]` attribute starting at `#`,
+    /// returning the identifiers seen inside.
+    fn skip_attr(&mut self) -> Vec<String> {
+        let mut idents = Vec::new();
+        self.i += 1; // '#'
+        if self.peek(0).is_some_and(|t| t.is('!')) {
+            self.i += 1;
+        }
+        if !self.peek(0).is_some_and(|t| t.is('[')) {
+            return idents;
+        }
+        let mut depth = 0i64;
+        while let Some(t) = self.toks.get(self.i) {
+            if t.is('[') {
+                depth += 1;
+            } else if t.is(']') {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    break;
+                }
+            } else if t.is_ident() {
+                idents.push(t.text.clone());
+            }
+            self.i += 1;
+        }
+        idents
+    }
+
+    /// Skip a balanced token group opened by the char at the cursor.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0i64;
+        while let Some(t) = self.toks.get(self.i) {
+            if t.is(open) {
+                depth += 1;
+            } else if t.is(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            } else if open == '<' && t.is('-') && self.peek(1).is_some_and(|n| n.is('>')) {
+                // `->` inside generic bounds (`Fn(..) -> T`): the `>` is
+                // not a closer.
+                self.i += 2;
+                continue;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Item-level loop: runs at file top level and inside `impl`/`trait`
+    /// and `mod` bodies. Returns on the closing `}` of the enclosing
+    /// block (consumed) or at end of input.
+    fn parse_items(&mut self, impl_type: Option<&str>) {
+        let mut pending_pub = false;
+        let mut pending_unsafe = false;
+        let mut pending_target_feature = false;
+        while let Some(t) = self.toks.get(self.i).cloned() {
+            if t.is('#') {
+                let idents = self.skip_attr();
+                if idents.iter().any(|s| s == "target_feature") {
+                    pending_target_feature = true;
+                }
+                continue;
+            }
+            if t.is('}') {
+                self.i += 1;
+                return;
+            }
+            if t.is('{') {
+                // Stray block at item level (const initializer etc).
+                self.skip_balanced('{', '}');
+                continue;
+            }
+            if t.is_ident() {
+                match t.text.as_str() {
+                    "pub" => {
+                        pending_pub = true;
+                        self.i += 1;
+                        // `pub(crate)` / `pub(super)` restriction group.
+                        if self.peek(0).is_some_and(|n| n.is('(')) {
+                            self.skip_balanced('(', ')');
+                        }
+                        continue;
+                    }
+                    "unsafe" => {
+                        pending_unsafe = true;
+                        self.i += 1;
+                        continue;
+                    }
+                    "fn" => {
+                        self.i += 1;
+                        self.parse_fn(
+                            impl_type,
+                            pending_pub,
+                            pending_unsafe,
+                            pending_target_feature,
+                        );
+                        pending_pub = false;
+                        pending_unsafe = false;
+                        pending_target_feature = false;
+                        continue;
+                    }
+                    "impl" | "trait" => {
+                        self.i += 1;
+                        self.parse_impl();
+                        pending_pub = false;
+                        pending_unsafe = false;
+                        pending_target_feature = false;
+                        continue;
+                    }
+                    "struct" => {
+                        self.i += 1;
+                        self.parse_struct();
+                        pending_pub = false;
+                        pending_unsafe = false;
+                        pending_target_feature = false;
+                        continue;
+                    }
+                    "mod" => {
+                        // `mod name { .. }` shares the item grammar;
+                        // `mod name;` is a file reference.
+                        self.i += 1;
+                        if self.peek(0).is_some_and(|n| n.is_ident()) {
+                            self.i += 1;
+                        }
+                        if self.peek(0).is_some_and(|n| n.is('{')) {
+                            self.i += 1;
+                            self.parse_items(None);
+                        }
+                        pending_pub = false;
+                        pending_unsafe = false;
+                        continue;
+                    }
+                    _ => {
+                        self.i += 1;
+                        pending_pub = false;
+                        pending_unsafe = false;
+                        continue;
+                    }
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// After `impl`/`trait`: find the self-type name, then parse the
+    /// braced body as an item scope. The self-type is the last
+    /// identifier before `{`, outside generic args and before `where`
+    /// (`impl<E: Engine> Server<E> { ..` → `Server`;
+    /// `impl Engine for ZiGongEngine { ..` → `ZiGongEngine`).
+    fn parse_impl(&mut self) {
+        let mut name: Option<String> = None;
+        while let Some(t) = self.toks.get(self.i).cloned() {
+            if t.is('<') {
+                self.skip_balanced('<', '>');
+                continue;
+            }
+            if t.is('{') {
+                self.i += 1;
+                let ty = name.clone();
+                self.parse_items(ty.as_deref());
+                return;
+            }
+            if t.is(';') {
+                self.i += 1;
+                return;
+            }
+            if t.is_ident() {
+                if t.text == "where" {
+                    // Skip the where clause without capturing bound types.
+                    while let Some(w) = self.toks.get(self.i) {
+                        if w.is('{') || w.is(';') {
+                            break;
+                        }
+                        if w.is('<') {
+                            self.skip_balanced('<', '>');
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                    continue;
+                }
+                if t.text != "for" && t.text != "dyn" && t.text != "mut" {
+                    name = Some(t.text.clone());
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// After `struct`: record named-field types; skip tuple/unit forms.
+    fn parse_struct(&mut self) {
+        let name = match self.peek(0) {
+            Some(t) if t.is_ident() => t.text.clone(),
+            _ => return,
+        };
+        self.i += 1;
+        if self.peek(0).is_some_and(|t| t.is('<')) {
+            self.skip_balanced('<', '>');
+        }
+        // Skip a where clause, stop at the defining `{` / `;` / `(`.
+        while let Some(t) = self.toks.get(self.i).cloned() {
+            if t.is('(') {
+                self.skip_balanced('(', ')');
+                return; // tuple struct — fields untyped for our purposes
+            }
+            if t.is(';') {
+                self.i += 1;
+                return;
+            }
+            if t.is('{') {
+                break;
+            }
+            if t.is('<') {
+                self.skip_balanced('<', '>');
+                continue;
+            }
+            self.i += 1;
+        }
+        self.i += 1; // '{'
+        let mut def = StructDef {
+            name,
+            fields: BTreeMap::new(),
+        };
+        let mut depth = 1i64;
+        while let Some(t) = self.toks.get(self.i).cloned() {
+            if t.is('#') {
+                self.skip_attr();
+                continue;
+            }
+            if t.is('{') || t.is('(') {
+                let close = if t.is('{') { '}' } else { ')' };
+                if t.is('{') {
+                    depth += 1;
+                    self.i += 1;
+                    let _ = close;
+                } else {
+                    self.skip_balanced('(', ')');
+                }
+                continue;
+            }
+            if t.is('}') {
+                depth -= 1;
+                self.i += 1;
+                if depth == 0 {
+                    break;
+                }
+                continue;
+            }
+            if t.is('<') {
+                self.skip_balanced('<', '>');
+                continue;
+            }
+            if depth == 1
+                && t.is_ident()
+                && t.text != "pub"
+                && self.peek(1).is_some_and(|n| n.is(':'))
+                && !self.peek(2).is_some_and(|n| n.is(':'))
+            {
+                let field = t.text.clone();
+                self.i += 2; // name ':'
+                if let Some(ty) = self.parse_type_last_segment() {
+                    def.fields.insert(field, ty);
+                }
+                continue;
+            }
+            self.i += 1;
+        }
+        self.out.structs.push(def);
+    }
+
+    /// At the start of a type: skip `&`/`mut`/`dyn`/`impl`/lifetimes and
+    /// return the last path segment before any generic args, leaving the
+    /// cursor on the delimiter (`,` `)` `}` `;` `=`). Returns `None` for
+    /// non-path types (slices, tuples, fn pointers).
+    fn parse_type_last_segment(&mut self) -> Option<String> {
+        let mut last: Option<String> = None;
+        while let Some(t) = self.toks.get(self.i).cloned() {
+            if t.is(',') || t.is(')') || t.is('}') || t.is(';') || t.is('=') || t.is('{') {
+                return last;
+            }
+            if t.is('<') {
+                self.skip_balanced('<', '>');
+                continue;
+            }
+            if t.is('[') {
+                self.skip_balanced('[', ']');
+                // Slice/array type: no single path segment.
+                return last;
+            }
+            if t.is('(') {
+                self.skip_balanced('(', ')');
+                return last;
+            }
+            if t.is_ident() && t.text != "mut" && t.text != "dyn" && t.text != "impl" {
+                last = Some(t.text.clone());
+            }
+            self.i += 1;
+        }
+        last
+    }
+
+    /// After the `fn` keyword: parse name, signature, and body.
+    fn parse_fn(&mut self, impl_type: Option<&str>, is_pub: bool, is_unsafe: bool, tf: bool) {
+        let (name, decl_line) = match self.peek(0) {
+            Some(t) if t.is_ident() => (t.text.clone(), t.line),
+            // `fn(..)` pointer type or malformed input: not a decl.
+            _ => return,
+        };
+        self.i += 1;
+        let mut item = FnItem {
+            name,
+            impl_type: impl_type.map(str::to_string),
+            line: decl_line,
+            is_pub,
+            is_unsafe,
+            has_target_feature: tf,
+            in_test: self.in_test_at(decl_line),
+            ..FnItem::default()
+        };
+        if self.peek(0).is_some_and(|t| t.is('<')) {
+            self.skip_balanced('<', '>');
+        }
+        // Parameter list: capture `name: Type` pairs at depth 1.
+        if self.peek(0).is_some_and(|t| t.is('(')) {
+            self.i += 1;
+            let mut depth = 1i64;
+            while let Some(t) = self.toks.get(self.i).cloned() {
+                if t.is('(') {
+                    depth += 1;
+                    self.i += 1;
+                    continue;
+                }
+                if t.is(')') {
+                    depth -= 1;
+                    self.i += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                if t.is('<') {
+                    self.skip_balanced('<', '>');
+                    continue;
+                }
+                if depth == 1
+                    && t.is_ident()
+                    && t.text != "mut"
+                    && t.text != "self"
+                    && self.peek(1).is_some_and(|n| n.is(':'))
+                    && !self.peek(2).is_some_and(|n| n.is(':'))
+                {
+                    let pname = t.text.clone();
+                    self.i += 2;
+                    if let Some(ty) = self.parse_type_last_segment() {
+                        item.locals.insert(pname, ty);
+                    }
+                    continue;
+                }
+                self.i += 1;
+            }
+        }
+        // Return type / where clause: skip to the body `{` or a
+        // bodiless `;` (trait method declaration — no node).
+        loop {
+            match self.toks.get(self.i).cloned() {
+                Some(t) if t.is(';') => {
+                    self.i += 1;
+                    return;
+                }
+                Some(t) if t.is('{') => break,
+                Some(t) if t.is('<') => self.skip_balanced('<', '>'),
+                Some(t) if t.is('-') && self.peek(1).is_some_and(|n| n.is('>')) => self.i += 2,
+                Some(_) => self.i += 1,
+                None => return,
+            }
+        }
+        self.i += 1; // body '{'
+        self.parse_body(&mut item, impl_type);
+        self.out.fns.push(item);
+    }
+
+    /// Walk a body to its matching `}`, collecting call sites, panic and
+    /// index tokens, guard tokens, and simple `let` types. Nested `fn`
+    /// items are parsed as their own [`FnItem`]s.
+    fn parse_body(&mut self, item: &mut FnItem, impl_type: Option<&str>) {
+        let mut depth = 1i64;
+        while let Some(t) = self.toks.get(self.i).cloned() {
+            if t.is('#') {
+                self.skip_attr();
+                continue;
+            }
+            if t.is('{') {
+                depth += 1;
+                self.i += 1;
+                continue;
+            }
+            if t.is('}') {
+                depth -= 1;
+                self.i += 1;
+                if depth == 0 {
+                    return;
+                }
+                continue;
+            }
+            if t.is('[') {
+                // Index expression: `expr[..]` — previous token is an
+                // identifier (not a keyword), a number, `)` or `]`.
+                let prev = self.i.checked_sub(1).and_then(|j| self.toks.get(j));
+                let is_index = prev.is_some_and(|p| {
+                    (p.punct == '\0' && !KEYWORDS.contains(&p.text.as_str()))
+                        || p.is(')')
+                        || p.is(']')
+                });
+                if is_index && !item.in_test {
+                    item.index_sites.push(PanicSite {
+                        line: t.line,
+                        col: 1,
+                        what: "index".to_string(),
+                        justified: justified(self.src, t.line, "INVARIANT:"),
+                    });
+                }
+                self.i += 1;
+                continue;
+            }
+            if t.is_ident() {
+                let name = t.text.as_str();
+                // `let` bindings: record simple explicit or `Type::new`
+                // inferred local types.
+                if name == "let" {
+                    self.i += 1;
+                    if self
+                        .peek(0)
+                        .is_some_and(|n| n.is_ident() && n.text == "mut")
+                    {
+                        self.i += 1;
+                    }
+                    if let Some(n) = self.peek(0).cloned() {
+                        if n.is_ident() && !KEYWORDS.contains(&n.text.as_str()) {
+                            let lname = n.text.clone();
+                            if self.peek(1).is_some_and(|c| c.is(':'))
+                                && !self.peek(2).is_some_and(|c| c.is(':'))
+                            {
+                                self.i += 2;
+                                if let Some(ty) = self.parse_type_last_segment() {
+                                    item.locals.insert(lname, ty);
+                                }
+                                continue;
+                            }
+                            // `let x = Type::..` — first segment names
+                            // the type when capitalized.
+                            if self.peek(1).is_some_and(|c| c.is('='))
+                                && self.peek(2).is_some_and(|c| {
+                                    c.is_ident()
+                                        && c.text.starts_with(|ch: char| ch.is_ascii_uppercase())
+                                })
+                                && self.peek(3).is_some_and(|c| c.is(':'))
+                                && self.peek(4).is_some_and(|c| c.is(':'))
+                            {
+                                let ty = self.peek(2).map(|c| c.text.clone());
+                                if let Some(ty) = ty {
+                                    item.locals.insert(lname, ty);
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // Macro invocation `name!..`: panic-family macros are
+                // panic sites; all macros are otherwise skipped as calls.
+                if self.peek(1).is_some_and(|n| n.is('!')) {
+                    if name == "is_x86_feature_detected" {
+                        item.has_cpuid_gate = true;
+                    }
+                    if ["panic", "unreachable", "todo", "unimplemented"].contains(&name)
+                        && !item.in_test
+                        && !self.in_test_at(t.line)
+                    {
+                        item.panic_sites.push(PanicSite {
+                            line: t.line,
+                            col: 1,
+                            what: format!("{name}!"),
+                            justified: justified(self.src, t.line, "INVARIANT:"),
+                        });
+                    }
+                    self.i += 2;
+                    continue;
+                }
+                // D2 tokens.
+                if name == "SystemTime" || name == "thread_rng" {
+                    item.d2_token.get_or_insert((t.line, name.to_string()));
+                }
+                if name == "Instant"
+                    && self.peek(1).is_some_and(|n| n.is(':'))
+                    && self.peek(2).is_some_and(|n| n.is(':'))
+                    && self
+                        .peek(3)
+                        .is_some_and(|n| n.is_ident() && n.text == "now")
+                {
+                    item.d2_token
+                        .get_or_insert((t.line, "Instant::now".to_string()));
+                }
+                // Call site: identifier directly followed by `(`.
+                if self.peek(1).is_some_and(|n| n.is('(')) && !KEYWORDS.contains(&name) {
+                    self.record_call(item, impl_type, &t);
+                    self.i += 1;
+                    continue;
+                }
+                self.i += 1;
+                continue;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Classify the call at `toks[self.i]` (an ident followed by `(`).
+    fn record_call(&mut self, item: &mut FnItem, _impl_type: Option<&str>, t: &Tok) {
+        let name = t.text.clone();
+        let prev = self
+            .i
+            .checked_sub(1)
+            .and_then(|j| self.toks.get(j))
+            .cloned();
+        let kind = match prev {
+            Some(p) if p.is('.') => {
+                // Panic tokens ride on method syntax.
+                if !item.in_test && !self.in_test_at(t.line) {
+                    let bare_unwrap = name == "unwrap"
+                        && self.peek(1).is_some_and(|n| n.is('('))
+                        && self.peek(2).is_some_and(|n| n.is(')'));
+                    if bare_unwrap || name == "expect" {
+                        item.panic_sites.push(PanicSite {
+                            line: t.line,
+                            col: 1,
+                            what: name.clone(),
+                            justified: justified(self.src, t.line, "INVARIANT:"),
+                        });
+                    }
+                }
+                // Receiver chain: walk `ident(.ident)*` leftward.
+                let mut chain = Vec::new();
+                let mut j = self.i - 1; // at '.'
+                while let Some(recv) = j.checked_sub(1).and_then(|k| self.toks.get(k)) {
+                    if recv.is_ident() && !KEYWORDS.contains(&recv.text.as_str()) {
+                        chain.push(recv.text.clone());
+                        match j.checked_sub(2).and_then(|k| self.toks.get(k)) {
+                            Some(d) if d.is('.') => j -= 2,
+                            // Chain head must not itself be a field
+                            // projection of an expression (`f(x).a.b(..)`).
+                            Some(d) if d.is(')') || d.is(']') || d.is('?') => {
+                                chain.clear();
+                                break;
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        // Expression receiver: unknown chain.
+                        chain.clear();
+                        break;
+                    }
+                }
+                chain.reverse();
+                CallKind::Method { name, chain }
+            }
+            Some(p)
+                if p.is(':')
+                    && self
+                        .i
+                        .checked_sub(2)
+                        .and_then(|j| self.toks.get(j))
+                        .is_some_and(|q| q.is(':')) =>
+            {
+                let qual = self
+                    .i
+                    .checked_sub(3)
+                    .and_then(|j| self.toks.get(j))
+                    .filter(|q| q.is_ident())
+                    .map(|q| q.text.clone())
+                    .unwrap_or_default();
+                CallKind::Path {
+                    qualifier: qual,
+                    name,
+                }
+            }
+            _ => CallKind::Free(name.clone()),
+        };
+        if matches!(&kind, CallKind::Free(n) | CallKind::Path { name: n, .. } if n == "no_grad") {
+            item.calls_no_grad = true;
+        }
+        item.calls.push(CallSite { line: t.line, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileModel {
+        parse_file("crates/demo/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn free_fn_with_calls_and_params() {
+        let m = parse("pub fn f(x: Foo, n: usize) -> u32 {\n    helper(x);\n    x.go()\n}\n");
+        assert_eq!(m.fns.len(), 1);
+        let f = &m.fns[0];
+        assert_eq!(f.name, "f");
+        assert!(f.is_pub);
+        assert_eq!(f.impl_type, None);
+        assert_eq!(f.locals.get("x").map(String::as_str), Some("Foo"));
+        assert_eq!(f.calls.len(), 2);
+        assert_eq!(f.calls[0].kind, CallKind::Free("helper".into()));
+        assert_eq!(
+            f.calls[1].kind,
+            CallKind::Method {
+                name: "go".into(),
+                chain: vec!["x".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn impl_methods_get_self_type_incl_trait_impls() {
+        let src = "\
+impl<E: Engine> Server<E> {
+    pub fn tick(&mut self) { self.queue.pop(); }
+}
+impl Engine for ZiGongEngine {
+    fn execute(&mut self) { Self::chunks(1); }
+}
+";
+        let m = parse(src);
+        assert_eq!(m.fns[0].impl_type.as_deref(), Some("Server"));
+        assert_eq!(m.fns[1].impl_type.as_deref(), Some("ZiGongEngine"));
+        assert_eq!(
+            m.fns[0].calls[0].kind,
+            CallKind::Method {
+                name: "pop".into(),
+                chain: vec!["self".into(), "queue".into()]
+            }
+        );
+        assert_eq!(
+            m.fns[1].calls[0].kind,
+            CallKind::Path {
+                qualifier: "Self".into(),
+                name: "chunks".into()
+            }
+        );
+    }
+
+    #[test]
+    fn struct_fields_recorded_with_last_type_segment() {
+        let src = "pub struct Replica {\n    model: ZiGongModel,\n    tx: Sender<Msg>,\n    n: usize,\n}\n";
+        let m = parse(src);
+        assert_eq!(m.structs.len(), 1);
+        let s = &m.structs[0];
+        assert_eq!(
+            s.fields.get("model").map(String::as_str),
+            Some("ZiGongModel")
+        );
+        assert_eq!(s.fields.get("tx").map(String::as_str), Some("Sender"));
+    }
+
+    #[test]
+    fn panic_and_index_sites_with_justification() {
+        let src = "\
+pub fn f(v: &[u32], o: Option<u32>) -> u32 {
+    let a = v[0];
+    // INVARIANT: checked non-empty above.
+    let b = v[1];
+    o.unwrap();
+    o.expect(\"set\"); // INVARIANT: always set
+    panic!(\"boom\");
+    a + b
+}
+";
+        let m = parse(src);
+        let f = &m.fns[0];
+        assert_eq!(f.index_sites.len(), 2);
+        assert!(!f.index_sites[0].justified);
+        assert!(f.index_sites[1].justified);
+        let whats: Vec<&str> = f.panic_sites.iter().map(|p| p.what.as_str()).collect();
+        assert_eq!(whats, vec!["unwrap", "expect", "panic!"]);
+        assert!(!f.panic_sites[0].justified);
+        assert!(f.panic_sites[1].justified);
+    }
+
+    #[test]
+    fn unwrap_or_and_macros_are_not_panic_sites() {
+        let m = parse(
+            "pub fn f(o: Option<u32>) -> u32 {\n    let v = vec![1];\n    o.unwrap_or(v[0])\n}\n",
+        );
+        assert!(m.fns[0].panic_sites.is_empty());
+        // vec![..] is a macro, not an index expression; v[0] is an index.
+        assert_eq!(m.fns[0].index_sites.len(), 1);
+    }
+
+    #[test]
+    fn guards_detected() {
+        let src = "\
+pub fn g() { no_grad(|| body()); }
+pub fn s() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }
+pub fn w() -> f64 { let t = std::time::Instant::now(); drop(t); 0.0 }
+";
+        let m = parse(src);
+        assert!(m.fns[0].calls_no_grad);
+        assert!(m.fns[1].has_cpuid_gate);
+        assert_eq!(
+            m.fns[2].d2_token.as_ref().map(|d| d.1.as_str()),
+            Some("Instant::now")
+        );
+    }
+
+    #[test]
+    fn unsafe_and_target_feature_attrs() {
+        let src = "\
+#[cfg(target_arch = \"x86_64\")]
+#[target_feature(enable = \"avx2\")]
+unsafe fn mk(kc: usize) {}
+pub unsafe fn raw(p: *const f32) -> f32 { *p }
+fn safe() {}
+";
+        let m = parse(src);
+        assert!(m.fns[0].is_unsafe && m.fns[0].has_target_feature);
+        assert!(m.fns[1].is_unsafe && !m.fns[1].has_target_feature);
+        assert!(!m.fns[2].is_unsafe);
+    }
+
+    #[test]
+    fn trait_method_decls_without_body_are_skipped() {
+        let src = "\
+pub trait Engine {
+    fn execute(&mut self, batch: &[u32]) -> Vec<u32>;
+    fn shutdown(&mut self) { cleanup(); }
+}
+";
+        let m = parse(src);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "shutdown");
+        assert_eq!(m.fns[0].impl_type.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn test_scope_fns_marked() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+";
+        let m = parse(src);
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test);
+        // Panic sites inside test scope are not collected.
+        assert!(m.fns[1].panic_sites.is_empty());
+    }
+
+    #[test]
+    fn let_type_inference_simple() {
+        let src = "\
+pub fn f() {
+    let q: BoundedQueue = make();
+    let r = StdRng::seed_from_u64(0);
+    q.push(1);
+    r.next();
+}
+";
+        let m = parse(src);
+        let f = &m.fns[0];
+        assert_eq!(f.locals.get("q").map(String::as_str), Some("BoundedQueue"));
+        assert_eq!(f.locals.get("r").map(String::as_str), Some("StdRng"));
+    }
+
+    #[test]
+    fn attribute_contents_are_not_calls_or_indexes() {
+        let src = "\
+pub fn f() {
+    #[cfg(target_arch = \"x86_64\")]
+    let avx = detect();
+    avx
+}
+";
+        let m = parse(src);
+        let names: Vec<String> = m.fns[0]
+            .calls
+            .iter()
+            .map(|c| match &c.kind {
+                CallKind::Free(n) => n.clone(),
+                CallKind::Method { name, .. } | CallKind::Path { name, .. } => name.clone(),
+            })
+            .collect();
+        assert_eq!(names, vec!["detect"]);
+        assert!(m.fns[0].index_sites.is_empty());
+    }
+}

@@ -1,0 +1,693 @@
+//! The reachability rule families (R1–R4) run over the linked call
+//! graph, plus the emitted G1 manifest.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | R1 | no unjustified `panic!`/`unwrap`/`expect`/index reachable from the serve roots (`[r1] roots` in lint.toml) |
+//! | R2 | every auto-discovered inference root (`[r2] entry_prefixes` match + reaches `Tensor::from_op`) is dominated by a `no_grad` guard on every tape-reaching path |
+//! | R3 | interprocedural D2: no non-test fn transitively reaches a wall-clock / OS-entropy read (D2-allowed files are sanctioned sources and stop the taint) |
+//! | R4 | every fn calling a `#[target_feature]` `unsafe fn` (transitively through `unsafe` wrappers) is CPUID-gated or `unsafe` itself |
+//!
+//! R2 also *emits* the G1 manifest — the sorted `(file, qualified
+//! function)` set of discovered inference roots — and reports drift
+//! between it and the committed `[[g1]]` manifest as G1 findings, so the
+//! manifest in `lint.toml` can no longer rot silently.
+
+use crate::config::{Config, G1Entry};
+use crate::graph::CallGraph;
+use crate::model::CallKind;
+use crate::rules::Violation;
+
+/// A reachability finding: a [`Violation`] plus the finding *kind* used
+/// for kind-scoped `[[allow]]` entries (`kind = "index"` suppresses R1
+/// index findings under a path without blanket-allowing panics).
+#[derive(Debug, Clone)]
+pub struct ReachFinding {
+    pub violation: Violation,
+    /// `"panic"` / `"index"` (R1), `"no_grad"` (R2), `"taint"` (R3),
+    /// `"unsafe"` (R4), `"manifest"` (G1 drift).
+    pub kind: &'static str,
+}
+
+/// Call-graph shape counters, exported into `lint_graph.json`.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Non-test function nodes.
+    pub nodes: usize,
+    /// Directed call edges.
+    pub edges: usize,
+    /// Call sites resolved to at least one workspace fn.
+    pub resolved_calls: usize,
+    /// Call sites with no workspace target.
+    pub external_calls: usize,
+    /// Nodes reachable from the R1 serve roots.
+    pub r1_reachable: usize,
+    /// Auto-discovered R2 inference roots.
+    pub r2_roots: usize,
+    /// Nodes carrying wall-clock / entropy taint (R3).
+    pub r3_tainted: usize,
+    /// `#[target_feature]` unsafe fns (R4 sources).
+    pub r4_dangerous: usize,
+}
+
+/// Output of the phase-2 analysis.
+#[derive(Debug, Default)]
+pub struct ReachOutcome {
+    /// Findings before allowlist filtering, sorted.
+    pub findings: Vec<ReachFinding>,
+    /// The emitted G1 manifest: discovered inference roots, sorted by
+    /// `(file, function)` with `function` in `Type::name` form.
+    pub manifest: Vec<G1Entry>,
+    pub stats: GraphStats,
+}
+
+/// Run R1–R4 over a linked graph.
+pub fn analyze(graph: &CallGraph, config: &Config) -> ReachOutcome {
+    let mut out = ReachOutcome {
+        stats: GraphStats {
+            nodes: graph.nodes.len(),
+            edges: graph.edge_count(),
+            resolved_calls: graph.resolved_calls,
+            external_calls: graph.external_calls,
+            ..GraphStats::default()
+        },
+        ..ReachOutcome::default()
+    };
+    check_r1(graph, config, &mut out);
+    check_r2(graph, config, &mut out);
+    check_r3(graph, config, &mut out);
+    check_r4(graph, &mut out);
+    out.findings
+        .sort_by(|a, b| a.violation.cmp(&b.violation).then(a.kind.cmp(b.kind)));
+    out
+}
+
+fn finding(
+    rule: &'static str,
+    kind: &'static str,
+    path: &str,
+    line: usize,
+    message: String,
+) -> ReachFinding {
+    ReachFinding {
+        violation: Violation {
+            path: path.to_string(),
+            line,
+            col: 1,
+            rule,
+            message,
+        },
+        kind,
+    }
+}
+
+/// R1: panic-freedom of the serve hot path. Every unjustified panic or
+/// slice-index site in any fn reachable from the configured roots is a
+/// finding, with the shortest call chain as a witness.
+fn check_r1(graph: &CallGraph, config: &Config, out: &mut ReachOutcome) {
+    if config.r1_roots.is_empty() {
+        return;
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    for name in &config.r1_roots {
+        let ids = graph.find(name);
+        if ids.is_empty() {
+            out.findings.push(finding(
+                "R1",
+                "panic",
+                "lint.toml",
+                1,
+                format!(
+                    "[r1] root `{name}` does not name any workspace function — \
+                     update lint.toml or the code"
+                ),
+            ));
+        }
+        roots.extend(ids);
+    }
+    let reach = graph.reachable(&roots);
+    out.stats.r1_reachable = reach.len();
+    for &id in &reach {
+        let n = &graph.nodes[id];
+        let chain = graph
+            .witness_path(&roots, id)
+            .map(|p| graph.render_chain(&p))
+            .unwrap_or_default();
+        for site in n.item.panic_sites.iter().filter(|s| !s.justified) {
+            out.findings.push(finding(
+                "R1",
+                "panic",
+                &n.path,
+                site.line + 1,
+                format!(
+                    "`{}` reachable from serve root ({chain}): the request hot \
+                     path must not panic — handle the error or justify with \
+                     `// INVARIANT:`",
+                    site.what
+                ),
+            ));
+        }
+        for site in n.item.index_sites.iter().filter(|s| !s.justified) {
+            out.findings.push(finding(
+                "R1",
+                "index",
+                &n.path,
+                site.line + 1,
+                format!(
+                    "slice index reachable from serve root ({chain}): indexing \
+                     can panic on the hot path — use `get(..)`, justify with \
+                     `// INVARIANT:`, or add a reviewed kind=\"index\" allow"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does this node's body call `from_op` (the autograd tape constructor)?
+fn touches_tape(graph: &CallGraph, id: usize) -> bool {
+    graph.nodes[id].item.calls.iter().any(|c| match &c.kind {
+        CallKind::Free(n) => n == "from_op",
+        CallKind::Method { name, .. } | CallKind::Path { name, .. } => name == "from_op",
+    })
+}
+
+/// R2: no_grad domination of inference roots. Discovery: a non-test fn
+/// whose name starts with an `[r2] entry_prefixes` prefix and that can
+/// reach `Tensor::from_op` is an inference root. Verification: a root
+/// violates when some tape-reaching path avoids every guard (a fn whose
+/// body calls `no_grad`). The discovered set is emitted as the G1
+/// manifest and diffed against the committed `[[g1]]` entries.
+fn check_r2(graph: &CallGraph, config: &Config, out: &mut ReachOutcome) {
+    if config.r2_prefixes.is_empty() {
+        return;
+    }
+    let n = graph.nodes.len();
+    let touches: Vec<bool> = (0..n).map(|id| touches_tape(graph, id)).collect();
+    let guard: Vec<bool> = graph.nodes.iter().map(|nd| nd.item.calls_no_grad).collect();
+
+    // reaches_tape: forward closure over all edges (guards included —
+    // discovery asks "does inference happen here", not "is it guarded").
+    let mut reaches = touches.clone();
+    fixpoint(graph, &mut reaches, |_| true);
+
+    // utr: "unguarded-tape-reachable" — can reach `from_op` without
+    // passing through any guard node. Guards never become UTR and never
+    // propagate it.
+    let mut utr: Vec<bool> = (0..n).map(|id| touches[id] && !guard[id]).collect();
+    fixpoint(graph, &mut utr, |id| !guard[id]);
+
+    let mut manifest: Vec<G1Entry> = Vec::new();
+    for id in 0..n {
+        let node = &graph.nodes[id];
+        if !reaches[id]
+            || !config
+                .r2_prefixes
+                .iter()
+                .any(|p| node.item.name.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        manifest.push(G1Entry {
+            file: node.path.clone(),
+            function: node.qname(),
+        });
+        if utr[id] && !guard[id] {
+            let chain = unguarded_witness(graph, id, &touches, &guard)
+                .map(|p| graph.render_chain(&p))
+                .unwrap_or_default();
+            out.findings.push(finding(
+                "R2",
+                "no_grad",
+                &node.path,
+                node.item.line + 1,
+                format!(
+                    "inference root `{}` reaches the autograd tape without a \
+                     `no_grad` guard on the path ({chain}): wrap the tape-touching \
+                     region in `no_grad(..)`",
+                    node.qname()
+                ),
+            ));
+        }
+    }
+    manifest.sort_by(|a, b| (&a.file, &a.function).cmp(&(&b.file, &b.function)));
+    manifest.dedup();
+    out.stats.r2_roots = manifest.len();
+
+    // Manifest drift: committed [[g1]] must equal the emitted set.
+    for entry in &manifest {
+        if !config.g1.iter().any(|e| e == entry) {
+            out.findings.push(finding(
+                "G1",
+                "manifest",
+                "lint.toml",
+                1,
+                format!(
+                    "G1 manifest drift: discovered inference root `{}` ({}) is \
+                     missing from the [[g1]] manifest — copy the emitted manifest \
+                     from lint_graph.json into lint.toml",
+                    entry.function, entry.file
+                ),
+            ));
+        }
+    }
+    for entry in &config.g1 {
+        if !manifest.iter().any(|e| e == entry) {
+            out.findings.push(finding(
+                "G1",
+                "manifest",
+                "lint.toml",
+                1,
+                format!(
+                    "G1 manifest drift: [[g1]] entry `{}` ({}) matches no \
+                     discovered inference root — remove the stale entry",
+                    entry.function, entry.file
+                ),
+            ));
+        }
+    }
+    out.manifest = manifest;
+}
+
+/// R3: interprocedural nondeterminism taint. A fn carrying a direct D2
+/// token (wall clock / OS entropy) in a *non-allowed* file is a taint
+/// source; taint propagates to every transitive caller. D2/R3-allowed
+/// paths are sanctioned (injected-clock impls, timing harnesses): they
+/// are neither sources nor carriers.
+fn check_r3(graph: &CallGraph, config: &Config, out: &mut ReachOutcome) {
+    let n = graph.nodes.len();
+    let sanctioned: Vec<bool> = graph
+        .nodes
+        .iter()
+        // D2-allowed files are the sanctioned real-clock sources: they
+        // neither fire nor carry taint. R3 allows are NOT barriers —
+        // they suppress individual findings downstream in the engine's
+        // allow filter, which also keeps A1 staleness tracking honest.
+        .map(|nd| config.matching_allow("D2", &nd.path, "").is_some())
+        .collect();
+    let source: Vec<bool> = (0..n)
+        .map(|id| graph.nodes[id].item.d2_token.is_some() && !sanctioned[id])
+        .collect();
+    let mut tainted = source.clone();
+    fixpoint(graph, &mut tainted, |id| !sanctioned[id]);
+    out.stats.r3_tainted = tainted.iter().filter(|&&t| t).count();
+
+    for id in 0..n {
+        if !tainted[id] || source[id] {
+            // Direct token sites are lexical D2's findings; R3 owns the
+            // transitive callers.
+            continue;
+        }
+        let node = &graph.nodes[id];
+        let chain = taint_witness(graph, id, &source, &sanctioned)
+            .map(|(p, tok)| format!("{} -> `{tok}`", graph.render_chain(&p)))
+            .unwrap_or_default();
+        out.findings.push(finding(
+            "R3",
+            "taint",
+            &node.path,
+            node.item.line + 1,
+            format!(
+                "`{}` transitively reaches a wall-clock / OS-entropy read \
+                 ({chain}): results become run-dependent — inject a Clock / \
+                 seeded RNG through the API instead",
+                node.qname()
+            ),
+        ));
+    }
+}
+
+/// R4: unsafe propagation. `#[target_feature]` unsafe fns are dangerous
+/// (calling one without the CPU feature is UB). Every caller must hold a
+/// runtime CPUID gate (`is_x86_feature_detected!` in its body, or a call
+/// to a detection helper containing one) or be `unsafe` itself — in
+/// which case *its* callers inherit the obligation.
+fn check_r4(graph: &CallGraph, out: &mut ReachOutcome) {
+    let n = graph.nodes.len();
+    let mut exposed: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|nd| nd.item.is_unsafe && nd.item.has_target_feature)
+        .collect();
+    out.stats.r4_dangerous = exposed.iter().filter(|&&d| d).count();
+    let gated: Vec<bool> = (0..n)
+        .map(|id| {
+            graph.nodes[id].item.has_cpuid_gate
+                || graph.edges[id]
+                    .iter()
+                    .any(|&c| graph.nodes[c].item.has_cpuid_gate)
+        })
+        .collect();
+    // Unsafe, ungated wrappers around dangerous fns re-export the
+    // contract to their own callers.
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if exposed[id] || gated[id] || !graph.nodes[id].item.is_unsafe {
+                continue;
+            }
+            if graph.edges[id].iter().any(|&c| exposed[c]) {
+                exposed[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for id in 0..n {
+        let node = &graph.nodes[id];
+        if exposed[id] || gated[id] || node.item.is_unsafe {
+            continue;
+        }
+        if let Some(&callee) = graph.edges[id].iter().find(|&&c| exposed[c]) {
+            out.findings.push(finding(
+                "R4",
+                "unsafe",
+                &node.path,
+                node.item.line + 1,
+                format!(
+                    "`{}` calls `#[target_feature]` unsafe fn `{}` without a \
+                     runtime CPUID gate: guard the dispatch with \
+                     `is_x86_feature_detected!` (or a detection helper) or mark \
+                     the fn `unsafe`",
+                    node.qname(),
+                    graph.nodes[callee].qname()
+                ),
+            ));
+        }
+    }
+}
+
+/// Reverse-propagate a boolean property to callers: `set[n] |= any
+/// callee in `set``, restricted to nodes passing `carrier`. Runs to a
+/// fixpoint (deterministic: pure set semantics).
+fn fixpoint(graph: &CallGraph, set: &mut [bool], carrier: impl Fn(usize) -> bool) {
+    let mut queue: Vec<usize> = (0..set.len()).filter(|&i| set[i]).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        for &caller in &graph.redges[id] {
+            if !set[caller] && carrier(caller) {
+                set[caller] = true;
+                queue.push(caller);
+            }
+        }
+    }
+}
+
+/// Shortest guard-free path from `root` to a tape-touching node.
+fn unguarded_witness(
+    graph: &CallGraph,
+    root: usize,
+    touches: &[bool],
+    guard: &[bool],
+) -> Option<Vec<usize>> {
+    bfs_witness(graph, root, |id| touches[id] && !guard[id], |id| !guard[id])
+}
+
+/// Shortest sanctioned-free path from `node` to a taint source, plus the
+/// source's D2 token text.
+fn taint_witness(
+    graph: &CallGraph,
+    node: usize,
+    source: &[bool],
+    sanctioned: &[bool],
+) -> Option<(Vec<usize>, String)> {
+    let path = bfs_witness(graph, node, |id| source[id], |id| !sanctioned[id])?;
+    let tok = graph.nodes[*path.last()?]
+        .item
+        .d2_token
+        .as_ref()
+        .map(|(_, t)| t.clone())
+        .unwrap_or_default();
+    Some((path, tok))
+}
+
+/// Forward BFS from `start` through nodes passing `carrier`, stopping at
+/// the first node satisfying `is_target`; returns the path inclusive.
+fn bfs_witness(
+    graph: &CallGraph,
+    start: usize,
+    is_target: impl Fn(usize) -> bool,
+    carrier: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut seen = vec![false; graph.nodes.len()];
+    seen[start] = true;
+    let mut queue = vec![start];
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        if is_target(id) {
+            let mut path = vec![id];
+            let mut cur = id;
+            while let Some(p) = parent[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &c in &graph.edges[id] {
+            if !seen[c] && carrier(c) {
+                seen[c] = true;
+                parent[c] = Some(id);
+                queue.push(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::parse_file;
+
+    fn analyze_srcs(srcs: &[(&str, &str)], cfg_text: &str) -> ReachOutcome {
+        let files: Vec<_> = srcs.iter().map(|(p, s)| parse_file(p, &lex(s))).collect();
+        let graph = CallGraph::link(&files);
+        let config = Config::parse(cfg_text).expect("config");
+        analyze(&graph, &config)
+    }
+
+    fn rules_of(out: &ReachOutcome) -> Vec<&'static str> {
+        out.findings.iter().map(|f| f.violation.rule).collect()
+    }
+
+    #[test]
+    fn r1_flags_deep_panic_and_index_with_witness() {
+        let out = analyze_srcs(
+            &[
+                (
+                    "crates/s/src/a.rs",
+                    "pub struct Server;\nimpl Server {\n    pub fn tick(&mut self) { helper(); }\n}\n",
+                ),
+                (
+                    "crates/s/src/b.rs",
+                    "pub fn helper() { deep(); }\npub fn deep(v: &[u32]) -> u32 { v.first().unwrap(); v[0] }\n",
+                ),
+            ],
+            "[r1]\nroots = [\"Server::tick\"]\n",
+        );
+        assert_eq!(rules_of(&out), vec!["R1", "R1"]);
+        assert!(out.findings[0]
+            .violation
+            .message
+            .contains("Server::tick -> helper -> deep"));
+        let kinds: Vec<_> = out.findings.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds, vec!["panic", "index"]);
+    }
+
+    #[test]
+    fn r1_justified_sites_and_unreachable_fns_pass() {
+        let out = analyze_srcs(
+            &[(
+                "crates/s/src/a.rs",
+                "pub struct Server;\nimpl Server {\n    pub fn tick(&mut self) {\n        // INVARIANT: queue always non-empty here.\n        self_unwrap();\n    }\n}\npub fn self_unwrap() {}\npub fn cold(o: Option<u32>) -> u32 { o.unwrap() }\n",
+            )],
+            "[r1]\nroots = [\"Server::tick\"]\n",
+        );
+        // `cold` is not reachable from the root: R1 stays quiet (P1 owns it).
+        assert!(rules_of(&out).is_empty());
+    }
+
+    #[test]
+    fn r1_missing_root_is_reported() {
+        let out = analyze_srcs(
+            &[("crates/s/src/a.rs", "pub fn other() {}\n")],
+            "[r1]\nroots = [\"Server::run_batch\"]\n",
+        );
+        assert_eq!(rules_of(&out), vec!["R1"]);
+        assert!(out.findings[0].violation.message.contains("run_batch"));
+    }
+
+    #[test]
+    fn r2_guarded_root_clean_unguarded_flagged() {
+        let srcs = [(
+            "crates/m/src/lm.rs",
+            "\
+pub struct Tensor;
+impl Tensor { pub fn from_op() -> Tensor { Tensor } }
+pub fn no_grad() {}
+pub fn generate() { no_grad(); decode(); }
+pub fn generate_raw() { decode(); }
+fn decode() { Tensor::from_op(); }
+",
+        )];
+        let out = analyze_srcs(&srcs, "[r2]\nentry_prefixes = [\"generate\"]\n");
+        // Both roots are discovered (manifest drift G1 findings expected
+        // since no [[g1]] is committed), but only the unguarded one is R2.
+        let r2: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.violation.rule == "R2")
+            .collect();
+        assert_eq!(r2.len(), 1);
+        assert!(r2[0].violation.message.contains("generate_raw"));
+        assert_eq!(out.manifest.len(), 2);
+        assert_eq!(out.manifest[0].function, "generate");
+        assert_eq!(out.manifest[1].function, "generate_raw");
+    }
+
+    #[test]
+    fn r2_guard_in_callee_dominates() {
+        let srcs = [(
+            "crates/m/src/lm.rs",
+            "\
+pub struct Tensor;
+impl Tensor { pub fn from_op() -> Tensor { Tensor } }
+pub fn no_grad() {}
+pub fn evaluate_item() { score(); }
+fn score() { no_grad(); decode(); }
+fn decode() { Tensor::from_op(); }
+",
+        )];
+        let out = analyze_srcs(&srcs, "[r2]\nentry_prefixes = [\"evaluate_\"]\n");
+        assert!(out.findings.iter().all(|f| f.violation.rule != "R2"));
+        assert_eq!(out.manifest.len(), 1);
+        assert_eq!(out.manifest[0].function, "evaluate_item");
+    }
+
+    #[test]
+    fn g1_manifest_drift_both_directions() {
+        let srcs = [(
+            "crates/m/src/lm.rs",
+            "\
+pub struct Tensor;
+impl Tensor { pub fn from_op() -> Tensor { Tensor } }
+pub fn no_grad() {}
+pub fn generate() { no_grad(); Tensor::from_op(); }
+",
+        )];
+        // Committed manifest lists a stale fn and misses `generate`.
+        let cfg = "[r2]\nentry_prefixes = [\"generate\"]\n\n[[g1]]\nfile = \"crates/m/src/lm.rs\"\nfunction = \"gone\"\n";
+        let out = analyze_srcs(&srcs, cfg);
+        let g1: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.violation.rule == "G1")
+            .collect();
+        assert_eq!(g1.len(), 2);
+        assert!(g1
+            .iter()
+            .any(|f| f.violation.message.contains("missing from")));
+        assert!(g1.iter().any(|f| f.violation.message.contains("stale")));
+        // And with the emitted manifest committed verbatim: no drift.
+        let good = "[r2]\nentry_prefixes = [\"generate\"]\n\n[[g1]]\nfile = \"crates/m/src/lm.rs\"\nfunction = \"generate\"\n";
+        let out = analyze_srcs(&srcs, good);
+        assert!(rules_of(&out).is_empty());
+    }
+
+    #[test]
+    fn r3_taints_transitive_callers_not_sources() {
+        let out = analyze_srcs(
+            &[
+                (
+                    "crates/a/src/lib.rs",
+                    "pub fn helper() { stamp(); }\npub fn clean() {}\n",
+                ),
+                (
+                    "crates/b/src/lib.rs",
+                    "pub fn stamp() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+                ),
+            ],
+            "",
+        );
+        // `stamp` is lexical D2's business; R3 flags `helper` only.
+        assert_eq!(rules_of(&out), vec!["R3"]);
+        assert!(out.findings[0].violation.message.contains("helper"));
+        assert!(out.findings[0].violation.message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn r3_allowed_files_are_barriers() {
+        let cfg = "[[allow]]\nrule = \"D2\"\npath = \"crates/trace/src/clock.rs\"\nreason = \"sanctioned injectable clock source\"\n";
+        let out = analyze_srcs(
+            &[
+                ("crates/a/src/lib.rs", "pub fn tick() { wall_clock(); }\n"),
+                (
+                    "crates/trace/src/clock.rs",
+                    "pub fn wall_clock() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+                ),
+            ],
+            cfg,
+        );
+        // The sanctioned clock impl neither fires nor propagates taint.
+        assert!(rules_of(&out).is_empty());
+    }
+
+    #[test]
+    fn r4_ungated_caller_flagged_gated_and_unsafe_pass() {
+        let src = "\
+pub fn detect() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }
+#[target_feature(enable = \"avx2\")]
+unsafe fn mk8x8(p: *const f32) {}
+pub fn gated(p: *const f32) { if detect() { unsafe { mk8x8(p) } } }
+pub fn ungated(p: *const f32) { unsafe { mk8x8(p) } }
+pub unsafe fn wrapper(p: *const f32) { mk8x8(p); }
+pub fn calls_wrapper(p: *const f32) { unsafe { wrapper(p) } }
+";
+        let out = analyze_srcs(&[("crates/t/src/simd.rs", src)], "");
+        let r4: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.violation.rule == "R4")
+            .collect();
+        // `ungated` calls the dangerous fn directly; `calls_wrapper`
+        // inherits the obligation through the unsafe wrapper. `gated`
+        // holds a detection-helper gate and passes.
+        assert_eq!(r4.len(), 2);
+        assert!(r4[0].violation.message.contains("`ungated`"));
+        assert!(r4[1].violation.message.contains("`calls_wrapper`"));
+        assert_eq!(out.stats.r4_dangerous, 1);
+    }
+
+    #[test]
+    fn findings_sorted_by_path_line_rule() {
+        let out = analyze_srcs(
+            &[
+                (
+                    "crates/s/src/a.rs",
+                    "pub struct Server;\nimpl Server {\n    pub fn tick(&mut self, v: &[u32]) { v[0]; x.unwrap(); }\n}\n",
+                ),
+                (
+                    "crates/b/src/lib.rs",
+                    "pub fn helper() { stamp(); }\npub fn stamp() -> u64 { let t = std::time::Instant::now(); 0 }\n",
+                ),
+            ],
+            "[r1]\nroots = [\"Server::tick\"]\n",
+        );
+        let keys: Vec<(String, usize, &str)> = out
+            .findings
+            .iter()
+            .map(|f| (f.violation.path.clone(), f.violation.line, f.violation.rule))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -93,3 +93,65 @@ pub fn to_json(result: &ScanResult) -> serde_json::Value {
         "violations": violations,
     })
 }
+
+/// The `lint_graph.json` document: call-graph shape, per-rule findings,
+/// and the emitted G1 manifest. Committed to `results/` and diffed in CI
+/// so manifest drift fails the build — the serializer (BTreeMap-backed
+/// maps, pre-sorted vectors) makes the bytes a pure function of the
+/// scanned tree.
+pub fn graph_json(result: &ScanResult) -> String {
+    let mut counts: BTreeMap<&str, usize> = RULE_IDS.iter().map(|&r| (r, 0)).collect();
+    for v in &result.violations {
+        if let Some(slot) = counts.get_mut(v.rule) {
+            *slot += 1;
+        }
+    }
+    let mut findings = serde_json::Map::new();
+    for (rule, n) in counts {
+        findings.insert(rule.to_string(), serde_json::json!(n));
+    }
+    let violations: Vec<serde_json::Value> = result
+        .violations
+        .iter()
+        .map(|v| {
+            serde_json::json!({
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "message": v.message,
+            })
+        })
+        .collect();
+    let manifest: Vec<serde_json::Value> = result
+        .manifest
+        .iter()
+        .map(|e| serde_json::json!({ "file": e.file, "function": e.function }))
+        .collect();
+    // The vendored json! macro only builds flat objects; nested ones are
+    // composed from sub-values.
+    let graph = serde_json::json!({
+        "nodes": result.stats.nodes,
+        "edges": result.stats.edges,
+        "resolved_calls": result.stats.resolved_calls,
+        "external_calls": result.stats.external_calls,
+        "r1_reachable": result.stats.r1_reachable,
+        "r2_roots": result.stats.r2_roots,
+        "r3_tainted": result.stats.r3_tainted,
+        "r4_dangerous": result.stats.r4_dangerous,
+    });
+    let doc = serde_json::json!({
+        "schema": "zg-lint/graph-v1",
+        "files_scanned": result.files.len(),
+        "graph": graph,
+        "findings": serde_json::Value::Object(findings),
+        "allowed": result.allowed.len(),
+        "g1_manifest": manifest,
+        "violations": violations,
+    });
+    let mut out = serde_json::to_string_pretty(&doc)
+        // INVARIANT: the document is built from plain strings/ints above;
+        // serialization cannot fail.
+        .unwrap_or_default();
+    out.push('\n');
+    out
+}

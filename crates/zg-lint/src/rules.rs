@@ -12,7 +12,7 @@ use crate::config::Config;
 use crate::lexer::SourceModel;
 
 /// One rule violation at a source location.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Workspace-relative path (forward slashes).
     pub path: String,
@@ -20,14 +20,36 @@ pub struct Violation {
     pub line: usize,
     /// 1-based column of the match in the source line.
     pub col: usize,
-    /// Rule id (`"D1"` .. `"G1"`).
+    /// Rule id (`"D1"` .. `"G1"`, `"R1"` .. `"R4"`, `"A1"`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
 }
 
-/// All rule ids, in report order.
-pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "U1", "G1"];
+// Diagnostic order is part of the output contract: path, then line,
+// then rule id (col/message only break exact ties), so multi-rule
+// findings on one line render in a stable, documented order.
+impl Ord for Violation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.path, self.line, self.rule, self.col, &self.message).cmp(&(
+            &other.path,
+            other.line,
+            other.rule,
+            other.col,
+            &other.message,
+        ))
+    }
+}
+
+impl PartialOrd for Violation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All rule ids, in report order: lexical families first, then the
+/// call-graph reachability families, then allowlist hygiene.
+pub const RULE_IDS: [&str; 10] = ["D1", "D2", "P1", "U1", "G1", "R1", "R2", "R3", "R4", "A1"];
 
 /// One-line summary per rule (used by `--explain` and the docs).
 pub fn rule_summary(rule: &str) -> &'static str {
@@ -36,7 +58,12 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "D2" => "wall-clock or OS entropy in library code: breaks seeded reproducibility",
         "P1" => "unwrap()/expect()/panic! in library code without // INVARIANT: justification",
         "U1" => "unsafe without a // SAFETY: comment",
-        "G1" => "manifest-listed inference entry point does not call no_grad",
+        "G1" => "committed [[g1]] manifest diverges from the discovered inference roots",
+        "R1" => "panic/unwrap/expect/index reachable from a serve root without justification",
+        "R2" => "inference root reaches the autograd tape without a dominating no_grad guard",
+        "R3" => "fn transitively reaches a wall-clock / OS-entropy read (interprocedural D2)",
+        "R4" => "target_feature unsafe fn called without a runtime CPUID gate",
+        "A1" => "stale lint.toml [[allow]] entry matches no violation",
         _ => "unknown rule",
     }
 }
@@ -212,7 +239,14 @@ fn check_u1(path: &str, model: &SourceModel, out: &mut Vec<Violation>) {
 /// non-test `fn` whose brace-matched body mentions `no_grad`.
 fn check_g1(path: &str, model: &SourceModel, config: &Config, out: &mut Vec<Violation>) {
     for entry in config.g1.iter().filter(|e| e.file == path) {
-        match fn_body_lines(model, &entry.function) {
+        // Manifest entries may be qualified (`Type::name`); the body
+        // lookup wants the bare fn name.
+        let bare = entry
+            .function
+            .rsplit("::")
+            .next()
+            .unwrap_or(&entry.function);
+        match fn_body_lines(model, bare) {
             None => out.push(Violation {
                 path: path.to_string(),
                 line: 1,

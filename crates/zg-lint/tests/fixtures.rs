@@ -254,3 +254,59 @@ fn allowlist_without_reason_is_a_config_error() {
         .expect_err("reason is mandatory");
     assert!(err.message.contains("reason"), "{}", err.message);
 }
+
+// ----------------------------------------------------- lexer edge cases ---
+
+#[test]
+fn raw_strings_hide_their_contents_from_rules() {
+    // Tokens inside r#"..."# (including embedded quotes) are string
+    // content, not code — neither D1 nor P1 may fire.
+    let src = "pub fn f() -> &'static str {\n    r#\"HashMap::new() panic!(\"not code\") .unwrap()\"#\n}\n";
+    assert_eq!(rules_for(src), Vec::<&str>::new());
+}
+
+#[test]
+fn raw_string_terminator_restores_scanning() {
+    // The token after the raw string closes must be visible again.
+    let src = "pub fn f() {\n    let _s = r#\"quiet \"inner\" text\"#;\n    let _m = std::collections::HashMap::<u32, u32>::new();\n}\n";
+    assert_eq!(rules_for(src), vec!["D1"]);
+}
+
+#[test]
+fn nested_block_comments_balance() {
+    // Rust block comments nest: the first */ closes the INNER comment
+    // only. Everything up to the second */ is still comment text, and
+    // code after it is scanned again.
+    let src = "/* outer /* inner HashMap */ still comment .unwrap() */\npub fn f() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(rules_for(src), vec!["D2"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    // A naive char-literal scanner would treat `'a` as an unterminated
+    // char and swallow the rest of the file, hiding the HashMap.
+    let src = "pub fn f<'a>(v: &'a [u32]) -> &'a [u32] {\n    let _m = std::collections::HashMap::<u32, u32>::new();\n    v\n}\n";
+    assert_eq!(rules_for(src), vec!["D1"]);
+}
+
+#[test]
+fn char_literals_hide_contents_but_terminate() {
+    // A real char literal (even a quote character) is stripped as
+    // content; scanning resumes after it.
+    let src = "pub fn f() -> char {\n    let q = '\"';\n    let _m = std::collections::HashMap::<u32, u32>::new();\n    q\n}\n";
+    assert_eq!(rules_for(src), vec!["D1"]);
+}
+
+#[test]
+fn cfg_test_on_impl_block_relaxes_the_whole_impl() {
+    let src = "\
+pub struct Fixture;
+#[cfg(test)]
+impl Fixture {
+    pub fn must(x: Option<u32>) -> u32 { x.unwrap() }
+}
+pub fn lib(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    // Only the non-test `lib` fires.
+    assert_eq!(rules_for(src), vec!["P1"]);
+}

@@ -33,16 +33,51 @@ fn workspace_has_no_lint_violations() {
 
 #[test]
 fn g1_manifest_resolves_against_the_tree() {
-    // Manifest drift (an entry pointing at a renamed function) surfaces as
-    // a G1 violation; the clean scan above therefore also proves every
-    // [[g1]] entry still resolves. Here we additionally pin that the
-    // manifest is non-trivial — an empty manifest would make G1 vacuous.
-    let (_, cfg) = workspace();
+    // Manifest drift (an entry pointing at a renamed function, or a
+    // discovered root missing from lint.toml) surfaces as a G1
+    // violation; the clean scan above therefore also proves the
+    // committed manifest equals the discovered one. Here we additionally
+    // pin that the manifest is non-trivial and fully qualified.
+    let (root, cfg) = workspace();
     assert!(
-        cfg.g1.len() >= 4,
-        "expected the four inference entry points in lint.toml, found {}",
+        cfg.g1.len() >= 15,
+        "expected the discovered inference entry points in lint.toml, found {}",
         cfg.g1.len()
     );
+    let result = scan_workspace(&root, &cfg).expect("scan succeeds");
+    assert_eq!(
+        result.manifest, cfg.g1,
+        "committed [[g1]] manifest must byte-match the discovered one"
+    );
+    assert!(
+        cfg.g1.iter().any(|e| e.function.contains("::")),
+        "manifest entries must use qualified names"
+    );
+}
+
+#[test]
+fn walk_covers_test_dirs_and_skips_build_output() {
+    let (root, cfg) = workspace();
+    let result = scan_workspace(&root, &cfg).expect("scan succeeds");
+    // tests/, benches/, and examples/ directories are part of the walk
+    // (in test scope), so a determinism bug in a bench harness is still
+    // visible to the kind-scoped allows and the file-set stays honest.
+    for marker in ["/tests/", "/benches/", "/examples/"] {
+        assert!(
+            result.files.iter().any(|f| f.contains(marker)),
+            "walk must include {marker} files, got {} files",
+            result.files.len()
+        );
+    }
+    for banned in ["target/", "vendor/", "fixtures/"] {
+        assert!(
+            result.files.iter().all(|f| !f.contains(banned)),
+            "walk must skip {banned}"
+        );
+    }
+    // And the graph phase actually linked something non-trivial.
+    assert!(result.stats.nodes > 500, "nodes = {}", result.stats.nodes);
+    assert!(result.stats.edges > 1000, "edges = {}", result.stats.edges);
 }
 
 #[test]
@@ -59,4 +94,8 @@ fn report_is_byte_identical_across_runs() {
     let ja = zg_lint::report::to_json(&a).to_string();
     let jb = zg_lint::report::to_json(&b).to_string();
     assert_eq!(ja, jb, "JSON summaries must be byte-identical");
+    let ga = zg_lint::report::graph_json(&a);
+    let gb = zg_lint::report::graph_json(&b);
+    assert_eq!(ga, gb, "emitted graph JSON must be byte-identical");
+    assert_eq!(a.manifest, b.manifest);
 }

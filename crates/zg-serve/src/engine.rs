@@ -124,6 +124,7 @@ impl Replica {
     fn prefill_shared(&mut self, ids: &[u32]) -> (KvCache, Vec<f32>, Option<PrefixBlock>) {
         if let Some((block, len)) = self.pool.acquire(ids) {
             let (mut cache, _prefix_logits) = block.fork();
+            // INVARIANT: acquire only returns prefix matches, so len <= ids.len().
             let logits = self.model.lm.prefill(&ids[len..], &mut cache);
             return (cache, logits, Some(block));
         }
@@ -133,9 +134,12 @@ impl Replica {
             let logits = self.model.lm.prefill(ids, &mut cache);
             return (cache, logits, None);
         }
-        let key_logits = self.model.lm.prefill(&ids[..key_len], &mut cache);
-        let block = self.pool.insert(&ids[..key_len], cache.fork(), key_logits);
-        let logits = self.model.lm.prefill(&ids[key_len..], &mut cache);
+        // INVARIANT: key_len < ids.len() by the saturating min above, so
+        // both the key slice and the remainder slice are in bounds.
+        let (key, rest) = (&ids[..key_len], &ids[key_len..]);
+        let key_logits = self.model.lm.prefill(key, &mut cache);
+        let block = self.pool.insert(key, cache.fork(), key_logits);
+        let logits = self.model.lm.prefill(rest, &mut cache);
         (cache, logits, Some(block))
     }
 
@@ -154,6 +158,7 @@ impl Replica {
             let neg = self.model.tokenizer.encode(&format!(" {negative}"));
             let pos = self.model.tokenizer.encode(&format!(" {positive}"));
             let scores = self.model.lm.score_continuations(&p_score, &[&neg, &pos]);
+            // INVARIANT: score_continuations returns one score per continuation (2 here).
             let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
             return Reply::Scored {
                 answer,
@@ -181,6 +186,8 @@ impl Replica {
             .model
             .lm
             .score_continuations_with_cache(&cache, &logits, &[&neg, &pos]);
+        // INVARIANT: score_continuations_with_cache returns one score per
+        // continuation (2 here).
         let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
         Reply::Scored {
             answer,
@@ -381,6 +388,8 @@ impl Engine for ZiGongEngine {
             if range.is_empty() {
                 continue;
             }
+            // INVARIANT: chunks() partitions 0..batch.len(), so every
+            // range is in bounds.
             w.tx.send(Msg::Batch(batch[range.clone()].to_vec()))
                 // INVARIANT: workers only exit when told to stop or when
                 // this (sending) side is gone, so the channel is open here.

@@ -54,6 +54,7 @@ impl BoundedQueue {
                 capacity: self.capacity,
             });
         }
+        // INVARIANT: lane() maps each priority to 0..PRIORITY_LANES.
         self.lanes[req.priority.lane()].push_back(req);
         self.len += 1;
         Ok(())

@@ -67,6 +67,7 @@ impl Hist {
             .iter()
             .position(|&e| v <= e)
             .unwrap_or(self.edges.len());
+        // INVARIANT: counts has edges.len() + 1 buckets, so idx is in bounds.
         self.counts[idx] += 1;
         self.sum += v;
         self.n += 1;

@@ -138,6 +138,7 @@ impl ZiGongModel {
         let start = ids.len().saturating_sub(budget);
         let mut out = Vec::with_capacity(budget + 1);
         out.push(Special::Bos.id());
+        // INVARIANT: start <= ids.len() by the saturating_sub above.
         out.extend(&ids[start..]);
         out
     }
