@@ -1,100 +1,118 @@
 //! Serving load benchmark: drives the zg-serve continuous-batching
-//! server with open-loop Poisson traffic (seeded), reports p50/p99
-//! latency and sustained QPS, and gates on the server's two hard
-//! invariants before writing `results/serve_load.json`:
+//! server with open-loop Poisson traffic (seeded) over **mixed-template
+//! scoring requests** — several prompt preambles crossed with distinct
+//! borrower items, tagged with template keys so prefix-aware grouping
+//! and replica affinity engage — and gates before writing
+//! `results/serve_load.json`:
 //!
 //! 1. **bitwise parity** — every served `(answer, p)` is exact-`f64`
 //!    equal to the offline `ZiGongModel::evaluate_item` on the same
-//!    item, prefix sharing and batching included;
-//! 2. **simulation determinism** — two deterministic-clock runs with
+//!    (template, item) combination, LCP prefix reuse and batching
+//!    included — across the main run, a no-reuse baseline, and an
+//!    eviction-pressure run;
+//! 2. **prefix-hit-token rate** — the radix pool must serve at least
+//!    half of all presented prompt tokens from cache;
+//! 3. **latency** — p99 within an absolute ceiling, and no worse than
+//!    the no-reuse baseline (pool budget 1) with 10% slack;
+//! 4. **eviction pressure** — a budget far below the working set must
+//!    evict while keeping parity and a clean leak audit;
+//! 5. **simulation determinism** — two deterministic-clock runs with
 //!    the same seed produce byte-identical zg-trace JSONL.
 //!
-//! Exits non-zero if either gate fails or p99 exceeds the sanity
-//! ceiling, so CI can run `serve_load --quick` as a smoke test.
+//! Exits non-zero if any gate fails, so CI can run `serve_load --quick`
+//! as a smoke test.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zg_bench::{quick_mode, write_result};
-use zg_model::{CausalLm, ModelConfig};
+use zg_model::{CausalLm, ModelConfig, PrefixStats};
 use zg_serve::{
-    drive, poisson_arrivals, EngineConfig, LatencyRecorder, Reply, Request, ServeConfig, Server,
-    ZiGongEngine,
+    drive, poisson_arrivals, EngineConfig, LatencyRecorder, LatencySummary, Reply, Request,
+    ServeConfig, Server, ServerStats, ZiGongEngine,
 };
 use zg_trace::{ManualClock, Tracer};
-use zg_zigong::{eval_items, train_tokenizer, EvalItem, ZiGongModel};
+use zg_zigong::{eval_items, train_tokenizer, EvalItem, ZiGongModel, ANSWER_TOKENS, SCORE_RESERVE};
 
 const SEED: u64 = 0x5E4E;
 
+/// Prompt preambles standing in for distinct serving templates (e.g.
+/// different product flows rendering the same borrower record). Quick
+/// mode uses the first two, full mode all four.
+const PREAMBLES: [&str; 4] = [
+    "",
+    "You are a senior credit officer. Review this application carefully.\n\n",
+    "Branch escalation queue: a second opinion is requested on this applicant.\n\n",
+    "Portfolio backfill re-score. Apply the current lending policy.\n\n",
+];
+
+/// One (template, item) combination with its offline oracle.
+struct Combo {
+    template: u64,
+    prompt: String,
+    negative: String,
+    positive: String,
+    oracle_answer: String,
+    oracle_p: f64,
+}
+
 /// The benchmark model: miniature geometry, trained BPE tokenizer, and
-/// a prompt budget wide enough that rendered credit prompts fit
-/// untruncated — so the load run exercises the shared-prefill +
-/// prefix-pool path, not the truncation fallback.
+/// a prompt budget wide enough that every preamble + rendered credit
+/// prompt fits untruncated — so the load runs exercise the shared
+/// prefill + radix-pool path, not the truncation fallback.
 fn bench_model(examples: &[zg_instruct::InstructExample]) -> ZiGongModel {
     let mut rng = StdRng::seed_from_u64(0xBE7C);
     let tokenizer = train_tokenizer(examples, 768);
     let mut cfg = ModelConfig::mistral_miniature(tokenizer.vocab_size());
-    cfg.max_seq_len = 512;
+    cfg.max_seq_len = 768;
     let lm = CausalLm::new(cfg, &mut rng);
-    ZiGongModel::new(lm, tokenizer, 512, "serve-bench")
+    ZiGongModel::new(lm, tokenizer, 768, "serve-bench")
 }
 
-fn score_request(items: &[EvalItem<'_>], i: usize) -> Request {
-    let ex = &items[i % items.len()].example;
-    Request::score(
-        ex.prompt.clone(),
-        ex.candidates[0].clone(),
-        ex.candidates[1].clone(),
-    )
+fn score_request(combos: &[Combo], i: usize) -> Request {
+    let c = &combos[i % combos.len()];
+    Request::score(c.prompt.clone(), c.negative.clone(), c.positive.clone())
+        .with_template(c.template)
 }
 
-fn main() {
-    let quick = quick_mode();
-    let (n_requests, rate, n_items) = if quick {
-        (24, 40.0, 6)
-    } else {
-        (160, 80.0, 16)
-    };
-    let workers = zg_tensor::available_threads().clamp(1, 4);
-    let p99_ceiling = 20.0;
+struct LoadOutcome {
+    served: usize,
+    wall: f64,
+    sustained_qps: f64,
+    summary: LatencySummary,
+    parity: bool,
+    complete: bool,
+    audit_clean: bool,
+    prefix: PrefixStats,
+    server: ServerStats,
+}
 
-    println!("== serve_load: continuous-batching server benchmark ==");
-    println!("requests={n_requests} offered_rate={rate}/s workers={workers} seed={SEED:#x}");
-
-    // Model + items (same recipe as the inference benchmark).
-    let ds = zg_data::german(64, 0x2F);
-    let (train, test) = ds.split(0.5);
-    let train_examples: Vec<_> = train
-        .iter()
-        .take(40)
-        .map(|r| zg_instruct::render_classification(&ds, r))
-        .collect();
-    let mut model = bench_model(&train_examples);
-    let capped: Vec<_> = test.iter().copied().take(n_items).collect();
-    let items = eval_items(&ds, &capped);
-
-    // Offline oracle, computed once per distinct item.
-    let oracle: Vec<(String, f64)> = items.iter().map(|it| model.evaluate_item(it)).collect();
-
-    // ---- Wall-clock load run (traced) ----
-    let tracer = Tracer::with_clock(zg_trace::wall_clock());
-    let guard = tracer.install("serve_load");
+/// One wall-clock load run: open-loop Poisson arrivals over the combo
+/// cycle, parity-checked against the oracle, leak-audited at the end.
+fn run_load(
+    model: &ZiGongModel,
+    combos: &[Combo],
+    workers: usize,
+    pool_budget_tokens: usize,
+    n_requests: usize,
+    rate: f64,
+) -> LoadOutcome {
     let engine = ZiGongEngine::new(
         model.spec(),
         EngineConfig {
             workers,
-            prefix_tokens: 24,
-            // Sized to the distinct-item working set: requests cycle over
-            // `n_items` prompts, and a smaller LRU pool would thrash.
-            pool_capacity: n_items,
+            pool_budget_tokens,
             ..EngineConfig::default()
         },
     );
+    let max_batch = 2 * workers.max(1);
     let cfg = ServeConfig {
         queue_capacity: n_requests,
-        max_batch: 2 * workers.max(1),
+        max_batch,
         default_timeout: None,
+        // Scan one extra batch deep for same-template pulls.
+        reorder_window: 2 * max_batch,
     };
     let mut server = Server::new(engine, cfg, zg_trace::wall_clock());
     let arrivals = poisson_arrivals(SEED, rate, n_requests);
@@ -106,7 +124,7 @@ fn main() {
         let now = t0.elapsed().as_secs_f64();
         while submitted < n_requests && arrivals[submitted] <= now {
             server
-                .submit(score_request(&items, submitted))
+                .submit(score_request(combos, submitted))
                 .expect("queue sized to the full load");
             submitted += 1;
         }
@@ -118,7 +136,7 @@ fn main() {
     }
     let wall = t0.elapsed().as_secs_f64();
 
-    // Parity check: every reply must match the oracle bit-for-bit.
+    // Parity check: every reply must match its combo's oracle bit-for-bit.
     let mut parity = true;
     let mut latencies = LatencyRecorder::new();
     let mut first_arrival = f64::INFINITY;
@@ -127,14 +145,16 @@ fn main() {
         latencies.record(c.latency());
         first_arrival = first_arrival.min(c.arrived);
         last_finish = last_finish.max(c.finished);
-        let (want_answer, want_p) = &oracle[c.id as usize % items.len()];
+        let combo = &combos[c.id as usize % combos.len()];
         match &c.result {
             Ok(Reply::Scored { answer, p_positive }) => {
-                if answer != want_answer || p_positive.to_bits() != want_p.to_bits() {
+                if answer != &combo.oracle_answer
+                    || p_positive.to_bits() != combo.oracle_p.to_bits()
+                {
                     parity = false;
                     println!(
-                        "PARITY FAIL req {}: served ({answer:?}, {p_positive}) vs offline ({want_answer:?}, {want_p})",
-                        c.id
+                        "PARITY FAIL req {}: served ({answer:?}, {p_positive}) vs offline ({:?}, {})",
+                        c.id, combo.oracle_answer, combo.oracle_p
                     );
                 }
             }
@@ -154,19 +174,165 @@ fn main() {
         println!("LEAK AUDIT FAIL: {e}");
     }
     server.shutdown();
+    LoadOutcome {
+        served: completions.len(),
+        wall,
+        sustained_qps,
+        summary,
+        parity,
+        complete,
+        audit_clean,
+        prefix,
+        server: server_stats,
+    }
+}
+
+fn prefix_json(p: &PrefixStats) -> serde_json::Value {
+    serde_json::json!({
+        "hits": p.hits,
+        "misses": p.misses,
+        "hit_tokens": p.hit_tokens,
+        "lookup_tokens": p.lookup_tokens,
+        "hit_token_rate": p.hit_token_rate(),
+        "inserts": p.inserts,
+        "evictions": p.evictions,
+        "resident_tokens": p.resident_tokens,
+    })
+}
+
+fn load_json(o: &LoadOutcome, pool_budget_tokens: usize) -> serde_json::Value {
+    let latency = serde_json::json!({
+        "n": o.summary.n,
+        "p50_s": o.summary.p50,
+        "p99_s": o.summary.p99,
+        "mean_s": o.summary.mean,
+        "max_s": o.summary.max,
+    });
+    serde_json::json!({
+        "pool_budget_tokens": pool_budget_tokens,
+        "served": o.served,
+        "wall_seconds": o.wall,
+        "sustained_qps": o.sustained_qps,
+        "latency": latency,
+        "prefix_pool": prefix_json(&o.prefix),
+        "bitwise_parity": o.parity && o.complete,
+        "leak_audit_clean": o.audit_clean,
+        "batches": o.server.batches,
+    })
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (n_requests, rate, n_items, n_templates) = if quick {
+        (24, 40.0, 6, 2)
+    } else {
+        (160, 80.0, 8, 4)
+    };
+    let workers = zg_tensor::available_threads().clamp(1, 4);
+    let p99_ceiling = if quick { 0.1 } else { 0.25 };
+    let baseline_slack = 1.10;
+    let min_hit_token_rate = 0.5;
+    // Generous budget for the main run (holds the whole combo working
+    // set), one token for the no-reuse baseline, and a squeeze far below
+    // one template's prompts for the eviction-pressure run.
+    let main_budget = 1 << 16;
+    let pressure_budget = 768;
+
+    println!("== serve_load: continuous-batching server benchmark ==");
+    println!(
+        "requests={n_requests} offered_rate={rate}/s workers={workers} \
+         templates={n_templates} items={n_items} seed={SEED:#x}"
+    );
+
+    // Model + items (same recipe as the inference benchmark).
+    let ds = zg_data::german(64, 0x2F);
+    let (train, test) = ds.split(0.5);
+    let train_examples: Vec<_> = train
+        .iter()
+        .take(40)
+        .map(|r| zg_instruct::render_classification(&ds, r))
+        .collect();
+    let mut model = bench_model(&train_examples);
+    let capped: Vec<_> = test.iter().copied().take(n_items).collect();
+    let items = eval_items(&ds, &capped);
+
+    // Mixed-template combos with per-combo offline oracles.
+    let mut combos = Vec::with_capacity(n_templates * items.len());
+    for (t, pre) in PREAMBLES.iter().take(n_templates).enumerate() {
+        for it in &items {
+            let mut example = it.example.clone();
+            example.prompt = format!("{pre}{}", example.prompt);
+            let item = EvalItem {
+                record: it.record,
+                example,
+            };
+            // The shared prefill path must engage: both prompt budgets
+            // see the identical untruncated token sequence.
+            let p_ans = model.prompt_ids(&item.example.prompt, ANSWER_TOKENS);
+            assert_eq!(
+                p_ans,
+                model.prompt_ids(&item.example.prompt, SCORE_RESERVE),
+                "template {t}: prompt must fit untruncated (shared path)"
+            );
+            let (oracle_answer, oracle_p) = model.evaluate_item(&item);
+            combos.push(Combo {
+                template: t as u64,
+                prompt: item.example.prompt,
+                negative: item.example.candidates[0].clone(),
+                positive: item.example.candidates[1].clone(),
+                oracle_answer,
+                oracle_p,
+            });
+        }
+    }
+    // Interleave templates across consecutive requests so grouping (not
+    // accidental adjacency) is what reassembles same-template batches:
+    // combo order is (item-major, template-minor).
+    combos.sort_by_key(|c| c.prompt.len());
+
+    // ---- Main radix-pool load run (traced) ----
+    let tracer = Tracer::with_clock(zg_trace::wall_clock());
+    let guard = tracer.install("serve_load");
+    let main_run = run_load(&model, &combos, workers, main_budget, n_requests, rate);
     drop(guard);
     let trace = tracer.finish();
     write_result("serve_trace.jsonl", &trace.to_jsonl());
-
     println!(
-        "served {}/{n_requests} in {wall:.2}s wall: p50 {:.1} ms, p99 {:.1} ms, sustained {sustained_qps:.1} QPS",
-        completions.len(),
-        summary.p50 * 1e3,
-        summary.p99 * 1e3,
+        "radix: served {}/{n_requests} in {:.2}s wall: p50 {:.1} ms, p99 {:.1} ms, sustained {:.1} QPS",
+        main_run.served,
+        main_run.wall,
+        main_run.summary.p50 * 1e3,
+        main_run.summary.p99 * 1e3,
+        main_run.sustained_qps,
     );
     println!(
-        "prefix pool: {} hits / {} misses / {} inserts / {} evictions",
-        prefix.hits, prefix.misses, prefix.inserts, prefix.evictions
+        "radix pool: {} hits / {} misses / {} inserts / {} evictions, hit-token rate {:.1}% ({}/{} tokens)",
+        main_run.prefix.hits,
+        main_run.prefix.misses,
+        main_run.prefix.inserts,
+        main_run.prefix.evictions,
+        100.0 * main_run.prefix.hit_token_rate(),
+        main_run.prefix.hit_tokens,
+        main_run.prefix.lookup_tokens,
+    );
+
+    // ---- No-reuse baseline: pool budget 1 token, everything prefills ----
+    let baseline = run_load(&model, &combos, workers, 1, n_requests, rate);
+    println!(
+        "baseline (no reuse): p50 {:.1} ms, p99 {:.1} ms, hit-token rate {:.1}%",
+        baseline.summary.p50 * 1e3,
+        baseline.summary.p99 * 1e3,
+        100.0 * baseline.prefix.hit_token_rate(),
+    );
+
+    // ---- Eviction pressure: budget far below the working set ----
+    let pressure = run_load(&model, &combos, workers, pressure_budget, n_requests, rate);
+    println!(
+        "pressure (budget {pressure_budget}): p99 {:.1} ms, {} evictions, resident {} tokens, audit clean: {}",
+        pressure.summary.p99 * 1e3,
+        pressure.prefix.evictions,
+        pressure.prefix.resident_tokens,
+        pressure.audit_clean,
     );
 
     // ---- Deterministic simulation gate: same seed, byte-identical trace ----
@@ -181,8 +347,7 @@ fn main() {
             model.spec(),
             EngineConfig {
                 workers: 1,
-                prefix_tokens: 24,
-                pool_capacity: 8,
+                pool_budget_tokens: main_budget,
                 ..EngineConfig::default()
             },
         );
@@ -190,12 +355,13 @@ fn main() {
             queue_capacity: sim_requests,
             max_batch: 4,
             default_timeout: None,
+            reorder_window: 4,
         };
         let mut server = Server::new(engine, cfg, clock.clock());
         let traffic: Vec<(f64, Request)> = poisson_arrivals(SEED, 200.0, sim_requests)
             .into_iter()
             .enumerate()
-            .map(|(i, t)| (t, score_request(&items, i)))
+            .map(|(i, t)| (t, score_request(&combos, i)))
             .collect();
         let out = drive(&mut server, &clock, &traffic, 0.01);
         let completed = out.completions.len();
@@ -211,28 +377,17 @@ fn main() {
         trace_a.len()
     );
 
-    let p99_ok = summary.p99 <= p99_ceiling;
-    // The vendored `json!` macro takes flat maps only; nest via values.
-    let latency = serde_json::json!({
-        "n": summary.n,
-        "p50_s": summary.p50,
-        "p99_s": summary.p99,
-        "mean_s": summary.mean,
-        "max_s": summary.max,
-    });
-    let server_obj = serde_json::json!({
-        "admitted": server_stats.admitted,
-        "completed": server_stats.completed,
-        "rejected": server_stats.rejected,
-        "timed_out": server_stats.timed_out,
-        "batches": server_stats.batches,
-    });
-    let prefix_obj = serde_json::json!({
-        "hits": prefix.hits,
-        "misses": prefix.misses,
-        "inserts": prefix.inserts,
-        "evictions": prefix.evictions,
-    });
+    let parity_all = [&main_run, &baseline, &pressure]
+        .iter()
+        .all(|r| r.parity && r.complete);
+    let audits_clean = [&main_run, &baseline, &pressure]
+        .iter()
+        .all(|r| r.audit_clean);
+    let hit_rate_ok = main_run.prefix.hit_token_rate() >= min_hit_token_rate;
+    let p99_ok = main_run.summary.p99 <= p99_ceiling;
+    let beats_baseline = main_run.summary.p99 <= baseline.summary.p99 * baseline_slack;
+    let pressure_evicts = pressure.prefix.evictions > 0;
+
     let sim_obj = serde_json::json!({
         "requests": sim_requests,
         "completed": sim_completed_a,
@@ -243,23 +398,28 @@ fn main() {
         "workers": workers,
         "requests": n_requests,
         "offered_rate_qps": rate,
-        "wall_seconds": wall,
-        "latency": latency,
-        "sustained_qps": sustained_qps,
-        "server": server_obj,
-        "prefix_pool": prefix_obj,
-        "bitwise_parity": parity && complete,
-        "leak_audit_clean": audit_clean,
+        "templates": n_templates,
+        "items": n_items,
+        "radix": load_json(&main_run, main_budget),
+        "baseline_no_reuse": load_json(&baseline, 1),
+        "eviction_pressure": load_json(&pressure, pressure_budget),
+        "bitwise_parity": parity_all,
+        "leak_audit_clean": audits_clean,
         "trace_deterministic": trace_deterministic,
+        "min_hit_token_rate": min_hit_token_rate,
+        "hit_token_rate_ok": hit_rate_ok,
         "p99_ceiling_s": p99_ceiling,
         "p99_within_ceiling": p99_ok,
+        "baseline_slack": baseline_slack,
+        "p99_beats_baseline": beats_baseline,
+        "pressure_evictions_observed": pressure_evicts,
         "sim": sim_obj,
     }))
     .expect("benchmark serializes");
     write_result("serve_load.json", &out);
 
     let mut failed = false;
-    if !(parity && complete) {
+    if !parity_all {
         println!("FAIL: served results are not bit-identical to the offline evaluator");
         failed = true;
     }
@@ -267,19 +427,42 @@ fn main() {
         println!("FAIL: seeded simulation traces are not byte-identical");
         failed = true;
     }
-    if !audit_clean {
+    if !audits_clean {
         println!("FAIL: prefix-lease leak audit");
+        failed = true;
+    }
+    if !hit_rate_ok {
+        println!(
+            "FAIL: prefix hit-token rate {:.1}% below the {:.0}% floor",
+            100.0 * main_run.prefix.hit_token_rate(),
+            100.0 * min_hit_token_rate
+        );
         failed = true;
     }
     if !p99_ok {
         println!(
-            "FAIL: p99 {:.2}s exceeds the {p99_ceiling:.0}s sanity ceiling",
-            summary.p99
+            "FAIL: p99 {:.3}s exceeds the {p99_ceiling:.3}s ceiling",
+            main_run.summary.p99
         );
+        failed = true;
+    }
+    if !beats_baseline {
+        println!(
+            "FAIL: radix p99 {:.3}s worse than no-reuse baseline {:.3}s (+{:.0}% slack)",
+            main_run.summary.p99,
+            baseline.summary.p99,
+            100.0 * (baseline_slack - 1.0)
+        );
+        failed = true;
+    }
+    if !pressure_evicts {
+        println!("FAIL: eviction-pressure run never evicted (budget {pressure_budget})");
         failed = true;
     }
     if failed {
         std::process::exit(1);
     }
-    println!("serve_load gates passed: parity, determinism, leak audit, p99 ceiling");
+    println!(
+        "serve_load gates passed: parity, determinism, leak audit, hit rate, p99 ceiling, baseline, eviction pressure"
+    );
 }

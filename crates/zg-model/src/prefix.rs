@@ -1,14 +1,21 @@
-//! Refcounted shared-prefix KV blocks: [`KvCache::fork`] extended from
-//! per-candidate to cross-request reuse.
+//! Token-level radix-trie KV prefix cache: longest-common-prefix reuse
+//! of KV blocks across requests, generalizing [`KvCache::fork`] from
+//! per-candidate to cross-request, cross-template sharing.
 //!
-//! In the serving workload every user prompt begins with the same
-//! rendered instruction template, so the template's KV state can be
-//! prefetched once and *forked* per request instead of being recomputed
-//! per request. A [`PrefixPool`] owns those template states keyed by
-//! their token prefix; [`PrefixBlock`] is a refcounted lease on one
-//! entry, and forking a lease hands back an independent [`KvCache`]
-//! (plus the next-token logits after the prefix) that the request then
-//! extends privately.
+//! In the serving workload every user prompt renders a long shared
+//! instruction/template prefix followed by a short per-borrower suffix.
+//! The old pool reused a KV block only on an **exact full-key match**,
+//! so two prompts sharing 95% of their tokens prefilled from scratch.
+//! This pool stores prefixes in a radix trie over token ids:
+//! [`PrefixPool::acquire`] returns a leased block for the *longest
+//! cached prefix* of the request's token ids, the caller prefills only
+//! the remaining suffix, and re-inserts the extended prefix so the next
+//! request with a longer shared prefix hits deeper.
+//! [`PrefixPool::shared_prefix_len`] additionally exposes the structural
+//! LCP with the trie (how far the walk matched, entries or not), which
+//! the serving engine uses to seed an entry exactly at the divergence
+//! point between borrowers — the shared template boundary discovers
+//! itself from traffic.
 //!
 //! **Bitwise transparency.** Prefilling `prompt[..k]` and then
 //! `prompt[k..]` produces bit-identical KV state and logits to one
@@ -18,9 +25,18 @@
 //! exact `0.0` in the softmax, so chunk boundaries never change the
 //! visible-key sums — including when the sliding window has already
 //! trimmed keys out of the stored cache. The `split_prefill_bit_identity`
-//! test below pins this, which is what lets the serving path share
-//! prefixes across requests while staying exact-`f64` identical to the
-//! offline single-prefill evaluator.
+//! test below pins this for multi-way splits, which is what lets the
+//! serving path reuse an arbitrary-length LCP and stay exact-`f64`
+//! identical to the offline single-prefill evaluator.
+//!
+//! **Eviction** is least-recently-used under a **token budget** (not an
+//! entry count): each cached entry is charged its prefix length in
+//! tokens, and unleased entries are evicted LRU-first until the
+//! resident total fits the budget. Leased entries are never evicted —
+//! the pool may transiently exceed its budget while everything is
+//! leased. Children are ordered in `BTreeMap`s and the recency stamp is
+//! a monotonic tick, so every pool decision is a pure function of the
+//! operation sequence and traces stay byte-identical across runs.
 //!
 //! The pool is deliberately single-threaded (`Rc`-based, like the
 //! tensors inside [`KvCache`]): a parallel server gives each worker
@@ -40,16 +56,38 @@ pub struct PrefixStats {
     pub hits: u64,
     /// `acquire` calls that found nothing reusable.
     pub misses: u64,
-    /// Entries inserted.
+    /// Prompt tokens served from cache across all hits (the LCP sum).
+    pub hit_tokens: u64,
+    /// Prompt tokens presented to `acquire` across all lookups (the
+    /// denominator of the prefix-hit-token rate).
+    pub lookup_tokens: u64,
+    /// Entries inserted (including replacements of an existing key).
     pub inserts: u64,
-    /// Entries evicted to respect the capacity bound.
+    /// Entries evicted to respect the token budget.
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Token-budget charge of the resident entries (sum of prefix
+    /// lengths; an upper bound on stored KV when a sliding window trims).
+    pub resident_tokens: usize,
     /// Outstanding leases across all entries.
     pub live_leases: usize,
 }
 
+impl PrefixStats {
+    /// Fraction of presented prompt tokens served from cache, in
+    /// `[0, 1]` (`0` when nothing was looked up).
+    pub fn hit_token_rate(&self) -> f64 {
+        if self.lookup_tokens == 0 {
+            0.0
+        } else {
+            self.hit_tokens as f64 / self.lookup_tokens as f64
+        }
+    }
+}
+
+/// A cached KV state at one trie node, covering the tokens from the
+/// root to that node.
 struct Entry {
     cache: KvCache,
     logits: Vec<f32>,
@@ -59,43 +97,210 @@ struct Entry {
     last_used: u64,
 }
 
+/// One radix-trie node. The edge *into* the node is labelled with
+/// `label` (a non-empty token run for every node except the root);
+/// `depth` is the total prefix length root..=label end.
+struct Node {
+    label: Vec<u32>,
+    parent: usize,
+    /// First token of each child's label -> child node index. BTreeMap
+    /// keeps traversal order deterministic.
+    children: BTreeMap<u32, usize>,
+    entry: Option<Entry>,
+    depth: usize,
+    /// Slot recycled onto the free list (never traversed).
+    freed: bool,
+}
+
+const ROOT: usize = 0;
+
 struct Inner {
-    entries: BTreeMap<Vec<u32>, Entry>,
-    capacity: usize,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    budget_tokens: usize,
     tick: u64,
     hits: u64,
     misses: u64,
+    hit_tokens: u64,
+    lookup_tokens: u64,
     inserts: u64,
     evictions: u64,
+    entries: usize,
+    resident_tokens: usize,
     live_leases: usize,
 }
 
 impl Inner {
-    /// Evict unreferenced entries, least-recently-used first, until the
-    /// pool fits its capacity. Entries with outstanding leases are
-    /// never evicted (the pool may transiently exceed capacity while
-    /// every entry is leased).
-    fn enforce_capacity(&mut self) {
-        while self.entries.len() > self.capacity {
-            let victim = self
-                .entries
+    /// Walk the trie as far as `prompt` matches it. Returns
+    /// `(node, matched, deepest_entry)` where `matched` is the
+    /// structural LCP in tokens and `deepest_entry` is the deepest node
+    /// on the walk holding an entry with `depth < prompt.len()` (strict
+    /// prefix: at least one prompt token is always left to prefill).
+    fn walk(&self, prompt: &[u32]) -> (usize, usize, Option<usize>) {
+        let mut cur = ROOT;
+        let mut matched = 0usize;
+        let mut best: Option<usize> = None;
+        loop {
+            // INVARIANT: cur is always a live node index — it starts at the
+            // root and only follows child links, which are kept in sync with
+            // the arena.
+            let node = &self.nodes[cur];
+            if node.entry.is_some() && node.depth > 0 && node.depth < prompt.len() {
+                best = Some(cur);
+            }
+            let next_tok = match prompt.get(matched) {
+                Some(t) => *t,
+                None => break,
+            };
+            let child = match node.children.get(&next_tok) {
+                Some(c) => *c,
+                None => break,
+            };
+            // INVARIANT: children only hold live node indices.
+            let label = &self.nodes[child].label;
+            let avail = &prompt[matched..];
+            let common = label
                 .iter()
+                .zip(avail.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            matched += common;
+            if common < label.len() {
+                // Fell off mid-edge: the child's full prefix is not a
+                // prefix of the prompt, and no deeper node can be.
+                break;
+            }
+            cur = child;
+        }
+        (cur, matched, best)
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Find (creating / edge-splitting as needed) the node whose prefix
+    /// is exactly `key`, and return its index. Splitting an edge keeps
+    /// the deeper node's index (and depth) stable, so outstanding leases
+    /// keep referring to the same logical prefix.
+    fn node_for(&mut self, key: &[u32]) -> usize {
+        let mut cur = ROOT;
+        let mut matched = 0usize;
+        while matched < key.len() {
+            // INVARIANT: key is non-empty and matched < key.len() inside the
+            // loop, so the index is in bounds.
+            let next_tok = key[matched];
+            let child = match self.nodes[cur].children.get(&next_tok) {
+                Some(c) => *c,
+                None => {
+                    let leaf = self.alloc(Node {
+                        label: key[matched..].to_vec(),
+                        parent: cur,
+                        children: BTreeMap::new(),
+                        entry: None,
+                        depth: key.len(),
+                        freed: false,
+                    });
+                    self.nodes[cur].children.insert(next_tok, leaf);
+                    return leaf;
+                }
+            };
+            let label = self.nodes[child].label.clone();
+            let avail = &key[matched..];
+            let common = label
+                .iter()
+                .zip(avail.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            if common == label.len() {
+                matched += common;
+                cur = child;
+                continue;
+            }
+            // Split the edge: `mid` takes the shared run, `child` keeps
+            // the tail (index, entry, and children untouched).
+            let mid = self.alloc(Node {
+                label: label[..common].to_vec(),
+                parent: cur,
+                children: BTreeMap::new(),
+                entry: None,
+                depth: matched + common,
+                freed: false,
+            });
+            self.nodes[child].label = label[common..].to_vec();
+            self.nodes[child].parent = mid;
+            // INVARIANT: common < label.len() here, so the tail label is
+            // non-empty and has a first token.
+            let tail_tok = self.nodes[child].label[0];
+            self.nodes[mid].children.insert(tail_tok, child);
+            self.nodes[cur].children.insert(next_tok, mid);
+            matched += common;
+            cur = mid;
+        }
+        cur
+    }
+
+    /// Remove the entry at `idx` and prune the now-useless chain of
+    /// entry-less, childless nodes above it.
+    fn remove_entry(&mut self, idx: usize) {
+        // INVARIANT: callers pass live entry-holding node indices.
+        let depth = self.nodes[idx].depth;
+        self.nodes[idx].entry = None;
+        self.entries -= 1;
+        self.resident_tokens -= depth;
+        let mut cur = idx;
+        while cur != ROOT && self.nodes[cur].entry.is_none() && self.nodes[cur].children.is_empty()
+        {
+            let parent = self.nodes[cur].parent;
+            // INVARIANT: a non-root node's label is non-empty by
+            // construction, so it has a first token keying it in its parent.
+            let first = self.nodes[cur].label[0];
+            self.nodes[parent].children.remove(&first);
+            self.nodes[cur].freed = true;
+            self.nodes[cur].label = Vec::new();
+            self.free.push(cur);
+            cur = parent;
+        }
+    }
+
+    /// Evict unleased entries, least-recently-used first, until the
+    /// resident token total fits the budget. Leased entries are never
+    /// evicted (the pool may transiently exceed its budget while every
+    /// entry is leased).
+    fn enforce_budget(&mut self) {
+        while self.resident_tokens > self.budget_tokens {
+            let victim = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| !n.freed)
+                .filter_map(|(i, n)| n.entry.as_ref().map(|e| (i, e)))
                 .filter(|(_, e)| e.refs == 0)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
+                .map(|(i, _)| i);
             match victim {
-                Some(k) => {
-                    self.entries.remove(&k);
+                Some(i) => {
+                    self.remove_entry(i);
                     self.evictions += 1;
                     zg_trace::counter_add("prefix.evictions", 1.0);
                 }
                 None => break,
             }
         }
+        zg_trace::gauge_set("prefix.resident_tokens", self.resident_tokens as f64);
     }
 }
 
-/// A pool of refcounted template-prefix KV blocks.
+/// A radix-trie pool of refcounted prefix KV blocks.
 ///
 /// Cloning shares the pool (it is a handle, like the `Rc` tensors it
 /// stores).
@@ -105,55 +310,74 @@ pub struct PrefixPool {
 }
 
 impl PrefixPool {
-    /// A pool retaining at most `capacity` unleased entries.
-    pub fn new(capacity: usize) -> PrefixPool {
-        assert!(capacity > 0, "prefix pool capacity must be positive");
+    /// A pool retaining at most `budget_tokens` tokens of unleased
+    /// cached prefixes (each entry is charged its prefix length).
+    pub fn new(budget_tokens: usize) -> PrefixPool {
+        assert!(
+            budget_tokens > 0,
+            "prefix pool token budget must be positive"
+        );
         PrefixPool {
             inner: Rc::new(RefCell::new(Inner {
-                entries: BTreeMap::new(),
-                capacity,
+                nodes: vec![Node {
+                    label: Vec::new(),
+                    parent: ROOT,
+                    children: BTreeMap::new(),
+                    entry: None,
+                    depth: 0,
+                    freed: false,
+                }],
+                free: Vec::new(),
+                budget_tokens,
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                hit_tokens: 0,
+                lookup_tokens: 0,
                 inserts: 0,
                 evictions: 0,
+                entries: 0,
+                resident_tokens: 0,
                 live_leases: 0,
             })),
         }
     }
 
-    /// Look up the longest cached entry whose key is a *strict* prefix
-    /// of `prompt` and lease it. Returns the lease and the matched
+    /// Look up the longest cached prefix of `prompt` — the deepest
+    /// entry on the trie walk whose prefix is a *strict* prefix of
+    /// `prompt` — and lease it. Returns the lease and the matched
     /// prefix length, or `None` (a miss) when nothing reusable is
     /// cached. The strictness guarantee means at least one prompt token
     /// always remains for the caller to prefill, so the caller always
     /// obtains fresh next-token logits for the full prompt.
     pub fn acquire(&self, prompt: &[u32]) -> Option<(PrefixBlock, usize)> {
         let mut inner = self.inner.borrow_mut();
-        let best: Option<Vec<u32>> = inner
-            .entries
-            .keys()
-            .filter(|k| k.len() < prompt.len() && prompt.starts_with(k))
-            .max_by_key(|k| k.len())
-            .cloned();
+        inner.lookup_tokens += prompt.len() as u64;
+        let (_, _, best) = inner.walk(prompt);
         match best {
-            Some(key) => {
+            Some(idx) => {
                 inner.tick += 1;
                 let tick = inner.tick;
                 inner.hits += 1;
                 inner.live_leases += 1;
-                // INVARIANT: `key` was found in `entries` two lines up and the map
-                // is not touched in between.
-                let e = inner.entries.get_mut(&key).expect("entry just found");
+                // INVARIANT: walk only reports live entry-holding nodes and
+                // the map is not touched in between.
+                let node = &mut inner.nodes[idx];
+                let len = node.depth;
+                // INVARIANT: walk only reports entry-holding nodes (see above).
+                let e = node.entry.as_mut().expect("walk reported an entry");
                 e.refs += 1;
                 e.last_used = tick;
-                let len = key.len();
+                inner.hit_tokens += len as u64;
                 zg_trace::counter_add("prefix.hits", 1.0);
+                zg_trace::counter_add("prefix.hit_tokens", len as f64);
+                zg_trace::hist_record("prefix.lcp_tokens", len as f64);
                 drop(inner);
                 Some((
                     PrefixBlock {
                         pool: Rc::clone(&self.inner),
-                        key,
+                        node: idx,
+                        len,
                     },
                     len,
                 ))
@@ -161,9 +385,22 @@ impl PrefixPool {
             None => {
                 inner.misses += 1;
                 zg_trace::counter_add("prefix.misses", 1.0);
+                zg_trace::hist_record("prefix.lcp_tokens", 0.0);
                 None
             }
         }
+    }
+
+    /// Structural LCP between `prompt` and the trie: how many leading
+    /// prompt tokens the trie already spells out (entries or not),
+    /// clamped to a strict prefix of `prompt`. The serving engine seeds
+    /// an entry at this boundary — it is exactly where this prompt
+    /// diverges from previously-seen traffic, i.e. the shared template
+    /// prefix as discovered from the requests themselves.
+    pub fn shared_prefix_len(&self, prompt: &[u32]) -> usize {
+        let inner = self.inner.borrow();
+        let (_, matched, _) = inner.walk(prompt);
+        matched.min(prompt.len().saturating_sub(1))
     }
 
     /// Insert the KV state (and next-token logits) of a freshly
@@ -182,21 +419,32 @@ impl PrefixPool {
         let tick = inner.tick;
         inner.inserts += 1;
         inner.live_leases += 1;
-        let entry = inner.entries.entry(key.to_vec()).or_insert(Entry {
-            cache: cache.fork(),
-            logits: Vec::new(),
-            refs: 0,
-            last_used: tick,
-        });
-        entry.cache = cache;
-        entry.logits = logits;
-        entry.refs += 1;
-        entry.last_used = tick;
-        inner.enforce_capacity();
+        let idx = inner.node_for(key);
+        let node = &mut inner.nodes[idx];
+        match node.entry.as_mut() {
+            Some(e) => {
+                e.cache = cache;
+                e.logits = logits;
+                e.refs += 1;
+                e.last_used = tick;
+            }
+            None => {
+                node.entry = Some(Entry {
+                    cache,
+                    logits,
+                    refs: 1,
+                    last_used: tick,
+                });
+                inner.entries += 1;
+                inner.resident_tokens += key.len();
+            }
+        }
+        inner.enforce_budget();
         zg_trace::counter_add("prefix.inserts", 1.0);
         PrefixBlock {
             pool: Rc::clone(&self.inner),
-            key: key.to_vec(),
+            node: idx,
+            len: key.len(),
         }
     }
 
@@ -206,16 +454,19 @@ impl PrefixPool {
         PrefixStats {
             hits: inner.hits,
             misses: inner.misses,
+            hit_tokens: inner.hit_tokens,
+            lookup_tokens: inner.lookup_tokens,
             inserts: inner.inserts,
             evictions: inner.evictions,
-            entries: inner.entries.len(),
+            entries: inner.entries,
+            resident_tokens: inner.resident_tokens,
             live_leases: inner.live_leases,
         }
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.borrow().entries.len()
+        self.inner.borrow().entries
     }
 
     /// Whether the pool holds no entries.
@@ -234,16 +485,21 @@ impl PrefixPool {
             "prefix pool has {} outstanding lease(s)",
             inner.live_leases
         );
-        debug_assert!(inner.entries.values().all(|e| e.refs == 0));
+        debug_assert!(inner
+            .nodes
+            .iter()
+            .filter(|n| !n.freed)
+            .all(|n| n.entry.as_ref().is_none_or(|e| e.refs == 0)));
     }
 }
 
 /// A refcounted lease on one pooled prefix entry. Dropping the lease
 /// releases the reference; the entry itself stays cached (subject to
-/// LRU eviction) for the next request with the same template.
+/// token-budget LRU eviction) for the next request sharing the prefix.
 pub struct PrefixBlock {
     pool: Rc<RefCell<Inner>>,
-    key: Vec<u32>,
+    node: usize,
+    len: usize,
 }
 
 impl PrefixBlock {
@@ -253,15 +509,26 @@ impl PrefixBlock {
     /// mutates the pooled entry.
     pub fn fork(&self) -> (KvCache, Vec<f32>) {
         let inner = self.pool.borrow();
-        // INVARIANT: a live lease pins its entry — eviction skips entries with
-        // refs > 0 and drop is the only place refs reach 0.
-        let e = inner.entries.get(&self.key).expect("leased entry resident");
+        // INVARIANT: a live lease pins its entry — eviction skips entries
+        // with refs > 0 and drop is the only place refs reach 0 — and edge
+        // splits never move or renumber entry-holding nodes.
+        let e = inner.nodes[self.node]
+            .entry
+            .as_ref()
+            // INVARIANT: the lease above pins the entry resident.
+            .expect("leased entry resident");
         (e.cache.fork(), e.logits.clone())
     }
 
-    /// The token prefix this lease covers.
-    pub fn key(&self) -> &[u32] {
-        &self.key
+    /// Token length of the prefix this lease covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the lease covers an empty prefix (never true: keys are
+    /// non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -269,10 +536,10 @@ impl Drop for PrefixBlock {
     fn drop(&mut self) {
         let mut inner = self.pool.borrow_mut();
         inner.live_leases = inner.live_leases.saturating_sub(1);
-        if let Some(e) = inner.entries.get_mut(&self.key) {
+        if let Some(e) = inner.nodes[self.node].entry.as_mut() {
             e.refs = e.refs.saturating_sub(1);
         }
-        inner.enforce_capacity();
+        inner.enforce_budget();
     }
 }
 
@@ -302,8 +569,8 @@ mod tests {
     }
 
     /// The foundational claim of the whole prefix-sharing design:
-    /// prefilling in two chunks is bit-identical to one chunk, within
-    /// and beyond the sliding window.
+    /// prefilling in chunks — two-way and three-way splits — is
+    /// bit-identical to one chunk, within and beyond the sliding window.
     #[test]
     fn split_prefill_bit_identity() {
         for window in [64usize, 5] {
@@ -324,15 +591,23 @@ mod tests {
                     "scores window={window} split={split}"
                 );
             }
+            // Three-way split: the LCP-reuse path prefills prefix,
+            // divergence-to-extended, then the final token.
+            let mut parts = lm.new_cache();
+            let _ = lm.prefill(&prompt[..6], &mut parts);
+            let _ = lm.prefill(&prompt[6..23], &mut parts);
+            let c = lm.prefill(&prompt[23..], &mut parts);
+            assert_eq!(a, c, "three-way split window={window}");
         }
     }
 
     #[test]
     fn acquire_miss_then_hit_roundtrip() {
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(4);
+        let pool = PrefixPool::new(4096);
         let prompt = toks(12, 1);
         assert!(pool.acquire(&prompt).is_none(), "cold pool misses");
+        assert_eq!(pool.shared_prefix_len(&prompt), 0);
 
         let mut cache = lm.new_cache();
         let logits = lm.prefill(&prompt[..6], &mut cache);
@@ -341,6 +616,7 @@ mod tests {
 
         let (block, len) = pool.acquire(&prompt).expect("warm pool hits");
         assert_eq!(len, 6);
+        assert_eq!(block.len(), 6);
         let (mut fork, row) = block.fork();
         assert_eq!(fork.pos, 6);
         let rest = lm.prefill(&prompt[6..], &mut fork);
@@ -356,27 +632,66 @@ mod tests {
 
         let s = pool.stats();
         assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert_eq!(s.hit_tokens, 6);
+        assert_eq!(s.lookup_tokens, 24);
+        assert_eq!(s.resident_tokens, 6);
     }
 
     #[test]
     fn acquire_never_matches_whole_prompt() {
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(4);
+        let pool = PrefixPool::new(4096);
         let prompt = toks(8, 2);
         let mut cache = lm.new_cache();
         let logits = lm.prefill(&prompt, &mut cache);
         let _lease = pool.insert(&prompt, cache, logits);
         // The full prompt is cached, but acquire demands a strict prefix.
         assert!(pool.acquire(&prompt).is_none());
+        // Likewise the structural LCP is clamped strictly below.
+        assert_eq!(pool.shared_prefix_len(&prompt), prompt.len() - 1);
         // A longer prompt sharing the 8-token prefix does match.
         let longer = toks(10, 2);
         assert!(pool.acquire(&longer).is_some());
     }
 
+    /// The radix upgrade itself: a cached prefix is found even when no
+    /// stored key exactly prefixes the query at its full length — the
+    /// trie returns the longest *common* prefix entry, where the old
+    /// exact-match pool scored a miss.
+    #[test]
+    fn lcp_lookup_reuses_across_diverging_suffixes() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(4096);
+        let a: Vec<u32> = (0..16).collect();
+        let mut cache = lm.new_cache();
+        let logits = lm.prefill(&a, &mut cache);
+        drop(pool.insert(&a, cache, logits));
+        // Borrower B shares 10 tokens then diverges: structural LCP is
+        // 10, but no *entry* lives at 10 yet, so acquire misses while
+        // shared_prefix_len pinpoints the divergence boundary.
+        let mut b: Vec<u32> = (0..10).collect();
+        b.extend([30u32, 31, 32, 33]);
+        assert!(pool.acquire(&b).is_none());
+        assert_eq!(pool.shared_prefix_len(&b), 10);
+        // Seeding an entry at the divergence point (what the serving
+        // engine does) turns every later same-template request into a hit.
+        let mut cache = lm.new_cache();
+        let logits = lm.prefill(&b[..10], &mut cache);
+        drop(pool.insert(&b[..10], cache, logits));
+        let (_, len) = pool.acquire(&b).expect("header entry hits");
+        assert_eq!(len, 10);
+        // And the original full-prefix entry still wins for prompts that
+        // extend it.
+        let mut a_long = a.clone();
+        a_long.push(39);
+        let (_, len) = pool.acquire(&a_long).expect("deep entry hits");
+        assert_eq!(len, 16);
+    }
+
     #[test]
     fn acquire_prefers_longest_prefix() {
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(4);
+        let pool = PrefixPool::new(4096);
         let prompt = toks(12, 3);
         for k in [3usize, 7] {
             let mut c = lm.new_cache();
@@ -390,7 +705,8 @@ mod tests {
     #[test]
     fn refcounts_pin_entries_against_eviction() {
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(2);
+        // Budget fits two 6-token entries, not three.
+        let pool = PrefixPool::new(12);
         let mk = |salt: usize| {
             let p = toks(6, salt);
             let mut c = lm.new_cache();
@@ -403,13 +719,15 @@ mod tests {
         let lease1 = pool.insert(&p1, c1, l1);
         let lease2 = pool.insert(&p2, c2, l2);
         let lease3 = pool.insert(&p3, c3, l3);
-        // All three leased: nothing evictable, pool exceeds capacity.
+        // All three leased: nothing evictable, pool exceeds its budget.
         assert_eq!(pool.len(), 3);
         assert_eq!(pool.stats().live_leases, 3);
+        assert_eq!(pool.stats().resident_tokens, 18);
         // Releasing the oldest makes it the (only) eviction victim.
         drop(lease1);
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().resident_tokens, 12);
         assert!(pool.acquire(&toks(7, 1)).is_none(), "entry 1 evicted");
         assert!(pool.acquire(&toks(7, 2)).is_some(), "entry 2 resident");
         drop(lease2);
@@ -420,7 +738,7 @@ mod tests {
     #[test]
     fn lru_eviction_is_recency_ordered() {
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(2);
+        let pool = PrefixPool::new(12);
         for salt in 1..=2usize {
             let p = toks(6, salt);
             let mut c = lm.new_cache();
@@ -438,13 +756,38 @@ mod tests {
         assert!(pool.acquire(&toks(8, 3)).is_some());
     }
 
+    /// Eviction under a token budget prunes trie structure too: after a
+    /// deep entry is evicted, its chain of entry-less nodes is removed
+    /// and the slots are recycled by later inserts.
+    #[test]
+    fn eviction_prunes_and_recycles_nodes() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(8);
+        let p1 = toks(8, 1);
+        let mut c = lm.new_cache();
+        let l = lm.prefill(&p1, &mut c);
+        drop(pool.insert(&p1, c, l));
+        assert_eq!(pool.stats().resident_tokens, 8);
+        // Budget 8: inserting another 8-token entry evicts the first.
+        let p2 = toks(8, 2);
+        let mut c = lm.new_cache();
+        let l = lm.prefill(&p2, &mut c);
+        drop(pool.insert(&p2, c, l));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.stats().evictions, 1);
+        assert!(pool.acquire(&toks(9, 1)).is_none());
+        assert!(pool.acquire(&toks(9, 2)).is_some());
+        // The pruned structure no longer contributes to the shared LCP.
+        assert_eq!(pool.shared_prefix_len(&toks(9, 1)), 0);
+    }
+
     #[test]
     fn concurrent_style_interleaved_release_is_leak_free() {
         // Many overlapping leases on the same entry, released in an
         // interleaved (non-LIFO) order — the pattern a batch of
         // concurrent requests produces.
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(2);
+        let pool = PrefixPool::new(64);
         let p = toks(10, 4);
         let mut c = lm.new_cache();
         let l = lm.prefill(&p[..5], &mut c);
@@ -465,11 +808,43 @@ mod tests {
         assert_eq!(pool.len(), 1, "entry survives lease churn");
     }
 
+    /// Edge splits keep outstanding leases valid: inserting a key that
+    /// splits the edge below a leased entry must not move the leased
+    /// node, and forks taken after the split stay correct.
+    #[test]
+    fn edge_split_preserves_outstanding_leases() {
+        let lm = tiny_lm(64);
+        let pool = PrefixPool::new(4096);
+        let deep: Vec<u32> = (0..12).collect();
+        let mut c = lm.new_cache();
+        let l = lm.prefill(&deep, &mut c);
+        let lease = pool.insert(&deep, c, l.clone());
+        // Insert a key that forces a split inside the 12-token edge.
+        let shallow: Vec<u32> = (0..5).collect();
+        let mut c = lm.new_cache();
+        let l5 = lm.prefill(&shallow, &mut c);
+        drop(pool.insert(&shallow, c, l5));
+        // The original lease still forks the deep entry.
+        let (fork, row) = lease.fork();
+        assert_eq!(fork.pos, 12);
+        assert_eq!(row, l);
+        // Both entries are found at their lengths.
+        let mut probe = deep.clone();
+        probe.push(39);
+        let (_, len) = pool.acquire(&probe).expect("deep hit");
+        assert_eq!(len, 12);
+        let probe6: Vec<u32> = (0..6).collect();
+        let (_, len) = pool.acquire(&probe6).expect("shallow hit");
+        assert_eq!(len, 5);
+        drop(lease);
+        pool.assert_quiescent();
+    }
+
     #[test]
     #[should_panic(expected = "outstanding lease")]
     fn quiescence_audit_catches_leaked_lease() {
         let lm = tiny_lm(64);
-        let pool = PrefixPool::new(2);
+        let pool = PrefixPool::new(64);
         let p = toks(6, 5);
         let mut c = lm.new_cache();
         let l = lm.prefill(&p, &mut c);

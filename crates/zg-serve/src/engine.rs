@@ -7,22 +7,38 @@
 //! `ZiGongEngine` serves [`Payload::Score`] with *exactly* the float-op
 //! sequence of the offline `ZiGongModel::evaluate_item`, and
 //! [`Payload::Generate`] with exactly `ZiGongModel::generate_answer`.
-//! Prefix sharing is bitwise-transparent (split prefill is bit-identical
-//! to whole prefill — pinned by `zg-model`'s `split_prefill_bit_identity`
-//! test), replicas are bit-exact rebuilds of one [`ZiGongSpec`], and the
-//! batch is split into contiguous chunks merged in index order, so the
+//! Prefix sharing is bitwise-transparent (split prefill — including the
+//! multi-way splits the LCP path takes — is bit-identical to whole
+//! prefill, pinned by `zg-model`'s `split_prefill_bit_identity` test)
+//! and replicas are bit-exact rebuilds of one [`ZiGongSpec`], so the
 //! served answer and probability are exact-`f64` equal to the offline
-//! evaluator for **any** worker count and **any** request interleaving.
+//! evaluator for **any** worker count, **any** request interleaving, and
+//! **any** routing decision.
+//!
+//! ## Prefix reuse
+//!
+//! Each prompt prefill goes through the replica's radix-trie
+//! [`PrefixPool`]: the longest cached prefix is leased and only the
+//! suffix is prefilled, in chunks that re-insert (a) an entry at the
+//! *divergence point* where this prompt peels away from previously seen
+//! traffic — the shared template header discovers itself from the
+//! requests — and (b) the extended prefix covering all but the last
+//! prompt token, so the next same-template request hits deeper.
 //!
 //! ## Determinism model
 //!
 //! Workers are persistent threads, each owning a private replica and a
 //! private [`PrefixPool`] (the pool is `Rc`-based and single-threaded by
 //! design — no locks on the decode path, and per-worker hit sequences
-//! stay deterministic). Chunk assignment is a pure function of batch
-//! length and worker count; results are merged by chunk index, never by
-//! completion order. Worker trace streams are forked on the spawning
-//! thread in loop order, so stream ids are stable across runs.
+//! stay deterministic). Batches are split into contiguous runs of equal
+//! template key and routed with **prefix affinity**: a run goes to the
+//! worker whose pool last served its template (bounded by a per-batch
+//! balance cap), untemplated requests go to the least-loaded worker.
+//! Assignment is a pure function of the batch contents, the worker
+//! count, and the (deterministic) affinity history; replies are merged
+//! by original batch index, never by completion order. Worker trace
+//! streams are forked on the spawning thread in loop order, so stream
+//! ids are stable across runs.
 
 use std::sync::mpsc::{Receiver, Sender};
 use std::thread::JoinHandle;
@@ -55,11 +71,10 @@ pub struct EngineConfig {
     /// Worker replicas. `0` and `1` both mean "inline on the caller's
     /// thread" (no worker threads, still one replica + pool).
     pub workers: usize,
-    /// Token length of the shared template prefix each replica caches
-    /// (clamped per prompt to leave at least one token to prefill).
-    pub prefix_tokens: usize,
-    /// Capacity of each worker's prefix pool (distinct templates).
-    pub pool_capacity: usize,
+    /// Token budget of each worker's radix prefix pool: unleased cached
+    /// prefixes are evicted LRU-first once their summed token length
+    /// exceeds this (leased entries are never evicted).
+    pub pool_budget_tokens: usize,
     /// GEMM kernel pinned on each replica's serving thread (worker
     /// threads own the setting for life; the inline engine pins the
     /// calling thread when the replica is built). Defaults to the
@@ -77,8 +92,7 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             workers: 1,
-            prefix_tokens: 24,
-            pool_capacity: 8,
+            pool_budget_tokens: 4096,
             kernel: zg_tensor::default_gemm_kernel(),
             quantized: false,
         }
@@ -90,7 +104,6 @@ impl Default for EngineConfig {
 struct Replica {
     model: ZiGongModel,
     pool: PrefixPool,
-    prefix_tokens: usize,
     /// Greedy decoding at temperature 0 never consumes this RNG; it only
     /// satisfies the sampler's signature. Seeded to match the offline
     /// evaluator for auditability.
@@ -109,38 +122,70 @@ impl Replica {
         }
         Replica {
             model,
-            pool: PrefixPool::new(cfg.pool_capacity),
-            prefix_tokens: cfg.prefix_tokens,
+            pool: PrefixPool::new(cfg.pool_budget_tokens),
             rng: StdRng::seed_from_u64(0xD1D1),
         }
     }
 
-    /// Prefill `ids` reusing (and feeding) the prefix pool. Returns the
-    /// full-prompt cache, the next-token logits, and the lease pinning
-    /// the shared block for the rest of the request.
+    /// Prefill `ids[from..]` onto `cache` in chunks, inserting a pool
+    /// entry — and holding its lease in `leases` — at each boundary in
+    /// `bounds` (ascending; boundaries at or before `from`, or not
+    /// strictly inside the prompt, are skipped). Returns the full-prompt
+    /// next-token logits.
     ///
-    /// Both branches are bit-identical to `lm.prefill(ids)` in one shot:
-    /// split prefill is bitwise-transparent (see module docs).
-    fn prefill_shared(&mut self, ids: &[u32]) -> (KvCache, Vec<f32>, Option<PrefixBlock>) {
-        if let Some((block, len)) = self.pool.acquire(ids) {
-            let (mut cache, _prefix_logits) = block.fork();
-            // INVARIANT: acquire only returns prefix matches, so len <= ids.len().
-            let logits = self.model.lm.prefill(&ids[len..], &mut cache);
-            return (cache, logits, Some(block));
+    /// Bit-identical to `lm.prefill(&ids[from..])` in one shot: split
+    /// prefill is bitwise-transparent for arbitrary multi-way splits
+    /// (see module docs).
+    fn prefill_suffix(
+        &mut self,
+        ids: &[u32],
+        mut from: usize,
+        bounds: &[usize],
+        cache: &mut KvCache,
+        leases: &mut Vec<PrefixBlock>,
+    ) -> Vec<f32> {
+        for &b in bounds {
+            if b <= from || b >= ids.len() {
+                continue;
+            }
+            // INVARIANT: from < b < ids.len() by the guard above, so both
+            // the chunk slice and the key slice are in bounds and non-empty.
+            let row = self.model.lm.prefill(&ids[from..b], cache);
+            // INVARIANT: b < ids.len() by the same guard, so the key slice
+            // is in bounds.
+            leases.push(self.pool.insert(&ids[..b], cache.fork(), row));
+            from = b;
         }
-        let key_len = self.prefix_tokens.min(ids.len().saturating_sub(1));
-        let mut cache = self.model.lm.new_cache();
-        if key_len == 0 {
-            let logits = self.model.lm.prefill(ids, &mut cache);
-            return (cache, logits, None);
-        }
-        // INVARIANT: key_len < ids.len() by the saturating min above, so
-        // both the key slice and the remainder slice are in bounds.
-        let (key, rest) = (&ids[..key_len], &ids[key_len..]);
-        let key_logits = self.model.lm.prefill(key, &mut cache);
-        let block = self.pool.insert(key, cache.fork(), key_logits);
-        let logits = self.model.lm.prefill(rest, &mut cache);
-        (cache, logits, Some(block))
+        // INVARIANT: every accepted boundary is < ids.len(), so at least
+        // one token remains and prefill's non-empty precondition holds.
+        self.model.lm.prefill(&ids[from..], cache)
+    }
+
+    /// Prefill `ids` reusing (and feeding) the radix prefix pool.
+    /// Returns the full-prompt cache, the next-token logits, and the
+    /// leases pinning every pooled block this request touches.
+    ///
+    /// The pool's longest cached prefix is leased and forked; only the
+    /// suffix is prefilled, with entries re-inserted at (a) the
+    /// divergence point between this prompt and previously seen traffic
+    /// (`shared_prefix_len` — the template header as discovered from the
+    /// requests themselves) and (b) the extended prefix covering all but
+    /// the last prompt token. All paths are bit-identical to
+    /// `lm.prefill(ids)` in one shot.
+    fn prefill_shared(&mut self, ids: &[u32]) -> (KvCache, Vec<f32>, Vec<PrefixBlock>) {
+        let mut leases = Vec::new();
+        let (mut cache, base) = match self.pool.acquire(ids) {
+            Some((block, len)) => {
+                let (cache, _prefix_logits) = block.fork();
+                leases.push(block);
+                (cache, len)
+            }
+            None => (self.model.lm.new_cache(), 0),
+        };
+        let seed = self.pool.shared_prefix_len(ids);
+        let ext = ids.len().saturating_sub(1);
+        let logits = self.prefill_suffix(ids, base, &[seed, ext], &mut cache, &mut leases);
+        (cache, logits, leases)
     }
 
     /// Serve one scoring request — the float-op mirror of
@@ -167,7 +212,7 @@ impl Replica {
         }
         let neg = self.model.tokenizer.encode(&format!(" {negative}"));
         let pos = self.model.tokenizer.encode(&format!(" {positive}"));
-        let (cache, logits, _lease) = self.prefill_shared(&p_ans);
+        let (cache, logits, _leases) = self.prefill_shared(&p_ans);
         // Greedy answer decode on a fork — same sampling as the offline
         // path (temperature 0: pure argmax, RNG untouched).
         let mut fork = cache.fork();
@@ -257,6 +302,10 @@ struct Worker {
 pub struct ZiGongEngine {
     inline: Option<Replica>,
     workers: Vec<Worker>,
+    /// Template key -> worker whose pool last served it (prefix-affinity
+    /// routing). BTreeMap for deterministic iteration; bounded by the
+    /// number of distinct template keys ever seen.
+    affinity: std::collections::BTreeMap<u64, usize>,
 }
 
 impl ZiGongEngine {
@@ -272,6 +321,7 @@ impl ZiGongEngine {
             return ZiGongEngine {
                 inline: Some(Replica::new(&spec, &cfg)),
                 workers: Vec::new(),
+                affinity: std::collections::BTreeMap::new(),
             };
         }
         let workers = (0..cfg.workers)
@@ -311,6 +361,7 @@ impl ZiGongEngine {
         ZiGongEngine {
             inline: None,
             workers,
+            affinity: std::collections::BTreeMap::new(),
         }
     }
 
@@ -343,9 +394,12 @@ impl ZiGongEngine {
                     }
                     total.hits += stats.hits;
                     total.misses += stats.misses;
+                    total.hit_tokens += stats.hit_tokens;
+                    total.lookup_tokens += stats.lookup_tokens;
                     total.inserts += stats.inserts;
                     total.evictions += stats.evictions;
                     total.entries += stats.entries;
+                    total.resident_tokens += stats.resident_tokens;
                     total.live_leases += stats.live_leases;
                 }
                 _ => verdict = Err(format!("worker {i} returned no audit")),
@@ -354,18 +408,55 @@ impl ZiGongEngine {
         (verdict, total)
     }
 
-    /// Contiguous chunk ranges: first `len % n` chunks get one extra
-    /// item. A pure function of `(len, n)` — the merge order (and hence
-    /// every downstream float op) is independent of thread scheduling.
-    fn chunks(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
-        let base = len / n;
-        let rem = len % n;
-        let mut out = Vec::with_capacity(n);
-        let mut start = 0;
-        for i in 0..n {
-            let size = base + usize::from(i < rem);
-            out.push(start..start + size);
-            start += size;
+    /// Split a batch into contiguous runs of equal template key.
+    /// Untemplated requests are singleton runs (they share no prefix, so
+    /// there is nothing to keep together). A pure function of the batch.
+    fn runs(batch: &[QueuedRequest]) -> Vec<(Option<u64>, std::ops::Range<usize>)> {
+        let mut out: Vec<(Option<u64>, std::ops::Range<usize>)> = Vec::new();
+        for (i, req) in batch.iter().enumerate() {
+            match out.last_mut() {
+                Some((Some(key), range)) if req.template == Some(*key) => range.end = i + 1,
+                _ => out.push((req.template, i..i + 1)),
+            }
+        }
+        out
+    }
+
+    /// Assign each run to a worker: templated runs go to the worker
+    /// whose pool last served their template (prefix affinity) unless
+    /// that worker already holds a full per-batch share, in which case —
+    /// like untemplated runs — they go to the least-loaded worker
+    /// (lowest index on ties) and the affinity map is updated. Returns
+    /// each worker's assigned original batch indices, in batch order.
+    ///
+    /// Deterministic: a pure function of the batch, `n`, and the
+    /// affinity history (itself a pure function of prior batches).
+    fn assign(&mut self, batch: &[QueuedRequest], n: usize) -> Vec<Vec<usize>> {
+        let cap = batch.len().div_ceil(n);
+        let mut load = vec![0usize; n];
+        let mut out = vec![Vec::new(); n];
+        for (key, range) in Self::runs(batch) {
+            let sticky = key
+                .and_then(|k| self.affinity.get(&k).copied())
+                // INVARIANT: affinity values are worker indices recorded
+                // below against the same worker count for this engine.
+                .filter(|&w| load[w] < cap);
+            let w = sticky.unwrap_or_else(|| {
+                (0..n)
+                    // INVARIANT: w in 0..n indexes the n-length load vector.
+                    .min_by_key(|&w| load[w])
+                    // INVARIANT: n >= 1, so the range has a minimum.
+                    .expect("at least one worker")
+            });
+            if let Some(k) = key {
+                self.affinity.insert(k, w);
+            }
+            // INVARIANT: w is either a sticky index validated by the
+            // `load[w] < cap` filter or drawn from 0..n just above, so it
+            // is in bounds for both per-worker vectors.
+            load[w] += range.len();
+            // INVARIANT: same bound as the line above.
+            out[w].extend(range);
         }
         out
     }
@@ -380,34 +471,49 @@ impl Engine for ZiGongEngine {
         if let Some(replica) = &mut self.inline {
             return replica.serve_chunk(batch);
         }
-        let ranges = Self::chunks(batch.len(), self.workers.len());
-        // Dispatch every non-empty chunk, then collect in worker order:
-        // workers run concurrently but the merge is by chunk index.
+        let assignment = self.assign(batch, self.workers.len());
+        // Dispatch every non-empty assignment, then collect: workers run
+        // concurrently but replies are merged back into original batch
+        // positions, so the output order never depends on scheduling.
         let mut dispatched = Vec::new();
-        for (w, range) in self.workers.iter().zip(&ranges) {
-            if range.is_empty() {
+        for (w, idxs) in self.workers.iter().zip(&assignment) {
+            if idxs.is_empty() {
                 continue;
             }
-            // INVARIANT: chunks() partitions 0..batch.len(), so every
-            // range is in bounds.
-            w.tx.send(Msg::Batch(batch[range.clone()].to_vec()))
+            // INVARIANT: assign() only emits indices from 0..batch.len().
+            let chunk: Vec<QueuedRequest> = idxs.iter().map(|&i| batch[i].clone()).collect();
+            w.tx.send(Msg::Batch(chunk))
                 // INVARIANT: workers only exit when told to stop or when
                 // this (sending) side is gone, so the channel is open here.
                 .expect("serve worker channel open");
-            dispatched.push(w);
+            dispatched.push((w, idxs));
         }
-        let mut out = Vec::with_capacity(batch.len());
-        for w in dispatched {
+        let mut slots: Vec<Option<(RequestId, Reply)>> = vec![None; batch.len()];
+        for (w, idxs) in dispatched {
             // INVARIANT: every dispatched worker answers each Batch with
             // exactly one Out::Batch before processing anything else.
             match w.rx.recv().expect("serve worker reply") {
-                Out::Batch(chunk) => out.extend(chunk),
+                Out::Batch(chunk) => {
+                    for (&i, reply) in idxs.iter().zip(chunk) {
+                        // INVARIANT: idxs are in-bounds batch positions and
+                        // assign() partitions them across workers, so each
+                        // slot is written exactly once.
+                        slots[i] = Some(reply);
+                    }
+                }
                 // INVARIANT: audits are never in flight during execute —
                 // both run on the caller's thread, strictly serialized.
                 Out::Audit(..) => unreachable!("audit reply during execute"),
             }
         }
-        out
+        slots
+            .into_iter()
+            .map(|s| {
+                // INVARIANT: assign() covers every batch index, each
+                // dispatched worker replied, so every slot is filled.
+                s.expect("every batch slot served")
+            })
+            .collect()
     }
 
     fn shutdown(&mut self) {
@@ -433,23 +539,98 @@ impl Drop for ZiGongEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::Priority;
+
+    fn treq(id: RequestId, template: Option<u64>) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            payload: Payload::Generate {
+                prompt: "x".into(),
+                max_new: 1,
+            },
+            priority: Priority::Normal,
+            arrived: 0.0,
+            deadline: None,
+            template,
+        }
+    }
+
+    fn bare_engine() -> ZiGongEngine {
+        ZiGongEngine {
+            inline: None,
+            workers: Vec::new(),
+            affinity: std::collections::BTreeMap::new(),
+        }
+    }
 
     #[test]
-    fn chunking_is_contiguous_and_exhaustive() {
-        for len in 0..12usize {
-            for n in 1..5usize {
-                let ranges = ZiGongEngine::chunks(len, n);
-                assert_eq!(ranges.len(), n);
-                assert_eq!(ranges[0].start, 0);
-                assert_eq!(ranges[n - 1].end, len);
-                for pair in ranges.windows(2) {
-                    assert_eq!(pair[0].end, pair[1].start);
-                }
-                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
-                let max = sizes.iter().max().copied().unwrap_or(0);
-                let min = sizes.iter().min().copied().unwrap_or(0);
-                assert!(max - min <= 1, "balanced: {sizes:?}");
-            }
+    fn runs_group_contiguous_equal_keys_only() {
+        let batch: Vec<QueuedRequest> = [Some(1), Some(1), None, None, Some(2), Some(1), Some(1)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| treq(i as RequestId, t))
+            .collect();
+        let runs = ZiGongEngine::runs(&batch);
+        let shape: Vec<(Option<u64>, usize, usize)> =
+            runs.iter().map(|(k, r)| (*k, r.start, r.end)).collect();
+        // Untemplated requests stay singletons; equal keys only merge
+        // when adjacent (the queue's grouping made them adjacent).
+        assert_eq!(
+            shape,
+            vec![
+                (Some(1), 0, 2),
+                (None, 2, 3),
+                (None, 3, 4),
+                (Some(2), 4, 5),
+                (Some(1), 5, 7),
+            ]
+        );
+    }
+
+    #[test]
+    fn assignment_partitions_the_batch_in_order() {
+        let mut eng = bare_engine();
+        let batch: Vec<QueuedRequest> = (0..7)
+            .map(|i| treq(i, if i % 2 == 0 { Some(i / 2) } else { None }))
+            .collect();
+        let assignment = eng.assign(&batch, 3);
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>(), "exactly once each");
+        for idxs in &assignment {
+            assert!(idxs.windows(2).all(|p| p[0] < p[1]), "batch order kept");
         }
+    }
+
+    #[test]
+    fn assignment_is_template_sticky_across_batches() {
+        let mut eng = bare_engine();
+        let first: Vec<QueuedRequest> = vec![treq(0, Some(7)), treq(1, Some(8))];
+        let a1 = eng.assign(&first, 2);
+        let home_of_7 = a1.iter().position(|idxs| idxs.contains(&0)).unwrap();
+        // A later batch's template-7 run lands on the same worker even
+        // when it arrives in a different position.
+        let second: Vec<QueuedRequest> = vec![treq(2, Some(8)), treq(3, Some(7)), treq(4, Some(7))];
+        let a2 = eng.assign(&second, 2);
+        assert!(a2[home_of_7].contains(&1) && a2[home_of_7].contains(&2));
+    }
+
+    #[test]
+    fn assignment_balance_cap_overrides_affinity() {
+        let mut eng = bare_engine();
+        // Warm affinity: both templates on worker 0.
+        eng.affinity.insert(1, 0);
+        eng.affinity.insert(2, 0);
+        let batch: Vec<QueuedRequest> = vec![
+            treq(0, Some(1)),
+            treq(1, Some(1)),
+            treq(2, Some(2)),
+            treq(3, Some(2)),
+        ];
+        let assignment = eng.assign(&batch, 2);
+        // Cap = 2: the template-2 run overflows worker 0 and is re-homed.
+        assert_eq!(assignment[0], vec![0, 1]);
+        assert_eq!(assignment[1], vec![2, 3]);
+        assert_eq!(eng.affinity.get(&2), Some(&1));
     }
 }

@@ -18,6 +18,9 @@ pub struct QueuedRequest {
     pub arrived: f64,
     /// Absolute clock time after which the request is expired, if any.
     pub deadline: Option<f64>,
+    /// Client-declared template key (prefix-aware batching groups
+    /// same-key requests; `None` never groups).
+    pub template: Option<u64>,
 }
 
 /// Bounded priority-FIFO queue.
@@ -81,12 +84,60 @@ impl BoundedQueue {
     /// Dequeue up to `max` requests: all of `High` before any `Normal`
     /// before any `Low`, FIFO inside each lane.
     pub fn pop_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
+        self.pop_batch_grouped(max, 0)
+    }
+
+    /// Dequeue up to `max` requests with **prefix-aware composition**:
+    /// lanes still drain strictly `High` before `Normal` before `Low`,
+    /// and each lane still takes its oldest request first — but after
+    /// taking a lane head carrying a template key, up to `window`
+    /// queued requests behind it are scanned and those sharing the key
+    /// are pulled forward into the same contiguous run. Grouping
+    /// same-template requests into one run is what lets the engine
+    /// serve them on one replica whose radix pool already holds the
+    /// template's KV prefix.
+    ///
+    /// Fairness bounds (pinned by the scheduler property tests):
+    /// * the oldest waiting request of the highest non-empty lane is in
+    ///   *every* batch, so the queue always advances and nothing
+    ///   starves;
+    /// * requests sharing one `(priority, template)` pair leave in
+    ///   exact admission order (pulls scan front-to-back);
+    /// * untemplated requests (`template == None`) are never reordered
+    ///   relative to their lane;
+    /// * `window == 0` is plain priority-FIFO ([`BoundedQueue::pop_batch`]).
+    pub fn pop_batch_grouped(&mut self, max: usize, window: usize) -> Vec<QueuedRequest> {
         let mut out = Vec::with_capacity(max.min(self.len));
         for lane in &mut self.lanes {
             while out.len() < max {
-                match lane.pop_front() {
-                    Some(req) => out.push(req),
+                let head = match lane.pop_front() {
+                    Some(req) => req,
                     None => break,
+                };
+                let key = head.template;
+                out.push(head);
+                let key = match key {
+                    Some(k) if window > 0 => k,
+                    _ => continue,
+                };
+                // Bounded lookahead: scan at most `window` requests deep,
+                // pulling same-template ones forward in admission order.
+                let mut scanned = 0usize;
+                let mut i = 0usize;
+                while scanned < window && out.len() < max {
+                    let matches = match lane.get(i) {
+                        Some(req) => req.template == Some(key),
+                        None => break,
+                    };
+                    scanned += 1;
+                    if matches {
+                        match lane.remove(i) {
+                            Some(req) => out.push(req),
+                            None => break,
+                        }
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -124,6 +175,14 @@ mod tests {
             priority,
             arrived: 0.0,
             deadline,
+            template: None,
+        }
+    }
+
+    fn treq(id: RequestId, priority: Priority, template: Option<u64>) -> QueuedRequest {
+        QueuedRequest {
+            template,
+            ..req(id, priority, None)
         }
     }
 
@@ -170,6 +229,74 @@ mod tests {
         // Survivors keep their order.
         let ids: Vec<RequestId> = q.pop_batch(8).iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn grouped_pop_pulls_same_template_forward() {
+        let mut q = BoundedQueue::new(8);
+        for (id, t) in [
+            (1, Some(9)),
+            (2, Some(7)),
+            (3, Some(9)),
+            (4, None),
+            (5, Some(9)),
+        ] {
+            q.push(treq(id, Priority::Normal, t)).unwrap();
+        }
+        // Head 1 (template 9) pulls 3 and 5 forward; 2 and 4 keep their
+        // relative order behind the group.
+        let ids: Vec<RequestId> = q.pop_batch_grouped(8, 8).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 2, 4]);
+    }
+
+    #[test]
+    fn grouped_pop_window_bounds_the_lookahead() {
+        let mut q = BoundedQueue::new(8);
+        for (id, t) in [(1, Some(9)), (2, None), (3, None), (4, Some(9))] {
+            q.push(treq(id, Priority::Normal, t)).unwrap();
+        }
+        // Window 2 scans only requests 2 and 3: request 4 is out of
+        // reach and stays in admission order.
+        let ids: Vec<RequestId> = q.pop_batch_grouped(8, 2).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn grouped_pop_window_zero_is_plain_fifo() {
+        let mk = || {
+            let mut q = BoundedQueue::new(8);
+            for (id, t) in [(1, Some(3)), (2, Some(4)), (3, Some(3)), (4, Some(4))] {
+                q.push(treq(id, Priority::Normal, t)).unwrap();
+            }
+            q
+        };
+        let plain: Vec<RequestId> = mk().pop_batch(8).iter().map(|r| r.id).collect();
+        let grouped: Vec<RequestId> = mk().pop_batch_grouped(8, 0).iter().map(|r| r.id).collect();
+        assert_eq!(plain, vec![1, 2, 3, 4]);
+        assert_eq!(plain, grouped);
+    }
+
+    #[test]
+    fn grouped_pop_never_crosses_priority_lanes() {
+        let mut q = BoundedQueue::new(8);
+        q.push(treq(1, Priority::Normal, Some(5))).unwrap();
+        q.push(treq(2, Priority::High, Some(5))).unwrap();
+        q.push(treq(3, Priority::Normal, Some(5))).unwrap();
+        q.push(treq(4, Priority::High, Some(6))).unwrap();
+        // High drains first even though 1 and 3 share key 5 with 2.
+        let ids: Vec<RequestId> = q.pop_batch_grouped(8, 8).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn grouped_pop_respects_max_batch() {
+        let mut q = BoundedQueue::new(8);
+        for id in 1..=5 {
+            q.push(treq(id, Priority::Normal, Some(1))).unwrap();
+        }
+        let ids: Vec<RequestId> = q.pop_batch_grouped(3, 8).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

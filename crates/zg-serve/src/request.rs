@@ -69,6 +69,13 @@ pub struct Request {
     /// out; `None` uses the server's default (which may itself be
     /// "never").
     pub timeout: Option<f64>,
+    /// Client-declared template key: requests rendered from the same
+    /// prompt template share one key, letting the scheduler group them
+    /// into the same engine chunk (prefix-aware batching) and the
+    /// engine route them to the replica whose radix pool already holds
+    /// the template's KV prefix. `None` opts out — the request is never
+    /// reordered relative to its priority lane.
+    pub template: Option<u64>,
 }
 
 impl Request {
@@ -86,6 +93,7 @@ impl Request {
             },
             priority: Priority::Normal,
             timeout: None,
+            template: None,
         }
     }
 
@@ -98,6 +106,7 @@ impl Request {
             },
             priority: Priority::Normal,
             timeout: None,
+            template: None,
         }
     }
 
@@ -110,6 +119,13 @@ impl Request {
     /// Same request with an explicit queue timeout in seconds.
     pub fn with_timeout(mut self, seconds: f64) -> Request {
         self.timeout = Some(seconds);
+        self
+    }
+
+    /// Same request tagged with a prompt-template key for prefix-aware
+    /// batching and replica affinity.
+    pub fn with_template(mut self, template: u64) -> Request {
+        self.template = Some(template);
         self
     }
 }
@@ -205,13 +221,16 @@ mod tests {
     fn builders_fill_fields() {
         let r = Request::score("p", "bad", "good")
             .with_priority(Priority::High)
-            .with_timeout(2.5);
+            .with_timeout(2.5)
+            .with_template(7);
         assert_eq!(r.priority, Priority::High);
         assert_eq!(r.timeout, Some(2.5));
+        assert_eq!(r.template, Some(7));
         assert_eq!(r.payload.prompt(), "p");
         let g = Request::generate("q", 4);
         assert_eq!(g.payload.prompt(), "q");
         assert_eq!(g.priority, Priority::Normal);
+        assert_eq!(g.template, None);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub struct ServeConfig {
     /// Default queue timeout in seconds for requests that set none
     /// (`None` = wait forever).
     pub default_timeout: Option<f64>,
+    /// Prefix-aware batch composition: after taking a lane head with a
+    /// template key, scan up to this many queued requests behind it and
+    /// pull same-template ones into the same contiguous run (see
+    /// [`crate::queue::BoundedQueue::pop_batch_grouped`] for the
+    /// fairness bounds). `0` disables reordering (plain priority-FIFO).
+    pub reorder_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +40,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch: 8,
             default_timeout: None,
+            reorder_window: 0,
         }
     }
 }
@@ -101,6 +108,7 @@ impl<E: Engine> Server<E> {
             priority: req.priority,
             arrived: now,
             deadline: req.timeout.or(self.config.default_timeout).map(|t| now + t),
+            template: req.template,
         };
         match self.queue.push(queued) {
             Ok(()) => {
@@ -139,7 +147,9 @@ impl<E: Engine> Server<E> {
                 }),
             });
         }
-        let batch = self.queue.pop_batch(self.config.max_batch);
+        let batch = self
+            .queue
+            .pop_batch_grouped(self.config.max_batch, self.config.reorder_window);
         if batch.is_empty() {
             return completions;
         }

@@ -33,6 +33,7 @@ fn saturated_queue_rejects_then_recovers() {
         queue_capacity: 4,
         max_batch: 2,
         default_timeout: None,
+        reorder_window: 0,
     };
     let mut server = Server::new(engine, cfg, clock.clock());
     for i in 0..4 {
@@ -65,6 +66,7 @@ fn expired_requests_time_out_instead_of_being_served() {
         queue_capacity: 8,
         max_batch: 8,
         default_timeout: Some(1.0),
+        reorder_window: 0,
     };
     let mut server = Server::new(engine, cfg, clock.clock());
     let doomed = server.submit(Request::generate("slowpoke", 2)).unwrap();
@@ -98,6 +100,7 @@ fn zero_capacity_burst_never_panics() {
         queue_capacity: 1,
         max_batch: 1,
         default_timeout: Some(0.1),
+        reorder_window: 0,
     };
     let mut server = Server::new(engine, cfg, clock.clock());
     let mut admitted = 0u64;

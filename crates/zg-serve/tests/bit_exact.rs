@@ -42,19 +42,23 @@ fn offline_eval(m: &mut ZiGongModel, items: &[EvalItem<'_>]) -> Vec<(String, f64
 
 /// Serve all items through a fresh engine, submitting in the order given
 /// by `order` (a permutation of item indices), and return the served
-/// `(answer, p)` per *item* index.
-fn serve_eval(
+/// `(answer, p)` per *item* index. Requests are tagged with one shared
+/// template key and served under a reorder window, so prefix-aware
+/// grouping and affinity routing are always in play — the exactness
+/// contract must hold straight through them. Returns the aggregate pool
+/// stats alongside the scores.
+fn serve_eval_with_budget(
     m: &ZiGongModel,
     items: &[EvalItem<'_>],
     workers: usize,
     order: &[usize],
-) -> Vec<(String, f64)> {
+    pool_budget_tokens: usize,
+) -> (Vec<(String, f64)>, zg_model::PrefixStats) {
     let engine = ZiGongEngine::new(
         m.spec(),
         EngineConfig {
             workers,
-            prefix_tokens: 24,
-            pool_capacity: 4,
+            pool_budget_tokens,
             ..EngineConfig::default()
         },
     );
@@ -63,16 +67,20 @@ fn serve_eval(
         queue_capacity: items.len().max(1),
         max_batch: 3,
         default_timeout: None,
+        reorder_window: 2,
     };
     let mut server = Server::new(engine, cfg, clock.clock());
     for &i in order {
         let ex = &items[i].example;
         let id = server
-            .submit(Request::score(
-                ex.prompt.clone(),
-                ex.candidates[0].clone(),
-                ex.candidates[1].clone(),
-            ))
+            .submit(
+                Request::score(
+                    ex.prompt.clone(),
+                    ex.candidates[0].clone(),
+                    ex.candidates[1].clone(),
+                )
+                .with_template(0),
+            )
             .expect("capacity fits all items");
         assert_eq!(id as usize, order.iter().position(|&j| j == i).unwrap());
     }
@@ -91,7 +99,16 @@ fn serve_eval(
     audit.expect("no leaked prefix leases after serving");
     assert_eq!(stats.live_leases, 0);
     server.shutdown();
-    out
+    (out, stats)
+}
+
+fn serve_eval(
+    m: &ZiGongModel,
+    items: &[EvalItem<'_>],
+    workers: usize,
+    order: &[usize],
+) -> Vec<(String, f64)> {
+    serve_eval_with_budget(m, items, workers, order, 1 << 14).0
 }
 
 fn assert_bit_equal(served: &[(String, f64)], offline: &[(String, f64)], label: &str) {
@@ -242,8 +259,6 @@ fn served_scores_bit_identical_to_offline_quantized() {
             spec.clone(),
             EngineConfig {
                 workers,
-                prefix_tokens: 24,
-                pool_capacity: 4,
                 quantized: true,
                 ..EngineConfig::default()
             },
@@ -296,8 +311,6 @@ fn prefix_reuse_engages_and_leaks_nothing() {
         m.spec(),
         EngineConfig {
             workers: 1,
-            prefix_tokens: 24,
-            pool_capacity: 4,
             ..EngineConfig::default()
         },
     );
@@ -332,4 +345,62 @@ fn prefix_reuse_engages_and_leaks_nothing() {
         "serving must leave the autograd tape at its baseline"
     );
     server.shutdown();
+}
+
+/// Eviction pressure: a pool budget far below one prompt's working set
+/// forces evictions mid-stream, yet leased blocks survive (requests in
+/// flight hold multiple leases each while the pool is over budget), the
+/// served bits stay identical to offline, and the final audit is clean
+/// with the resident total back under budget.
+#[test]
+fn eviction_pressure_keeps_leases_and_bits() {
+    let mut m = model(1024);
+    let ds = german(16, 5);
+    let refs: Vec<_> = ds.records.iter().take(5).collect();
+    let items = eval_items(&ds, &refs);
+    let offline = offline_eval(&mut m, &items);
+    let identity: Vec<usize> = (0..items.len()).collect();
+    // ~700-token prompts against a 256-token budget: every request's
+    // inserts alone exceed the budget while leased.
+    for workers in [1usize, 3] {
+        let (served, stats) = serve_eval_with_budget(&m, &items, workers, &identity, 256);
+        assert_bit_equal(&served, &offline, &format!("pressure workers={workers}"));
+        assert!(
+            stats.evictions > 0,
+            "budget below the working set must evict: {stats:?}"
+        );
+        assert!(
+            stats.resident_tokens <= 256 * workers.max(1),
+            "per-pool residency must settle under budget: {stats:?}"
+        );
+        assert_eq!(stats.live_leases, 0, "clean leak audit under pressure");
+    }
+}
+
+/// Trace determinism with the *real* engine: for each worker count, two
+/// same-seed serving runs emit byte-identical JSONL traces — pool
+/// hit/miss/eviction counters, LCP histograms, affinity routing and all.
+#[test]
+fn serve_traces_bit_identical_across_reruns() {
+    let m = model(1024);
+    let ds = german(16, 4);
+    let refs: Vec<_> = ds.records.iter().take(3).collect();
+    let items = eval_items(&ds, &refs);
+    let identity: Vec<usize> = (0..items.len()).collect();
+    for workers in [1usize, 2, 3, 5] {
+        let traced = || {
+            let clock = zg_trace::ManualClock::new();
+            let tracer = zg_trace::Tracer::with_clock(clock.clock());
+            let guard = tracer.install("serve-exact");
+            // Engine construction forks worker streams under the tracer.
+            let (_, stats) = serve_eval_with_budget(&m, &items, workers, &identity, 1 << 14);
+            drop(guard);
+            (tracer.finish().to_jsonl(), stats)
+        };
+        let (a, sa) = traced();
+        let (b, sb) = traced();
+        assert!(!a.is_empty(), "serving must emit trace events");
+        assert_eq!(sa, sb, "workers={workers}: pool stats must reproduce");
+        assert_eq!(a, b, "workers={workers}: traces must be byte-identical");
+    }
 }
