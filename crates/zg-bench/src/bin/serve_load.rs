@@ -17,7 +17,14 @@
 //! 4. **eviction pressure** — a budget far below the working set must
 //!    evict while keeping parity and a clean leak audit;
 //! 5. **simulation determinism** — two deterministic-clock runs with
-//!    the same seed produce byte-identical zg-trace JSONL.
+//!    the same seed produce byte-identical zg-trace JSONL;
+//! 6. **ops-plane overhead** — closed-loop wall time with the live ops
+//!    plane enabled stays within 5% of the untraced run (best-of reps),
+//!    with served scores bit-identical on vs off, written to
+//!    `results/serve_ops.json`;
+//! 7. **SLO-breach smoke** — an overloaded deterministic sim fires the
+//!    deadline-miss burn-rate alert and dumps a complete,
+//!    byte-reproducible post-mortem bundle.
 //!
 //! Exits non-zero if any gate fails, so CI can run `serve_load --quick`
 //! as a smoke test.
@@ -29,8 +36,9 @@ use rand::SeedableRng;
 use zg_bench::{quick_mode, write_result};
 use zg_model::{CausalLm, ModelConfig, PrefixStats};
 use zg_serve::{
-    drive, poisson_arrivals, EngineConfig, LatencyRecorder, LatencySummary, Reply, Request,
-    ServeConfig, Server, ServerStats, ZiGongEngine,
+    drive, poisson_arrivals, poisson_traffic, EchoEngine, EngineConfig, LatencyRecorder,
+    LatencySummary, OpsConfig, Reply, Request, ServeConfig, Server, ServerStats, Slo, SloObjective,
+    TimedEngine, ZiGongEngine,
 };
 use zg_trace::{ManualClock, Tracer};
 use zg_zigong::{eval_items, train_tokenizer, EvalItem, ZiGongModel, ANSWER_TOKENS, SCORE_RESERVE};
@@ -184,6 +192,138 @@ fn run_load(
         audit_clean,
         prefix,
         server: server_stats,
+    }
+}
+
+/// A representative ops-plane config for the overhead runs: windowed
+/// series plus one latency SLO so the observed side pays the full
+/// per-window evaluation cost, not just the recording cost.
+fn ops_bench_config() -> OpsConfig {
+    OpsConfig {
+        slos: vec![Slo {
+            name: "p99-latency".into(),
+            objective: SloObjective::LatencyAbove(0.25),
+            budget: 0.01,
+            short_windows: 4,
+            long_windows: 16,
+            burn_threshold: 2.0,
+        }],
+        ..OpsConfig::default()
+    }
+}
+
+/// One closed-loop wall-clock run for overhead measurement: the whole
+/// load is submitted up front and ticked to completion, so the wall
+/// time is pure serve work (no open-loop arrival waits diluting the
+/// ops-plane cost). Returns the wall time and the served `(answer, p)`
+/// pairs in request order.
+fn timed_closed_loop(
+    model: &ZiGongModel,
+    combos: &[Combo],
+    workers: usize,
+    n_requests: usize,
+    ops: bool,
+) -> (f64, Vec<(String, f64)>) {
+    let engine = ZiGongEngine::new(
+        model.spec(),
+        EngineConfig {
+            workers,
+            pool_budget_tokens: 1 << 16,
+            ..EngineConfig::default()
+        },
+    );
+    let max_batch = 2 * workers.max(1);
+    let cfg = ServeConfig {
+        queue_capacity: n_requests,
+        max_batch,
+        default_timeout: None,
+        reorder_window: 2 * max_batch,
+    };
+    let mut server = Server::new(engine, cfg, zg_trace::wall_clock());
+    if ops {
+        server.enable_ops(ops_bench_config());
+    }
+    let t0 = Instant::now();
+    for i in 0..n_requests {
+        server
+            .submit(score_request(combos, i))
+            .expect("queue sized to the full load");
+    }
+    let done = server.run_until_idle();
+    let wall = t0.elapsed().as_secs_f64();
+    let mut scores = vec![(String::new(), 0.0); n_requests];
+    for c in done {
+        match c.result {
+            Ok(Reply::Scored { answer, p_positive }) => {
+                scores[c.id as usize] = (answer, p_positive);
+            }
+            other => panic!("closed-loop run produced unexpected result: {other:?}"),
+        }
+    }
+    server.shutdown();
+    (wall, scores)
+}
+
+struct SloSmoke {
+    deadline_misses: u64,
+    alerts: usize,
+    postmortems: usize,
+    deterministic: bool,
+    postmortem: String,
+    exposition: String,
+}
+
+/// Deterministic SLO-breach smoke on the manual clock: overload a timed
+/// echo engine (one-request batches at 100 ms against 80 ms deadlines)
+/// until the deadline-miss burn-rate alert fires, then rerun and check
+/// the alert stream, post-mortem bundle, and exposition are
+/// byte-identical.
+fn ops_slo_smoke() -> SloSmoke {
+    let run = || {
+        let clock = ManualClock::new();
+        let engine = TimedEngine::new(EchoEngine::new(), clock.clone(), 0.1);
+        let cfg = ServeConfig {
+            queue_capacity: 64,
+            max_batch: 1,
+            default_timeout: Some(0.08),
+            reorder_window: 0,
+        };
+        let mut server = Server::new(engine, cfg, clock.clock());
+        server.enable_ops(OpsConfig {
+            window_secs: 0.5,
+            recorder_capacity: 32,
+            expo_windows: 4,
+            retain_windows: 16,
+            slos: vec![Slo {
+                name: "deadline-miss".into(),
+                objective: SloObjective::DeadlineMiss,
+                budget: 0.05,
+                short_windows: 1,
+                long_windows: 2,
+                burn_threshold: 1.0,
+            }],
+        });
+        let traffic = poisson_traffic(SEED, 60.0, 60, |i| Request::generate(format!("p{i}"), 1));
+        let out = drive(&mut server, &clock, &traffic, 0.02);
+        let now = clock.now();
+        let ops = server.ops_mut().expect("ops enabled");
+        ops.finish(now);
+        let alerts = ops.alerts().len();
+        let pms: Vec<String> = ops.take_postmortems().iter().map(|p| p.render()).collect();
+        let expo = ops.exposition();
+        server.shutdown();
+        (out.stats.timed_out, alerts, pms, expo)
+    };
+    let (missed, alerts, pms, expo) = run();
+    let (missed2, alerts2, pms2, expo2) = run();
+    let deterministic = missed == missed2 && alerts == alerts2 && pms == pms2 && expo == expo2;
+    SloSmoke {
+        deadline_misses: missed,
+        alerts,
+        postmortems: pms.len(),
+        deterministic,
+        postmortem: pms.into_iter().next().unwrap_or_default(),
+        exposition: expo,
     }
 }
 
@@ -377,6 +517,76 @@ fn main() {
         trace_a.len()
     );
 
+    // ---- Ops-plane stage: overhead gate + SLO-breach smoke ----
+    println!("== serve_ops: live ops plane gates ==");
+    let ops_reps = if quick { 2 } else { 3 };
+    let ops_requests = if quick { 32 } else { 96 };
+    let ops_overhead_ceiling = 0.05;
+    let mut ops_wall_off = f64::INFINITY;
+    let mut ops_wall_on = f64::INFINITY;
+    let mut ops_parity = true;
+    // Alternate untraced/observed reps so drift (cache warmth, CPU
+    // frequency) hits both sides; gate on best-of to shed scheduler
+    // noise, same as the tracer's own overhead benchmark.
+    for _ in 0..ops_reps {
+        let (w_off, s_off) = timed_closed_loop(&model, &combos, workers, ops_requests, false);
+        let (w_on, s_on) = timed_closed_loop(&model, &combos, workers, ops_requests, true);
+        ops_wall_off = ops_wall_off.min(w_off);
+        ops_wall_on = ops_wall_on.min(w_on);
+        ops_parity &= s_off
+            .iter()
+            .zip(&s_on)
+            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+    }
+    let ops_overhead = (ops_wall_on - ops_wall_off) / ops_wall_off;
+    let ops_overhead_ok = ops_overhead <= ops_overhead_ceiling;
+    println!(
+        "ops overhead: best-of-{ops_reps} untraced {:.1} ms vs observed {:.1} ms — {:+.2}% (ceiling {:.0}%), score parity: {ops_parity}",
+        ops_wall_off * 1e3,
+        ops_wall_on * 1e3,
+        100.0 * ops_overhead,
+        100.0 * ops_overhead_ceiling,
+    );
+
+    let smoke = ops_slo_smoke();
+    println!(
+        "ops SLO smoke: {} deadline misses, {} alerts, {} post-mortems, deterministic: {}",
+        smoke.deadline_misses, smoke.alerts, smoke.postmortems, smoke.deterministic,
+    );
+    let smoke_ok = smoke.deadline_misses > 0
+        && smoke.alerts > 0
+        && smoke.postmortems == smoke.alerts
+        && smoke.deterministic
+        && smoke.postmortem.contains("post-mortem slo=deadline-miss")
+        && smoke.postmortem.contains("## flight recorder")
+        && smoke.postmortem.contains("\"outcome\":\"expired\"")
+        && smoke.postmortem.contains("## exposition");
+    write_result("serve_ops_postmortem.txt", &smoke.postmortem);
+    write_result("serve_ops_expo.txt", &smoke.exposition);
+
+    let smoke_obj = serde_json::json!({
+        "deadline_misses": smoke.deadline_misses,
+        "alerts": smoke.alerts,
+        "postmortems": smoke.postmortems,
+        "deterministic": smoke.deterministic,
+        "bundle_complete": smoke_ok,
+    });
+    let ops_out = serde_json::to_string_pretty(&serde_json::json!({
+        "seed": SEED,
+        "workers": workers,
+        "requests": ops_requests,
+        "reps": ops_reps,
+        "wall_untraced_s": ops_wall_off,
+        "wall_observed_s": ops_wall_on,
+        "overhead_frac": ops_overhead,
+        "overhead_ceiling": ops_overhead_ceiling,
+        "overhead_ok": ops_overhead_ok,
+        "score_parity_on_vs_off": ops_parity,
+        "slo_smoke": smoke_obj,
+    }))
+    .expect("benchmark serializes");
+    write_result("serve_ops.json", &ops_out);
+
     let parity_all = [&main_run, &baseline, &pressure]
         .iter()
         .all(|r| r.parity && r.complete);
@@ -459,10 +669,28 @@ fn main() {
         println!("FAIL: eviction-pressure run never evicted (budget {pressure_budget})");
         failed = true;
     }
+    if !ops_parity {
+        println!("FAIL: ops plane changed served scores (must be bit-transparent)");
+        failed = true;
+    }
+    if !ops_overhead_ok {
+        println!(
+            "FAIL: ops-plane overhead {:.2}% exceeds the {:.0}% ceiling",
+            100.0 * ops_overhead,
+            100.0 * ops_overhead_ceiling
+        );
+        failed = true;
+    }
+    if !smoke_ok {
+        println!(
+            "FAIL: SLO-breach smoke (alert must fire with a complete, deterministic post-mortem)"
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
-        "serve_load gates passed: parity, determinism, leak audit, hit rate, p99 ceiling, baseline, eviction pressure"
+        "serve_load gates passed: parity, determinism, leak audit, hit rate, p99 ceiling, baseline, eviction pressure, ops overhead, SLO smoke"
     );
 }

@@ -48,8 +48,10 @@ use rand::SeedableRng;
 use zg_model::{KvCache, PrefixBlock, PrefixPool, PrefixStats};
 use zg_tensor::GemmKernel;
 use zg_tokenizer::Special;
+use zg_trace::Clock;
 use zg_zigong::{two_way_probability, ZiGongModel, ZiGongSpec, ANSWER_TOKENS, SCORE_RESERVE};
 
+use crate::ops::{RequestObs, Stage};
 use crate::queue::QueuedRequest;
 use crate::request::{Payload, Reply, RequestId};
 
@@ -63,6 +65,18 @@ pub trait Engine {
     /// Release worker resources. Called once by `Server::shutdown`;
     /// engines with no threads need not override it.
     fn shutdown(&mut self) {}
+
+    /// Install the clock engine-side stage stamps ([`RequestObs`]) are
+    /// read from. Observation is strictly passive — stamping must not
+    /// change any served bytes. Engines without stage observability
+    /// (mocks) ignore it.
+    fn install_stage_clock(&mut self, _clock: Clock) {}
+
+    /// Drain the per-request observations accumulated since the last
+    /// drain, in batch order. Empty unless a stage clock is installed.
+    fn drain_obs(&mut self) -> Vec<RequestObs> {
+        Vec::new()
+    }
 }
 
 /// Tuning knobs for [`ZiGongEngine`].
@@ -108,6 +122,13 @@ struct Replica {
     /// satisfies the sampler's signature. Seeded to match the offline
     /// evaluator for auditability.
     rng: StdRng,
+    /// Ops-plane stage clock; `None` (the default) makes every stamp a
+    /// no-op, so observation-off serving does zero extra work.
+    stage_clock: Option<Clock>,
+    /// Stage marks of the request currently being served.
+    marks: Vec<(Stage, f64)>,
+    /// Completed per-request observations awaiting collection.
+    obs: Vec<RequestObs>,
 }
 
 impl Replica {
@@ -124,6 +145,17 @@ impl Replica {
             model,
             pool: PrefixPool::new(cfg.pool_budget_tokens),
             rng: StdRng::seed_from_u64(0xD1D1),
+            stage_clock: None,
+            marks: Vec::new(),
+            obs: Vec::new(),
+        }
+    }
+
+    /// Stamp `stage` at the ops clock's current tick (no-op when no
+    /// stage clock is installed).
+    fn stamp(&mut self, stage: Stage) {
+        if let Some(clock) = &self.stage_clock {
+            self.marks.push((stage, clock()));
         }
     }
 
@@ -200,11 +232,13 @@ impl Replica {
             // Truncation split the budgets; fall back to the offline
             // evaluator's independent answer/score paths verbatim.
             let answer = self.model.generate_answer(prompt, ANSWER_TOKENS);
+            self.stamp(Stage::Decode);
             let neg = self.model.tokenizer.encode(&format!(" {negative}"));
             let pos = self.model.tokenizer.encode(&format!(" {positive}"));
             let scores = self.model.lm.score_continuations(&p_score, &[&neg, &pos]);
             // INVARIANT: score_continuations returns one score per continuation (2 here).
             let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
+            self.stamp(Stage::Score);
             return Reply::Scored {
                 answer,
                 p_positive: p,
@@ -213,6 +247,7 @@ impl Replica {
         let neg = self.model.tokenizer.encode(&format!(" {negative}"));
         let pos = self.model.tokenizer.encode(&format!(" {positive}"));
         let (cache, logits, _leases) = self.prefill_shared(&p_ans);
+        self.stamp(Stage::Prefill);
         // Greedy answer decode on a fork — same sampling as the offline
         // path (temperature 0: pure argmax, RNG untouched).
         let mut fork = cache.fork();
@@ -227,6 +262,7 @@ impl Replica {
             row = self.model.lm.step(next, &mut fork);
         }
         let answer = self.model.tokenizer.decode(&out);
+        self.stamp(Stage::Decode);
         let scores = self
             .model
             .lm
@@ -234,6 +270,7 @@ impl Replica {
         // INVARIANT: score_continuations_with_cache returns one score per
         // continuation (2 here).
         let p = two_way_probability(scores[0] as f64, scores[1] as f64, neg.len(), pos.len());
+        self.stamp(Stage::Score);
         Reply::Scored {
             answer,
             p_positive: p,
@@ -245,13 +282,18 @@ impl Replica {
     fn serve_generate(&mut self, prompt: &str, max_new: usize) -> Reply {
         let _span = zg_trace::span("serve.generate");
         let _leak = zg_tensor::GraphLeakGuard::new("ZiGongEngine::serve_generate");
-        Reply::Generated {
-            text: self.model.generate_answer(prompt, max_new),
-        }
+        let text = self.model.generate_answer(prompt, max_new);
+        self.stamp(Stage::Decode);
+        Reply::Generated { text }
     }
 
     fn serve(&mut self, req: &QueuedRequest) -> (RequestId, Reply) {
         zg_trace::counter_add("serve.requests", 1.0);
+        // Ops observation is passive: pool stats are cheap snapshots and
+        // stamping only reads the injected clock, so served bytes are
+        // identical with the stage clock installed or not.
+        let before = self.stage_clock.is_some().then(|| self.pool.stats());
+        self.marks.clear();
         let reply = match &req.payload {
             Payload::Score {
                 prompt,
@@ -260,6 +302,16 @@ impl Replica {
             } => self.serve_score(prompt, negative, positive),
             Payload::Generate { prompt, max_new } => self.serve_generate(prompt, *max_new),
         };
+        if let Some(b) = before {
+            let a = self.pool.stats();
+            self.obs.push(RequestObs {
+                id: req.id,
+                marks: std::mem::take(&mut self.marks),
+                hit_tokens: a.hit_tokens - b.hit_tokens,
+                lookup_tokens: a.lookup_tokens - b.lookup_tokens,
+                resident_tokens: a.resident_tokens as u64,
+            });
+        }
         (req.id, reply)
     }
 
@@ -282,11 +334,12 @@ impl Replica {
 enum Msg {
     Batch(Vec<QueuedRequest>),
     Audit,
+    StageClock(Clock),
     Stop,
 }
 
 enum Out {
-    Batch(Vec<(RequestId, Reply)>),
+    Batch(Vec<(RequestId, Reply)>, Vec<RequestObs>),
     Audit(Result<(), String>, PrefixStats),
 }
 
@@ -306,6 +359,9 @@ pub struct ZiGongEngine {
     /// routing). BTreeMap for deterministic iteration; bounded by the
     /// number of distinct template keys ever seen.
     affinity: std::collections::BTreeMap<u64, usize>,
+    /// Per-request observations merged into batch order by `execute`,
+    /// awaiting `drain_obs`. Empty unless a stage clock is installed.
+    obs_buf: Vec<RequestObs>,
 }
 
 impl ZiGongEngine {
@@ -322,6 +378,7 @@ impl ZiGongEngine {
                 inline: Some(Replica::new(&spec, &cfg)),
                 workers: Vec::new(),
                 affinity: std::collections::BTreeMap::new(),
+                obs_buf: Vec::new(),
             };
         }
         let workers = (0..cfg.workers)
@@ -337,9 +394,13 @@ impl ZiGongEngine {
                         match msg {
                             Msg::Batch(chunk) => {
                                 let out = replica.serve_chunk(&chunk);
-                                if out_tx.send(Out::Batch(out)).is_err() {
+                                let obs = std::mem::take(&mut replica.obs);
+                                if out_tx.send(Out::Batch(out, obs)).is_err() {
                                     break;
                                 }
+                            }
+                            Msg::StageClock(clock) => {
+                                replica.stage_clock = Some(clock);
                             }
                             Msg::Audit => {
                                 let res = Out::Audit(replica.audit(), replica.pool.stats());
@@ -362,6 +423,7 @@ impl ZiGongEngine {
             inline: None,
             workers,
             affinity: std::collections::BTreeMap::new(),
+            obs_buf: Vec::new(),
         }
     }
 
@@ -469,7 +531,9 @@ impl Engine for ZiGongEngine {
         }
         let _span = zg_trace::span_arg("serve.execute", batch.len() as i64);
         if let Some(replica) = &mut self.inline {
-            return replica.serve_chunk(batch);
+            let out = replica.serve_chunk(batch);
+            self.obs_buf.append(&mut replica.obs);
+            return out;
         }
         let assignment = self.assign(batch, self.workers.len());
         // Dispatch every non-empty assignment, then collect: workers run
@@ -489,16 +553,24 @@ impl Engine for ZiGongEngine {
             dispatched.push((w, idxs));
         }
         let mut slots: Vec<Option<(RequestId, Reply)>> = vec![None; batch.len()];
+        let mut obs_slots: Vec<Option<RequestObs>> = vec![None; batch.len()];
         for (w, idxs) in dispatched {
             // INVARIANT: every dispatched worker answers each Batch with
             // exactly one Out::Batch before processing anything else.
             match w.rx.recv().expect("serve worker reply") {
-                Out::Batch(chunk) => {
+                Out::Batch(chunk, obs) => {
                     for (&i, reply) in idxs.iter().zip(chunk) {
                         // INVARIANT: idxs are in-bounds batch positions and
                         // assign() partitions them across workers, so each
                         // slot is written exactly once.
                         slots[i] = Some(reply);
+                    }
+                    // Observations (present only with a stage clock) are
+                    // merged into original batch order too, so drain_obs
+                    // output never depends on worker scheduling.
+                    for (&i, o) in idxs.iter().zip(obs) {
+                        // INVARIANT: same in-bounds partition as replies.
+                        obs_slots[i] = Some(o);
                     }
                 }
                 // INVARIANT: audits are never in flight during execute —
@@ -506,6 +578,7 @@ impl Engine for ZiGongEngine {
                 Out::Audit(..) => unreachable!("audit reply during execute"),
             }
         }
+        self.obs_buf.extend(obs_slots.into_iter().flatten());
         slots
             .into_iter()
             .map(|s| {
@@ -527,6 +600,22 @@ impl Engine for ZiGongEngine {
         }
         self.workers.clear();
         self.inline = None;
+    }
+
+    fn install_stage_clock(&mut self, clock: Clock) {
+        if let Some(replica) = &mut self.inline {
+            replica.stage_clock = Some(clock);
+            return;
+        }
+        for w in &self.workers {
+            // A hung-up worker surfaces at the next execute/audit; stage
+            // observation is best-effort here.
+            let _ = w.tx.send(Msg::StageClock(clock.clone()));
+        }
+    }
+
+    fn drain_obs(&mut self) -> Vec<RequestObs> {
+        std::mem::take(&mut self.obs_buf)
     }
 }
 
@@ -560,6 +649,7 @@ mod tests {
             inline: None,
             workers: Vec::new(),
             affinity: std::collections::BTreeMap::new(),
+            obs_buf: Vec::new(),
         }
     }
 

@@ -16,12 +16,19 @@
 //! - [`server`]: continuous batching — admission, deadline expiry, and
 //!   batch coalescing driven by an injectable [`zg_trace::Clock`].
 //! - [`metrics`]: latency percentiles for load reports.
+//! - [`ops`]: the live ops plane — per-request stage timelines, tumbling
+//!   windowed p50/p99/QPS/gauge series, declarative SLOs with
+//!   multi-window burn-rate alerts, a bounded flight recorder dumping
+//!   post-mortems on breach, and a byte-deterministic Prometheus-style
+//!   exposition. Passive: served scores are bitwise identical with the
+//!   plane on or off.
 //! - [`sim`]: the deterministic simulation harness — seeded Poisson
 //!   traffic + [`zg_trace::ManualClock`] event loop; same seed, same
 //!   batches, byte-identical traces.
 
 pub mod engine;
 pub mod metrics;
+pub mod ops;
 pub mod queue;
 pub mod request;
 pub mod server;
@@ -29,6 +36,10 @@ pub mod sim;
 
 pub use engine::{Engine, EngineConfig, ZiGongEngine};
 pub use metrics::{LatencyRecorder, LatencySummary};
+pub use ops::{
+    OpsConfig, OpsPlane, Outcome, PostMortem, RequestObs, RequestTimeline, Slo, SloAlert,
+    SloObjective, Stage,
+};
 pub use queue::{BoundedQueue, QueuedRequest};
 pub use request::{
     Completion, Payload, Priority, Rejection, Reply, Request, RequestId, ServeFailure,

@@ -16,10 +16,12 @@ pub struct LatencySummary {
     pub max: f64,
 }
 
-/// Accumulates request latencies; `summary` sorts once at the end.
+/// Accumulates request latencies, kept sorted on insert — percentile
+/// queries are O(1) rank lookups with no per-call clone or re-sort.
 #[derive(Debug, Default, Clone)]
 pub struct LatencyRecorder {
-    samples: Vec<f64>,
+    /// Samples in ascending `total_cmp` order.
+    sorted: Vec<f64>,
 }
 
 impl LatencyRecorder {
@@ -28,30 +30,36 @@ impl LatencyRecorder {
         LatencyRecorder::default()
     }
 
-    /// Record one latency in seconds.
+    /// Record one latency in seconds (sorted insertion).
     pub fn record(&mut self, seconds: f64) {
-        self.samples.push(seconds);
+        let at = self
+            .sorted
+            .partition_point(|x| x.total_cmp(&seconds).is_le());
+        self.sorted.insert(at, seconds);
     }
 
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.sorted.len()
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.sorted.is_empty()
     }
 
     /// Nearest-rank percentile (`q` in `[0, 1]`) over the samples so far.
     pub fn percentile(&self, q: f64) -> f64 {
-        percentile(&mut self.samples.clone(), q)
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        rank(&self.sorted, q)
     }
 
     /// Summarize all samples. Returns an all-zero summary when empty
     /// (the bench treats `n == 0` as "no traffic").
     pub fn summary(&self) -> LatencySummary {
-        if self.samples.is_empty() {
+        if self.sorted.is_empty() {
             return LatencySummary {
                 n: 0,
                 p50: 0.0,
@@ -60,15 +68,13 @@ impl LatencyRecorder {
                 max: 0.0,
             };
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let n = sorted.len();
+        let n = self.sorted.len();
         LatencySummary {
             n,
-            p50: rank(&sorted, 0.50),
-            p99: rank(&sorted, 0.99),
-            mean: sorted.iter().sum::<f64>() / n as f64,
-            max: sorted[n - 1],
+            p50: rank(&self.sorted, 0.50),
+            p99: rank(&self.sorted, 0.99),
+            mean: self.sorted.iter().sum::<f64>() / n as f64,
+            max: self.sorted[n - 1],
         }
     }
 }
@@ -78,14 +84,6 @@ fn rank(sorted: &[f64], q: f64) -> f64 {
     let n = sorted.len();
     let r = (q * n as f64).ceil() as usize;
     sorted[r.clamp(1, n) - 1]
-}
-
-fn percentile(samples: &mut [f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    rank(samples, q)
 }
 
 #[cfg(test)]

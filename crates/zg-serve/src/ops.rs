@@ -1,0 +1,987 @@
+//! The live ops plane: per-request stage timelines, tumbling-window SLO
+//! metrics with multi-window burn-rate alerting, and a flight recorder
+//! that dumps a post-mortem bundle at the moment an SLO burns.
+//!
+//! ## Determinism and transparency contract
+//!
+//! The ops plane never reads a clock — every hook takes the timestamp
+//! the server already read from its injected [`zg_trace::Clock`] — and
+//! every container is a `BTreeMap`, `Vec`, or ring, so identical traffic
+//! on identical clocks produces byte-identical exposition text and
+//! flight-recorder dumps. Observation is *passive*: hooks only copy ids,
+//! timestamps, and pool-stat snapshots, so served scores are bitwise
+//! identical with the ops plane on or off (pinned by the
+//! `ops_plane` integration tests).
+//!
+//! ## Pipeline
+//!
+//! `Server` hooks feed three layers:
+//!
+//! 1. **Timelines** — each admitted request accumulates
+//!    `(stage, tick)` marks from admission through dispatch, the
+//!    engine-side prefill/decode/score stamps, merge, and reply (or
+//!    expiry), finalized into a [`RequestTimeline`].
+//! 2. **Windows** — consecutive-stage deltas land in per-stage
+//!    log-bucket latency shards ([`zg_trace::WindowedHist`]) keyed by
+//!    the resolution tick, alongside windowed QPS/outcome counters,
+//!    queue/lane/resident gauges, and prefix hit-token rates.
+//! 3. **SLOs** — when [`OpsPlane::advance`] closes a window, every
+//!    declared [`Slo`] is evaluated as a short-window + long-window
+//!    burn rate (error rate over budget, the multi-window multi-burn
+//!    alerting shape); a rising edge fires an alert and snapshots a
+//!    [`PostMortem`] from the flight recorder.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use zg_trace::jsonl;
+use zg_trace::{latency_edges, Expo, Hist, WindowedCounter, WindowedGauge, WindowedHist};
+
+use crate::request::{Priority, RequestId, PRIORITY_LANES};
+
+/// A point in a request's lifecycle, stamped with the injected clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Admitted into the bounded queue.
+    Admitted,
+    /// Popped from the queue into an engine batch.
+    Dispatched,
+    /// Prompt prefill (shared-prefix path) finished on the replica.
+    Prefill,
+    /// Greedy answer decode finished on the replica.
+    Decode,
+    /// Two-way probability scored on the replica.
+    Score,
+    /// Reply merged back into batch order on the scheduler thread.
+    Merged,
+    /// Completion handed back to the caller.
+    Replied,
+    /// Expired in the queue past its deadline.
+    Expired,
+}
+
+impl Stage {
+    /// Mark name in timeline JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admitted => "admitted",
+            Stage::Dispatched => "dispatched",
+            Stage::Prefill => "prefill",
+            Stage::Decode => "decode",
+            Stage::Score => "score",
+            Stage::Merged => "merge",
+            Stage::Replied => "reply",
+            Stage::Expired => "expired",
+        }
+    }
+
+    /// Label of the latency series fed by the delta from the *previous*
+    /// mark to this one (`None` for marks that open a timeline or end it
+    /// abnormally).
+    fn latency_label(self) -> Option<&'static str> {
+        match self {
+            Stage::Admitted | Stage::Expired => None,
+            Stage::Dispatched => Some("queue"),
+            Stage::Prefill => Some("prefill"),
+            Stage::Decode => Some("decode"),
+            Stage::Score => Some("score"),
+            Stage::Merged => Some("merge"),
+            Stage::Replied => Some("reply"),
+        }
+    }
+}
+
+/// Per-request observation handed back by an engine: the engine-side
+/// stage marks plus prefix-pool deltas attributable to this request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestObs {
+    /// The request observed.
+    pub id: RequestId,
+    /// `(stage, tick)` marks stamped on the replica, in stamp order.
+    pub marks: Vec<(Stage, f64)>,
+    /// Prompt tokens this request served from the replica's prefix pool.
+    pub hit_tokens: u64,
+    /// Prompt tokens this request presented to pool lookup.
+    pub lookup_tokens: u64,
+    /// Pool-resident tokens on the serving replica after this request.
+    pub resident_tokens: u64,
+}
+
+/// How a request's timeline ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served to completion.
+    Served,
+    /// Expired in the queue.
+    Expired,
+}
+
+impl Outcome {
+    fn name(self) -> &'static str {
+        match self {
+            Outcome::Served => "served",
+            Outcome::Expired => "expired",
+        }
+    }
+}
+
+/// A finalized per-request timeline: where the latency went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTimeline {
+    /// Server-assigned id.
+    pub id: RequestId,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Template key, if the request declared one.
+    pub template: Option<u64>,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Prefix-pool tokens served from cache for this request.
+    pub hit_tokens: u64,
+    /// Prefix-pool tokens presented to lookup for this request.
+    pub lookup_tokens: u64,
+    /// `(stage, tick)` marks in occurrence order, admission first.
+    pub marks: Vec<(Stage, f64)>,
+}
+
+impl RequestTimeline {
+    /// One canonical JSONL line (no trailing newline). Key order is
+    /// fixed and floats use shortest-roundtrip formatting, so the line
+    /// is byte-deterministic.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"id\":{},\"priority\":\"{}\",\"template\":{},\"outcome\":\"{}\",\
+             \"hit_tokens\":{},\"lookup_tokens\":{},\"marks\":[",
+            self.id,
+            self.priority.name(),
+            match self.template {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            },
+            self.outcome.name(),
+            self.hit_tokens,
+            self.lookup_tokens,
+        )
+        .expect("write to String"); // INVARIANT: write! to a String cannot fail.
+        for (i, (stage, t)) in self.marks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"stage\":\"{}\",\"t\":{}}}",
+                stage.name(),
+                jsonl::num(*t)
+            )
+            .expect("write to String"); // INVARIANT: write! to a String cannot fail.
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// What an SLO protects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloObjective {
+    /// Request latency (reply tick − admission tick) must stay at or
+    /// below this ceiling in seconds; each served request above it is
+    /// one error, each served request one event.
+    LatencyAbove(f64),
+    /// Queue-deadline misses; errors are expirations, events are
+    /// resolutions (served + expired).
+    DeadlineMiss,
+    /// Admission rejections; errors are rejections, events are
+    /// submissions (admitted + rejected).
+    Rejection,
+}
+
+/// One declarative service-level objective with multi-window burn-rate
+/// alerting: with an error budget of `budget` (the tolerated error
+/// rate), the alert fires when *both* the short and the long lookback
+/// burn their budget at ≥ `burn_threshold`× the tolerated pace — the
+/// short window gives fast detection, the long window suppresses blips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slo {
+    /// Alert name (exposition label).
+    pub name: String,
+    /// What is measured.
+    pub objective: SloObjective,
+    /// Tolerated error rate in `(0, 1]` (e.g. `0.01` = 1% of events may
+    /// violate the objective).
+    pub budget: f64,
+    /// Short lookback, in windows.
+    pub short_windows: u64,
+    /// Long lookback, in windows.
+    pub long_windows: u64,
+    /// Fire when both lookbacks burn at ≥ this multiple of budget pace.
+    pub burn_threshold: f64,
+}
+
+/// A fired SLO alert (rising edge of the burn condition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAlert {
+    /// Name of the [`Slo`] that fired.
+    pub slo: String,
+    /// Index of the closed window whose evaluation fired.
+    pub window: u64,
+    /// Burn rate over the short lookback ending at `window`.
+    pub burn_short: f64,
+    /// Burn rate over the long lookback ending at `window`.
+    pub burn_long: f64,
+    /// The threshold both burns met.
+    pub threshold: f64,
+}
+
+/// Post-mortem bundle captured at the instant an alert fired: recent
+/// timelines, the metric snapshot, and the queue state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortem {
+    /// The alert that triggered the dump.
+    pub alert: SloAlert,
+    /// Flight-recorder contents as JSONL (oldest first).
+    pub timelines_jsonl: String,
+    /// Full exposition snapshot at dump time.
+    pub exposition: String,
+    /// Queue occupancy at the last scheduler observation.
+    pub queue_depth: usize,
+    /// Per-lane occupancy at the last scheduler observation.
+    pub lane_depths: [usize; PRIORITY_LANES],
+}
+
+impl PostMortem {
+    /// Render the bundle as one deterministic text document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write!(
+            out,
+            "# zg-serve post-mortem slo={} window={} burn_short={} burn_long={} threshold={}\n\
+             # queue depth={} lanes=[{},{},{}]\n\
+             ## flight recorder\n{}## exposition\n{}",
+            self.alert.slo,
+            self.alert.window,
+            jsonl::num(self.alert.burn_short),
+            jsonl::num(self.alert.burn_long),
+            jsonl::num(self.alert.threshold),
+            self.queue_depth,
+            self.lane_depths[0],
+            self.lane_depths[1],
+            self.lane_depths[2],
+            self.timelines_jsonl,
+            self.exposition,
+        )
+        .expect("write to String"); // INVARIANT: write! to a String cannot fail.
+        out
+    }
+}
+
+/// Ops-plane tuning knobs.
+#[derive(Debug, Clone)]
+pub struct OpsConfig {
+    /// Tumbling-window width in seconds (keyed to the injected clock).
+    pub window_secs: f64,
+    /// Flight-recorder capacity in timelines (oldest evicted first).
+    pub recorder_capacity: usize,
+    /// Closed windows kept resident for burn-rate lookback; must cover
+    /// the longest SLO lookback.
+    pub retain_windows: u64,
+    /// Closed windows rendered in the exposition's windowed series.
+    pub expo_windows: u64,
+    /// Declared SLOs.
+    pub slos: Vec<Slo>,
+}
+
+impl Default for OpsConfig {
+    fn default() -> OpsConfig {
+        OpsConfig {
+            window_secs: 1.0,
+            recorder_capacity: 256,
+            retain_windows: 64,
+            expo_windows: 16,
+            slos: Vec::new(),
+        }
+    }
+}
+
+/// An in-flight request's accumulating timeline.
+#[derive(Debug, Clone)]
+struct Pending {
+    priority: Priority,
+    template: Option<u64>,
+    marks: Vec<(Stage, f64)>,
+    hit_tokens: u64,
+    lookup_tokens: u64,
+}
+
+/// The live ops plane. Owned by the server; every method takes the
+/// timestamp the server read from its injected clock (the plane itself
+/// never reads time — zg-lint rule D2 stays trivially satisfied).
+pub struct OpsPlane {
+    cfg: OpsConfig,
+    pending: BTreeMap<RequestId, Pending>,
+    // Windowed series (all keyed to the injected clock).
+    stage_w: BTreeMap<&'static str, WindowedHist>,
+    admitted_w: WindowedCounter,
+    rejected_w: WindowedCounter,
+    completed_w: WindowedCounter,
+    expired_w: WindowedCounter,
+    hit_tokens_w: WindowedCounter,
+    lookup_tokens_w: WindowedCounter,
+    slo_err_w: Vec<WindowedCounter>,
+    queue_depth_g: WindowedGauge,
+    lane_g: Vec<WindowedGauge>,
+    resident_g: WindowedGauge,
+    // Cumulative series (never retained away).
+    stage_total: BTreeMap<&'static str, Hist>,
+    admitted_total: u64,
+    rejected_total: u64,
+    completed_total: u64,
+    expired_total: u64,
+    batches_total: u64,
+    hit_tokens_total: u64,
+    lookup_tokens_total: u64,
+    inflight: u64,
+    // SLO engine.
+    firing: Vec<bool>,
+    alerts: Vec<SloAlert>,
+    postmortems: Vec<PostMortem>,
+    /// First window index not yet closed.
+    closed_before: u64,
+    // Flight recorder.
+    recorder: VecDeque<RequestTimeline>,
+    recorder_dropped: u64,
+    // Last queue observation (for post-mortems).
+    last_queue_depth: usize,
+    last_lane_depths: [usize; PRIORITY_LANES],
+}
+
+impl OpsPlane {
+    /// An empty plane under `cfg`.
+    pub fn new(cfg: OpsConfig) -> OpsPlane {
+        assert!(cfg.window_secs > 0.0, "window width must be positive");
+        assert!(
+            cfg.recorder_capacity > 0,
+            "recorder capacity must be positive"
+        );
+        let longest = cfg
+            .slos
+            .iter()
+            .map(|s| s.short_windows.max(s.long_windows))
+            .max()
+            .unwrap_or(0);
+        assert!(
+            cfg.retain_windows >= longest.max(cfg.expo_windows),
+            "retain_windows must cover the longest SLO lookback and expo_windows"
+        );
+        for slo in &cfg.slos {
+            assert!(slo.budget > 0.0 && slo.budget <= 1.0, "budget in (0, 1]");
+            assert!(
+                slo.short_windows >= 1 && slo.long_windows >= slo.short_windows,
+                "lookbacks must be >= 1 window, long >= short"
+            );
+            assert!(slo.burn_threshold > 0.0, "burn threshold must be positive");
+        }
+        let w = cfg.window_secs;
+        OpsPlane {
+            pending: BTreeMap::new(),
+            stage_w: BTreeMap::new(),
+            admitted_w: WindowedCounter::new(w),
+            rejected_w: WindowedCounter::new(w),
+            completed_w: WindowedCounter::new(w),
+            expired_w: WindowedCounter::new(w),
+            hit_tokens_w: WindowedCounter::new(w),
+            lookup_tokens_w: WindowedCounter::new(w),
+            slo_err_w: cfg.slos.iter().map(|_| WindowedCounter::new(w)).collect(),
+            queue_depth_g: WindowedGauge::new(w),
+            lane_g: (0..PRIORITY_LANES).map(|_| WindowedGauge::new(w)).collect(),
+            resident_g: WindowedGauge::new(w),
+            stage_total: BTreeMap::new(),
+            admitted_total: 0,
+            rejected_total: 0,
+            completed_total: 0,
+            expired_total: 0,
+            batches_total: 0,
+            hit_tokens_total: 0,
+            lookup_tokens_total: 0,
+            inflight: 0,
+            firing: vec![false; cfg.slos.len()],
+            alerts: Vec::new(),
+            postmortems: Vec::new(),
+            closed_before: 0,
+            recorder: VecDeque::with_capacity(cfg.recorder_capacity),
+            recorder_dropped: 0,
+            last_queue_depth: 0,
+            last_lane_depths: [0; PRIORITY_LANES],
+            cfg,
+        }
+    }
+
+    /// A request was admitted at tick `t`.
+    pub fn on_admitted(
+        &mut self,
+        id: RequestId,
+        priority: Priority,
+        template: Option<u64>,
+        t: f64,
+    ) {
+        self.admitted_w.add(t, 1.0);
+        self.admitted_total += 1;
+        self.inflight += 1;
+        self.pending.insert(
+            id,
+            Pending {
+                priority,
+                template,
+                marks: vec![(Stage::Admitted, t)],
+                hit_tokens: 0,
+                lookup_tokens: 0,
+            },
+        );
+    }
+
+    /// A submission was rejected at tick `t` (never entered the queue).
+    pub fn on_rejected(&mut self, t: f64) {
+        self.rejected_w.add(t, 1.0);
+        self.rejected_total += 1;
+    }
+
+    /// A queued request expired at tick `t`.
+    pub fn on_expired(&mut self, id: RequestId, t: f64) {
+        self.expired_w.add(t, 1.0);
+        self.expired_total += 1;
+        self.inflight = self.inflight.saturating_sub(1);
+        if let Some(mut p) = self.pending.remove(&id) {
+            p.marks.push((Stage::Expired, t));
+            self.seal(id, p, Outcome::Expired);
+        }
+    }
+
+    /// A request was popped into an engine batch at tick `t`.
+    pub fn on_dispatched(&mut self, id: RequestId, t: f64) {
+        if let Some(p) = self.pending.get_mut(&id) {
+            p.marks.push((Stage::Dispatched, t));
+        }
+    }
+
+    /// An engine batch of `size` requests was dispatched at tick `t`.
+    pub fn on_batch(&mut self, _t: f64, _size: usize) {
+        self.batches_total += 1;
+    }
+
+    /// Merge an engine-side observation; `t_merged` is the tick the
+    /// scheduler merged replies back into batch order.
+    pub fn on_engine_obs(&mut self, obs: RequestObs, t_merged: f64) {
+        self.hit_tokens_w.add(t_merged, obs.hit_tokens as f64);
+        self.lookup_tokens_w.add(t_merged, obs.lookup_tokens as f64);
+        self.hit_tokens_total += obs.hit_tokens;
+        self.lookup_tokens_total += obs.lookup_tokens;
+        self.resident_g.set(t_merged, obs.resident_tokens as f64);
+        if let Some(p) = self.pending.get_mut(&obs.id) {
+            p.marks.extend(obs.marks);
+            p.marks.push((Stage::Merged, t_merged));
+            p.hit_tokens = obs.hit_tokens;
+            p.lookup_tokens = obs.lookup_tokens;
+        }
+    }
+
+    /// A completion for `id` was handed back at tick `t`.
+    pub fn on_served(&mut self, id: RequestId, t: f64) {
+        self.completed_w.add(t, 1.0);
+        self.completed_total += 1;
+        self.inflight = self.inflight.saturating_sub(1);
+        let Some(mut p) = self.pending.remove(&id) else {
+            return;
+        };
+        p.marks.push((Stage::Replied, t));
+        // Stage deltas: consecutive marks feed the stage's latency
+        // series, attributed to the resolution window.
+        let mut prev: Option<f64> = None;
+        let mut first: Option<f64> = None;
+        for &(stage, mt) in &p.marks {
+            if first.is_none() {
+                first = Some(mt);
+            }
+            if let (Some(pt), Some(label)) = (prev, stage.latency_label()) {
+                self.record_stage(label, t, (mt - pt).max(0.0));
+            }
+            prev = Some(mt);
+        }
+        if let Some(f) = first {
+            let latency = (t - f).max(0.0);
+            self.record_stage("total", t, latency);
+            // Latency-objective errors are counted exactly once, here.
+            for (i, slo) in self.cfg.slos.iter().enumerate() {
+                if let SloObjective::LatencyAbove(ceiling) = slo.objective {
+                    if latency > ceiling {
+                        // INVARIANT: slo_err_w is built with one counter
+                        // per configured SLO, so i is in bounds.
+                        self.slo_err_w[i].add(t, 1.0);
+                    }
+                }
+            }
+        }
+        self.seal(id, p, Outcome::Served);
+    }
+
+    /// Queue state observed at the top of a scheduler tick.
+    pub fn observe_queue(&mut self, t: f64, depth: usize, lanes: [usize; PRIORITY_LANES]) {
+        self.queue_depth_g.set(t, depth as f64);
+        for (g, &d) in self.lane_g.iter_mut().zip(lanes.iter()) {
+            g.set(t, d as f64);
+        }
+        self.last_queue_depth = depth;
+        self.last_lane_depths = lanes;
+    }
+
+    /// Close every window strictly before the one containing `t`,
+    /// evaluating SLOs at each close (in window order) and retiring
+    /// shards beyond the retention horizon.
+    ///
+    /// Catch-up is clamped to the retention horizon: under a wall clock
+    /// the first tick sits ~1.7e9 windows past window 0, and everything
+    /// older than `retain_windows` holds no data the series would have
+    /// kept anyway, so those windows are skipped rather than closed one
+    /// by one.
+    pub fn advance(&mut self, t: f64) {
+        let cur = zg_trace::window_of(t, self.cfg.window_secs);
+        self.closed_before = self
+            .closed_before
+            .max(cur.saturating_sub(self.cfg.retain_windows));
+        while self.closed_before < cur {
+            let w = self.closed_before;
+            self.close_window(w);
+            self.closed_before += 1;
+        }
+        let horizon = cur.saturating_sub(self.cfg.retain_windows);
+        self.retain(horizon);
+    }
+
+    /// Close windows through the one containing `t` *inclusive* —
+    /// call once at end of run so the final partial window is evaluated
+    /// and rendered. Catch-up clamps to the retention horizon exactly
+    /// like [`OpsPlane::advance`].
+    pub fn finish(&mut self, t: f64) {
+        let through = zg_trace::window_of(t, self.cfg.window_secs);
+        self.closed_before = self
+            .closed_before
+            .max((through + 1).saturating_sub(self.cfg.retain_windows));
+        while self.closed_before <= through {
+            let w = self.closed_before;
+            self.close_window(w);
+            self.closed_before += 1;
+        }
+    }
+
+    /// Alerts fired so far (in fire order).
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// Drain captured post-mortem bundles (fire order).
+    pub fn take_postmortems(&mut self) -> Vec<PostMortem> {
+        std::mem::take(&mut self.postmortems)
+    }
+
+    /// Flight-recorder contents as JSONL, oldest first (one line per
+    /// timeline, trailing newline per line).
+    pub fn flight_recorder_jsonl(&self) -> String {
+        let mut out = String::new();
+        for tl in &self.recorder {
+            out.push_str(&tl.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Byte-deterministic Prometheus-style text snapshot of the whole
+    /// plane: cumulative totals, per-stage latency histograms, the last
+    /// `expo_windows` closed windows' p50/p99/QPS/gauge series, and SLO
+    /// state.
+    pub fn exposition(&self) -> String {
+        let mut e = Expo::new();
+        e.counter(
+            "zg_serve_requests_total",
+            &[("outcome", "admitted")],
+            self.admitted_total as f64,
+        );
+        e.counter(
+            "zg_serve_requests_total",
+            &[("outcome", "rejected")],
+            self.rejected_total as f64,
+        );
+        e.counter(
+            "zg_serve_requests_total",
+            &[("outcome", "completed")],
+            self.completed_total as f64,
+        );
+        e.counter(
+            "zg_serve_requests_total",
+            &[("outcome", "expired")],
+            self.expired_total as f64,
+        );
+        e.counter("zg_serve_batches_total", &[], self.batches_total as f64);
+        e.gauge("zg_serve_inflight", &[], self.inflight as f64);
+        e.counter(
+            "zg_serve_prefix_tokens_total",
+            &[("kind", "hit")],
+            self.hit_tokens_total as f64,
+        );
+        e.counter(
+            "zg_serve_prefix_tokens_total",
+            &[("kind", "lookup")],
+            self.lookup_tokens_total as f64,
+        );
+        for (label, h) in &self.stage_total {
+            e.hist("zg_serve_stage_seconds", &[("stage", label)], h);
+        }
+        // Windowed series over the last `expo_windows` *closed* windows.
+        let hi = self.closed_before;
+        let lo = hi.saturating_sub(self.cfg.expo_windows);
+        for w in lo..hi {
+            let ws = w.to_string();
+            let qps = self.completed_w.get(w) / self.cfg.window_secs;
+            e.gauge("zg_serve_window_qps", &[("window", &ws)], qps);
+        }
+        for q in [
+            ("zg_serve_window_p50_seconds", 0.50),
+            ("zg_serve_window_p99_seconds", 0.99),
+        ] {
+            for (label, wh) in &self.stage_w {
+                for w in lo..hi {
+                    if let Some(h) = wh.shard(w) {
+                        let ws = w.to_string();
+                        e.gauge(q.0, &[("stage", label), ("window", &ws)], h.quantile(q.1));
+                    }
+                }
+            }
+        }
+        for w in lo..hi {
+            let ws = w.to_string();
+            let lookups = self.lookup_tokens_w.get(w);
+            let rate = if lookups > 0.0 {
+                self.hit_tokens_w.get(w) / lookups
+            } else {
+                0.0
+            };
+            e.gauge("zg_serve_window_hit_token_rate", &[("window", &ws)], rate);
+        }
+        for w in lo..hi {
+            if let Some(v) = self.queue_depth_g.max(w) {
+                let ws = w.to_string();
+                e.gauge("zg_serve_window_queue_depth_max", &[("window", &ws)], v);
+            }
+        }
+        for (lane, g) in self.lane_g.iter().enumerate() {
+            let name = match lane {
+                0 => "high",
+                1 => "normal",
+                _ => "low",
+            };
+            for w in lo..hi {
+                if let Some(v) = g.max(w) {
+                    let ws = w.to_string();
+                    e.gauge(
+                        "zg_serve_window_lane_max",
+                        &[("lane", name), ("window", &ws)],
+                        v,
+                    );
+                }
+            }
+        }
+        for w in lo..hi {
+            if let Some(v) = self.resident_g.max(w) {
+                let ws = w.to_string();
+                e.gauge("zg_serve_window_resident_tokens_max", &[("window", &ws)], v);
+            }
+        }
+        for (slo, firing) in self.cfg.slos.iter().zip(&self.firing) {
+            e.gauge(
+                "zg_serve_slo_firing",
+                &[("slo", &slo.name)],
+                if *firing { 1.0 } else { 0.0 },
+            );
+        }
+        e.counter("zg_serve_slo_alerts_total", &[], self.alerts.len() as f64);
+        e.gauge(
+            "zg_serve_flight_recorder_len",
+            &[],
+            self.recorder.len() as f64,
+        );
+        e.counter(
+            "zg_serve_flight_recorder_dropped_total",
+            &[],
+            self.recorder_dropped as f64,
+        );
+        e.finish()
+    }
+
+    fn record_stage(&mut self, label: &'static str, t: f64, v: f64) {
+        let width = self.cfg.window_secs;
+        self.stage_w
+            .entry(label)
+            .or_insert_with(|| WindowedHist::new(width, &latency_edges()))
+            .record(t, v);
+        self.stage_total
+            .entry(label)
+            .or_insert_with(Hist::latency)
+            .record(v);
+    }
+
+    fn seal(&mut self, id: RequestId, p: Pending, outcome: Outcome) {
+        let tl = RequestTimeline {
+            id,
+            priority: p.priority,
+            template: p.template,
+            outcome,
+            hit_tokens: p.hit_tokens,
+            lookup_tokens: p.lookup_tokens,
+            marks: p.marks,
+        };
+        if self.recorder.len() == self.cfg.recorder_capacity {
+            self.recorder.pop_front();
+            self.recorder_dropped += 1;
+        }
+        self.recorder.push_back(tl);
+    }
+
+    /// Error and event counts of `slo` over windows `from..=to`.
+    fn err_events(&self, idx: usize, slo: &Slo, from: u64, to: u64) -> (f64, f64) {
+        match slo.objective {
+            SloObjective::LatencyAbove(_) => (
+                // INVARIANT: slo_err_w has one counter per configured SLO.
+                self.slo_err_w[idx].sum_range(from, to),
+                self.completed_w.sum_range(from, to),
+            ),
+            SloObjective::DeadlineMiss => {
+                let miss = self.expired_w.sum_range(from, to);
+                (miss, miss + self.completed_w.sum_range(from, to))
+            }
+            SloObjective::Rejection => {
+                let rej = self.rejected_w.sum_range(from, to);
+                (rej, rej + self.admitted_w.sum_range(from, to))
+            }
+        }
+    }
+
+    /// Burn rate of `slo` over the `lookback` windows ending at `w`:
+    /// observed error rate over the budgeted error rate (`0` with no
+    /// events).
+    fn burn(&self, idx: usize, slo: &Slo, w: u64, lookback: u64) -> f64 {
+        let from = (w + 1).saturating_sub(lookback);
+        let (err, events) = self.err_events(idx, slo, from, w);
+        if events <= 0.0 {
+            return 0.0;
+        }
+        (err / events) / slo.budget
+    }
+
+    fn close_window(&mut self, w: u64) {
+        for i in 0..self.cfg.slos.len() {
+            // INVARIANT: firing and slo_err_w are built with one slot per
+            // configured SLO, so i indexes all three in bounds.
+            let slo = self.cfg.slos[i].clone();
+            let burn_short = self.burn(i, &slo, w, slo.short_windows);
+            let burn_long = self.burn(i, &slo, w, slo.long_windows);
+            let cond = burn_short >= slo.burn_threshold && burn_long >= slo.burn_threshold;
+            // INVARIANT: firing has one slot per configured SLO; i < slos.len().
+            if cond && !self.firing[i] {
+                let alert = SloAlert {
+                    slo: slo.name.clone(),
+                    window: w,
+                    burn_short,
+                    burn_long,
+                    threshold: slo.burn_threshold,
+                };
+                self.alerts.push(alert.clone());
+                self.postmortems.push(PostMortem {
+                    alert,
+                    timelines_jsonl: self.flight_recorder_jsonl(),
+                    exposition: self.exposition(),
+                    queue_depth: self.last_queue_depth,
+                    lane_depths: self.last_lane_depths,
+                });
+            }
+            // INVARIANT: firing has one slot per configured SLO; i < slos.len().
+            self.firing[i] = cond;
+        }
+    }
+
+    fn retain(&mut self, horizon: u64) {
+        if horizon == 0 {
+            return;
+        }
+        for wh in self.stage_w.values_mut() {
+            wh.retain_from(horizon);
+        }
+        self.admitted_w.retain_from(horizon);
+        self.rejected_w.retain_from(horizon);
+        self.completed_w.retain_from(horizon);
+        self.expired_w.retain_from(horizon);
+        self.hit_tokens_w.retain_from(horizon);
+        self.lookup_tokens_w.retain_from(horizon);
+        for c in &mut self.slo_err_w {
+            c.retain_from(horizon);
+        }
+        self.queue_depth_g.retain_from(horizon);
+        for g in &mut self.lane_g {
+            g.retain_from(horizon);
+        }
+        self.resident_g.retain_from(horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo_deadline(short: u64, long: u64, budget: f64, thr: f64) -> Slo {
+        Slo {
+            name: "deadline".into(),
+            objective: SloObjective::DeadlineMiss,
+            budget,
+            short_windows: short,
+            long_windows: long,
+            burn_threshold: thr,
+        }
+    }
+
+    fn plane_with(slos: Vec<Slo>) -> OpsPlane {
+        OpsPlane::new(OpsConfig {
+            window_secs: 1.0,
+            recorder_capacity: 4,
+            retain_windows: 16,
+            expo_windows: 4,
+            slos,
+        })
+    }
+
+    #[test]
+    fn timeline_jsonl_is_canonical() {
+        let tl = RequestTimeline {
+            id: 7,
+            priority: Priority::High,
+            template: Some(3),
+            outcome: Outcome::Served,
+            hit_tokens: 12,
+            lookup_tokens: 20,
+            marks: vec![(Stage::Admitted, 0.5), (Stage::Replied, 1.25)],
+        };
+        assert_eq!(
+            tl.to_jsonl(),
+            "{\"id\":7,\"priority\":\"high\",\"template\":3,\"outcome\":\"served\",\
+             \"hit_tokens\":12,\"lookup_tokens\":20,\"marks\":[\
+             {\"stage\":\"admitted\",\"t\":0.5},{\"stage\":\"reply\",\"t\":1.25}]}"
+        );
+        let untemplated = RequestTimeline {
+            template: None,
+            ..tl
+        };
+        assert!(untemplated.to_jsonl().contains("\"template\":null"));
+    }
+
+    #[test]
+    fn stage_deltas_feed_queue_and_total_series() {
+        let mut p = plane_with(Vec::new());
+        p.on_admitted(0, Priority::Normal, None, 0.1);
+        p.on_dispatched(0, 0.4);
+        p.on_served(0, 0.5);
+        let queue = p.stage_total.get("queue").expect("queue series");
+        assert_eq!(queue.n, 1);
+        assert!((queue.sum - 0.3).abs() < 1e-12);
+        let total = p.stage_total.get("total").expect("total series");
+        assert!((total.sum - 0.4).abs() < 1e-12);
+        // Windowed shard landed in the resolution window (0).
+        assert_eq!(
+            p.stage_w.get("queue").and_then(|w| w.shard(0)).map(|h| h.n),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn burn_rate_fires_on_rising_edge_only() {
+        // Budget 10%, threshold 1x, 1-window short, 2-window long.
+        let mut p = plane_with(vec![slo_deadline(1, 2, 0.1, 1.0)]);
+        // Window 0: 1 expiry, 1 completion -> 50% error rate, burn 5.
+        p.on_admitted(0, Priority::Normal, None, 0.1);
+        p.on_admitted(1, Priority::Normal, None, 0.1);
+        p.on_expired(0, 0.5);
+        p.on_served(1, 0.6);
+        // Window 1: all healthy.
+        p.on_admitted(2, Priority::Normal, None, 1.2);
+        p.on_served(2, 1.4);
+        p.advance(1.0); // closes window 0 -> fires
+        assert_eq!(p.alerts().len(), 1);
+        assert_eq!(p.alerts()[0].window, 0);
+        assert!(p.alerts()[0].burn_short >= 1.0);
+        // Window 1 close: short burn 0 but long burn (1 err / 3 events /
+        // 0.1) still >= 1 — condition holds, no NEW alert (still firing).
+        p.advance(2.0);
+        assert_eq!(p.alerts().len(), 1);
+        // Window 2 empty: burns drop to 0, firing clears; a later breach
+        // fires again.
+        p.on_admitted(3, Priority::Normal, None, 3.1);
+        p.on_expired(3, 3.2);
+        p.advance(4.0);
+        assert_eq!(p.alerts().len(), 2);
+        let pms = p.take_postmortems();
+        assert_eq!(pms.len(), 2);
+        assert!(pms[0].render().contains("post-mortem slo=deadline"));
+        assert!(p.take_postmortems().is_empty(), "drained");
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_ring() {
+        let mut p = plane_with(Vec::new()); // capacity 4
+        for id in 0..6u64 {
+            p.on_admitted(id, Priority::Normal, None, 0.1);
+            p.on_served(id, 0.2);
+        }
+        assert_eq!(p.recorder.len(), 4);
+        assert_eq!(p.recorder_dropped, 2);
+        let jsonl = p.flight_recorder_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.starts_with("{\"id\":2,"), "oldest surviving first");
+    }
+
+    #[test]
+    fn exposition_renders_closed_windows_only_and_is_deterministic() {
+        let run = || {
+            let mut p = plane_with(Vec::new());
+            p.on_admitted(0, Priority::High, Some(1), 0.2);
+            p.on_dispatched(0, 0.3);
+            p.on_served(0, 0.4);
+            p.observe_queue(0.4, 3, [1, 2, 0]);
+            let before = p.exposition();
+            p.finish(0.4);
+            (before, p.exposition())
+        };
+        let (before, after) = run();
+        assert!(
+            !before.contains("zg_serve_window_qps"),
+            "window 0 not closed yet"
+        );
+        assert!(after.contains("zg_serve_window_qps{window=\"0\"} 1\n"));
+        assert!(after.contains("zg_serve_window_queue_depth_max{window=\"0\"} 3\n"));
+        assert!(after.contains("zg_serve_window_lane_max{lane=\"normal\",window=\"0\"} 2\n"));
+        assert!(after.contains("zg_serve_requests_total{outcome=\"admitted\"} 1\n"));
+        let (b2, a2) = run();
+        assert_eq!(before, b2, "byte-identical across reruns");
+        assert_eq!(after, a2);
+    }
+
+    #[test]
+    fn retention_keeps_the_lookback_horizon() {
+        let mut p = OpsPlane::new(OpsConfig {
+            window_secs: 1.0,
+            recorder_capacity: 4,
+            retain_windows: 2,
+            expo_windows: 2,
+            slos: Vec::new(),
+        });
+        p.on_admitted(0, Priority::Normal, None, 0.1);
+        p.on_served(0, 0.2);
+        p.advance(10.0);
+        assert_eq!(p.completed_w.sum_range(0, 20), 0.0, "window 0 retired");
+    }
+}

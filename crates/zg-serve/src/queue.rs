@@ -150,6 +150,11 @@ impl BoundedQueue {
         self.len
     }
 
+    /// Occupancy of each priority lane, `High` first.
+    pub fn lane_depths(&self) -> [usize; PRIORITY_LANES] {
+        std::array::from_fn(|i| self.lanes[i].len())
+    }
+
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0

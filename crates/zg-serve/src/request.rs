@@ -24,6 +24,15 @@ impl Priority {
     pub fn lane(self) -> usize {
         self as usize
     }
+
+    /// Lower-case label (timeline JSONL, exposition labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
 }
 
 /// What the request asks the model to do.

@@ -12,6 +12,7 @@
 use zg_trace::Clock;
 
 use crate::engine::Engine;
+use crate::ops::{OpsConfig, OpsPlane};
 use crate::queue::{BoundedQueue, QueuedRequest};
 use crate::request::{Completion, Payload, Rejection, Request, RequestId, ServeFailure};
 
@@ -68,6 +69,7 @@ pub struct Server<E: Engine> {
     config: ServeConfig,
     next_id: RequestId,
     stats: ServerStats,
+    ops: Option<OpsPlane>,
 }
 
 impl<E: Engine> Server<E> {
@@ -80,7 +82,28 @@ impl<E: Engine> Server<E> {
             config,
             next_id: 0,
             stats: ServerStats::default(),
+            ops: None,
         }
+    }
+
+    /// Turn on the live ops plane: per-request timelines, windowed SLO
+    /// metrics, burn-rate alerts, and the flight recorder. Installs the
+    /// server's clock as the engine's stage clock. Observation is
+    /// passive — served scores are bitwise identical with it on or off.
+    pub fn enable_ops(&mut self, cfg: OpsConfig) {
+        self.engine.install_stage_clock(self.clock.clone());
+        self.ops = Some(OpsPlane::new(cfg));
+    }
+
+    /// The ops plane, if enabled.
+    pub fn ops(&self) -> Option<&OpsPlane> {
+        self.ops.as_ref()
+    }
+
+    /// Mutable ops plane, if enabled (e.g. to `finish` a run or drain
+    /// post-mortems).
+    pub fn ops_mut(&mut self) -> Option<&mut OpsPlane> {
+        self.ops.as_mut()
     }
 
     /// The injected clock's current reading.
@@ -99,16 +122,21 @@ impl<E: Engine> Server<E> {
         if let Some(r) = rejection {
             self.stats.rejected += 1;
             zg_trace::counter_add("serve.rejected", 1.0);
+            if let Some(ops) = &mut self.ops {
+                let now = (self.clock)();
+                ops.on_rejected(now);
+            }
             return Err(r);
         }
         let now = self.now();
+        let (priority, template) = (req.priority, req.template);
         let queued = QueuedRequest {
             id: self.next_id,
             payload: req.payload,
-            priority: req.priority,
+            priority,
             arrived: now,
             deadline: req.timeout.or(self.config.default_timeout).map(|t| now + t),
-            template: req.template,
+            template,
         };
         match self.queue.push(queued) {
             Ok(()) => {
@@ -116,11 +144,17 @@ impl<E: Engine> Server<E> {
                 self.next_id += 1;
                 self.stats.admitted += 1;
                 zg_trace::counter_add("serve.admitted", 1.0);
+                if let Some(ops) = &mut self.ops {
+                    ops.on_admitted(id, priority, template, now);
+                }
                 Ok(id)
             }
             Err(r) => {
                 self.stats.rejected += 1;
                 zg_trace::counter_add("serve.rejected", 1.0);
+                if let Some(ops) = &mut self.ops {
+                    ops.on_rejected(now);
+                }
                 Err(r)
             }
         }
@@ -133,10 +167,27 @@ impl<E: Engine> Server<E> {
     pub fn tick(&mut self) -> Vec<Completion> {
         let _span = zg_trace::span("serve.tick");
         let now = self.now();
+        // Backlog gauges every tick, so trace reports show queue state,
+        // not just completion stats (ambient no-ops when tracing is off).
+        let lanes = self.queue.lane_depths();
+        zg_trace::gauge_set("serve.queue_depth", self.queue.len() as f64);
+        // INVARIANT: lane_depths() is [usize; PRIORITY_LANES] with PRIORITY_LANES == 3.
+        zg_trace::gauge_set("serve.lane_high", lanes[0] as f64);
+        // INVARIANT: lane_depths() is [usize; PRIORITY_LANES] with PRIORITY_LANES == 3.
+        zg_trace::gauge_set("serve.lane_normal", lanes[1] as f64);
+        // INVARIANT: lane_depths() is [usize; PRIORITY_LANES] with PRIORITY_LANES == 3.
+        zg_trace::gauge_set("serve.lane_low", lanes[2] as f64);
+        if let Some(ops) = &mut self.ops {
+            ops.advance(now);
+            ops.observe_queue(now, self.queue.len(), lanes);
+        }
         let mut completions = Vec::new();
         for expired in self.queue.expire(now) {
             self.stats.timed_out += 1;
             zg_trace::counter_add("serve.timeouts", 1.0);
+            if let Some(ops) = &mut self.ops {
+                ops.on_expired(expired.id, now);
+            }
             completions.push(Completion {
                 id: expired.id,
                 priority: expired.priority,
@@ -155,6 +206,12 @@ impl<E: Engine> Server<E> {
         }
         self.stats.batches += 1;
         zg_trace::hist_record("serve.batch_size", batch.len() as f64);
+        if let Some(ops) = &mut self.ops {
+            for req in &batch {
+                ops.on_dispatched(req.id, now);
+            }
+            ops.on_batch(now, batch.len());
+        }
         let replies = self.engine.execute(&batch);
         assert_eq!(
             replies.len(),
@@ -166,10 +223,21 @@ impl<E: Engine> Server<E> {
         // includes whatever the harness (or a timed engine wrapper)
         // advanced during execution.
         let finished = self.now();
+        if self.ops.is_some() {
+            let obs = self.engine.drain_obs();
+            if let Some(ops) = &mut self.ops {
+                for o in obs {
+                    ops.on_engine_obs(o, finished);
+                }
+            }
+        }
         for (req, (id, reply)) in batch.into_iter().zip(replies) {
             assert_eq!(req.id, id, "engine replies must follow batch order");
             self.stats.completed += 1;
             zg_trace::counter_add("serve.completed", 1.0);
+            if let Some(ops) = &mut self.ops {
+                ops.on_served(id, finished);
+            }
             completions.push(Completion {
                 id,
                 priority: req.priority,

@@ -175,6 +175,14 @@ impl<E: Engine> Engine for TimedEngine<E> {
     fn shutdown(&mut self) {
         self.inner.shutdown();
     }
+
+    fn install_stage_clock(&mut self, clock: zg_trace::Clock) {
+        self.inner.install_stage_clock(clock);
+    }
+
+    fn drain_obs(&mut self) -> Vec<crate::ops::RequestObs> {
+        self.inner.drain_obs()
+    }
 }
 
 /// A model-free engine for scheduler tests: echoes deterministic replies

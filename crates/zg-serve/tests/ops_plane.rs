@@ -1,0 +1,338 @@
+//! Ops-plane determinism and transparency contracts.
+//!
+//! The live ops plane must be (a) byte-deterministic — identical traffic
+//! on identical clocks yields identical exposition text and
+//! flight-recorder dumps, across reruns and (for pool-neutral traffic)
+//! across worker counts — and (b) bit-transparent — served scores are
+//! exact-`f64` equal with observation on or off. These tests pin both,
+//! plus the SLO burn-rate alert + post-mortem path end to end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zg_data::german;
+use zg_model::{CausalLm, ModelConfig};
+use zg_serve::{
+    drive, poisson_traffic, EchoEngine, EngineConfig, OpsConfig, Reply, Request, ServeConfig,
+    Server, Slo, SloObjective, TimedEngine, ZiGongEngine,
+};
+use zg_tokenizer::BpeTokenizer;
+use zg_trace::ManualClock;
+use zg_zigong::{eval_items, EvalItem, ZiGongModel};
+
+/// Same tiny fixture as the bit-exactness suite: byte-level tokenizer,
+/// one layer, sliding window far below the rendered prompt length.
+fn model(max_seq_len: usize) -> ZiGongModel {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut cfg = ModelConfig::mistral_miniature(260);
+    cfg.n_layers = 1;
+    cfg.d_model = 16;
+    cfg.n_heads = 2;
+    cfg.n_kv_heads = 1;
+    cfg.d_ff = 32;
+    cfg.max_seq_len = max_seq_len;
+    cfg.sliding_window = 48;
+    let lm = CausalLm::new(cfg, &mut rng);
+    ZiGongModel::new(lm, BpeTokenizer::byte_level(), max_seq_len, "serve-ops")
+}
+
+fn ops_config() -> OpsConfig {
+    OpsConfig {
+        window_secs: 0.25,
+        recorder_capacity: 64,
+        expo_windows: 8,
+        retain_windows: 32,
+        slos: vec![Slo {
+            name: "p99-latency".into(),
+            objective: SloObjective::LatencyAbove(0.5),
+            budget: 0.01,
+            short_windows: 2,
+            long_windows: 8,
+            burn_threshold: 2.0,
+        }],
+    }
+}
+
+/// Serve score traffic with the ops plane on; return the served scores
+/// plus the finished plane's `(exposition, flight JSONL)` bytes.
+fn serve_observed(
+    m: &ZiGongModel,
+    items: &[EvalItem<'_>],
+    workers: usize,
+) -> (Vec<(String, f64)>, String, String) {
+    let engine = ZiGongEngine::new(
+        m.spec(),
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    let clock = ManualClock::new();
+    let cfg = ServeConfig {
+        queue_capacity: items.len().max(1),
+        max_batch: 3,
+        default_timeout: None,
+        reorder_window: 2,
+    };
+    let mut server = Server::new(engine, cfg, clock.clock());
+    server.enable_ops(ops_config());
+    for (i, it) in items.iter().enumerate() {
+        let ex = &it.example;
+        clock.set(0.1 * i as f64);
+        server
+            .submit(
+                Request::score(
+                    ex.prompt.clone(),
+                    ex.candidates[0].clone(),
+                    ex.candidates[1].clone(),
+                )
+                .with_template(0),
+            )
+            .expect("capacity fits all items");
+    }
+    let done = server.run_until_idle();
+    assert_eq!(done.len(), items.len());
+    let now = clock.now();
+    let ops = server.ops_mut().expect("ops enabled");
+    ops.finish(now);
+    let expo = ops.exposition();
+    let flight = ops.flight_recorder_jsonl();
+    let mut scores = vec![(String::new(), 0.0); items.len()];
+    for c in done {
+        match c.result.expect("no timeouts configured") {
+            Reply::Scored { answer, p_positive } => scores[c.id as usize] = (answer, p_positive),
+            Reply::Generated { .. } => panic!("score request got a generate reply"),
+        }
+    }
+    server.shutdown();
+    (scores, expo, flight)
+}
+
+/// Generate-only traffic never touches the prefix pool, so its ops
+/// output must be invariant across worker counts, not just reruns.
+fn generate_observed(m: &ZiGongModel, workers: usize) -> (Vec<String>, String, String) {
+    let engine = ZiGongEngine::new(
+        m.spec(),
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    let clock = ManualClock::new();
+    let mut server = Server::new(engine, ServeConfig::default(), clock.clock());
+    server.enable_ops(ops_config());
+    let prompts = [
+        "status of checking account: none, purpose: education",
+        "duration in months: 13",
+        "credit amount: 2500, housing: rent",
+        "q",
+    ];
+    for (i, p) in prompts.iter().enumerate() {
+        clock.set(0.07 * i as f64);
+        server.submit(Request::generate(*p, 6)).expect("admitted");
+    }
+    let done = server.run_until_idle();
+    assert_eq!(done.len(), prompts.len());
+    let now = clock.now();
+    let ops = server.ops_mut().expect("ops enabled");
+    ops.finish(now);
+    let expo = ops.exposition();
+    let flight = ops.flight_recorder_jsonl();
+    let mut texts = vec![String::new(); prompts.len()];
+    for c in done {
+        match c.result.expect("no timeouts configured") {
+            Reply::Generated { text } => texts[c.id as usize] = text,
+            Reply::Scored { .. } => panic!("generate request got a score reply"),
+        }
+    }
+    server.shutdown();
+    (texts, expo, flight)
+}
+
+/// Exposition and flight-recorder dumps are byte-identical across
+/// seeded reruns for every worker count, and the timelines carry the
+/// engine-side stage marks.
+#[test]
+fn ops_output_bit_identical_across_reruns() {
+    let m = model(1024);
+    let ds = german(16, 4);
+    let refs: Vec<_> = ds.records.iter().take(3).collect();
+    let items = eval_items(&ds, &refs);
+    for workers in [1usize, 2, 3, 5] {
+        let (s1, e1, f1) = serve_observed(&m, &items, workers);
+        let (s2, e2, f2) = serve_observed(&m, &items, workers);
+        assert_eq!(s1, s2, "workers={workers}: served scores must reproduce");
+        assert_eq!(
+            e1, e2,
+            "workers={workers}: exposition must be byte-identical"
+        );
+        assert_eq!(
+            f1, f2,
+            "workers={workers}: flight dump must be byte-identical"
+        );
+        // Timelines decompose latency into the engine-side stages.
+        for stage in [
+            "admitted",
+            "dispatched",
+            "prefill",
+            "decode",
+            "score",
+            "merge",
+            "reply",
+        ] {
+            assert!(
+                f1.contains(&format!("\"stage\":\"{stage}\"")),
+                "workers={workers}: flight dump missing stage {stage}:\n{f1}"
+            );
+        }
+        assert!(e1.contains("zg_serve_requests_total{outcome=\"completed\"} "));
+        assert!(e1.contains("# TYPE zg_serve_stage_seconds histogram"));
+        assert!(e1.contains("zg_serve_window_p99_seconds{stage=\"total\""));
+        assert!(e1.contains("zg_serve_slo_firing{slo=\"p99-latency\"} 0"));
+    }
+}
+
+/// Pool-neutral generate traffic: exposition and flight dumps must be
+/// byte-identical *across* worker counts {1, 2, 3, 5}, since nothing in
+/// the observed state may depend on routing.
+#[test]
+fn ops_output_invariant_across_worker_counts_for_generate() {
+    let m = model(256);
+    let (t1, e1, f1) = generate_observed(&m, 1);
+    for workers in [2usize, 3, 5] {
+        let (t, e, f) = generate_observed(&m, workers);
+        assert_eq!(t1, t, "workers={workers}: generated texts diverged");
+        assert_eq!(e1, e, "workers={workers}: exposition diverged");
+        assert_eq!(f1, f, "workers={workers}: flight dump diverged");
+    }
+}
+
+/// Bit-transparency: served scores with the ops plane enabled are
+/// exact-`f64` equal to the same run with it off.
+#[test]
+fn ops_plane_is_bit_transparent_to_served_scores() {
+    let m = model(1024);
+    let ds = german(16, 5);
+    let refs: Vec<_> = ds.records.iter().take(4).collect();
+    let items = eval_items(&ds, &refs);
+    let serve_plain = |workers: usize| -> Vec<(String, f64)> {
+        let engine = ZiGongEngine::new(
+            m.spec(),
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        );
+        let clock = ManualClock::new();
+        let cfg = ServeConfig {
+            queue_capacity: items.len(),
+            max_batch: 3,
+            default_timeout: None,
+            reorder_window: 2,
+        };
+        let mut server = Server::new(engine, cfg, clock.clock());
+        for (i, it) in items.iter().enumerate() {
+            let ex = &it.example;
+            clock.set(0.1 * i as f64);
+            server
+                .submit(
+                    Request::score(
+                        ex.prompt.clone(),
+                        ex.candidates[0].clone(),
+                        ex.candidates[1].clone(),
+                    )
+                    .with_template(0),
+                )
+                .unwrap();
+        }
+        let done = server.run_until_idle();
+        let mut scores = vec![(String::new(), 0.0); items.len()];
+        for c in done {
+            match c.result.unwrap() {
+                Reply::Scored { answer, p_positive } => {
+                    scores[c.id as usize] = (answer, p_positive)
+                }
+                Reply::Generated { .. } => panic!("score request got a generate reply"),
+            }
+        }
+        server.shutdown();
+        scores
+    };
+    for workers in [1usize, 3] {
+        let off = serve_plain(workers);
+        let (on, _expo, _flight) = serve_observed(&m, &items, workers);
+        for (i, (o, n)) in off.iter().zip(&on).enumerate() {
+            assert_eq!(o.0, n.0, "workers={workers}: answer diverged on item {i}");
+            assert_eq!(
+                o.1.to_bits(),
+                n.1.to_bits(),
+                "workers={workers}: ops plane changed p_positive on item {i}"
+            );
+        }
+    }
+}
+
+/// End-to-end SLO path on the deterministic simulator: overload a timed
+/// echo engine until queue deadlines miss, and check the burn-rate alert
+/// fires and the post-mortem bundle is complete and byte-deterministic.
+#[test]
+fn slo_breach_fires_alert_and_dumps_deterministic_postmortem() {
+    let run = || {
+        let clock = ManualClock::new();
+        // One-request batches at 100 ms service against 80 ms deadlines:
+        // whenever arrivals burst, the second request of a burst expires
+        // behind the first one's service time.
+        let engine = TimedEngine::new(EchoEngine::new(), clock.clone(), 0.1);
+        let cfg = ServeConfig {
+            queue_capacity: 64,
+            max_batch: 1,
+            default_timeout: Some(0.08),
+            reorder_window: 0,
+        };
+        let mut server = Server::new(engine, cfg, clock.clock());
+        server.enable_ops(OpsConfig {
+            window_secs: 0.5,
+            recorder_capacity: 32,
+            expo_windows: 4,
+            retain_windows: 16,
+            slos: vec![Slo {
+                name: "deadline-miss".into(),
+                objective: SloObjective::DeadlineMiss,
+                budget: 0.05,
+                short_windows: 1,
+                long_windows: 2,
+                burn_threshold: 1.0,
+            }],
+        });
+        // Arrivals far above the engine's 20 req/s capacity: the queue
+        // backs up and 80 ms deadlines miss.
+        let traffic = poisson_traffic(0x510, 60.0, 80, |i| Request::generate(format!("p{i}"), 1));
+        let out = drive(&mut server, &clock, &traffic, 0.02);
+        assert!(out.stats.timed_out > 0, "overload must miss deadlines");
+        let now = clock.now();
+        let ops = server.ops_mut().expect("ops enabled");
+        ops.finish(now);
+        let alerts = ops.alerts().to_vec();
+        let pms: Vec<String> = ops
+            .take_postmortems()
+            .iter()
+            .map(|pm| pm.render())
+            .collect();
+        let expo = ops.exposition();
+        (alerts, pms, expo)
+    };
+    let (alerts, pms, expo) = run();
+    assert!(
+        !alerts.is_empty(),
+        "burn-rate alert must fire under overload"
+    );
+    assert_eq!(alerts.len(), pms.len(), "one post-mortem per alert");
+    assert!(pms[0].contains("post-mortem slo=deadline-miss"));
+    assert!(pms[0].contains("## flight recorder"));
+    assert!(pms[0].contains("\"outcome\":\"expired\""));
+    assert!(pms[0].contains("## exposition"));
+    assert!(expo.contains("zg_serve_slo_alerts_total"));
+    let (alerts2, pms2, expo2) = run();
+    assert_eq!(alerts, alerts2, "alerts must reproduce");
+    assert_eq!(pms, pms2, "post-mortem bytes must reproduce");
+    assert_eq!(expo, expo2, "exposition bytes must reproduce");
+}

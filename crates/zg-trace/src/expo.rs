@@ -1,0 +1,198 @@
+//! Byte-deterministic Prometheus-style text exposition. The builder
+//! appends samples in exactly the order the caller drives, `# TYPE`
+//! headers are emitted once per metric name at first use, and all values
+//! go through the crate's shortest-roundtrip `f64` formatter — so two
+//! snapshots built from identical metric state render identical bytes,
+//! which is what the zg-serve ops-plane determinism tests pin.
+
+use std::fmt::Write as _;
+
+use crate::hist::Hist;
+use crate::jsonl;
+
+/// Builder for a Prometheus-style text snapshot.
+#[derive(Debug, Default)]
+pub struct Expo {
+    out: String,
+    last_type: Option<String>,
+}
+
+/// Escape a label *value* per the Prometheus text format (backslash,
+/// double quote, and newline must be escaped; nothing else is).
+fn esc_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a sample value: finite values use the shortest-roundtrip
+/// writer, non-finite ones the exposition spellings `+Inf`/`-Inf`/`NaN`.
+fn val(v: f64) -> String {
+    if v.is_finite() {
+        jsonl::num(v)
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+impl Expo {
+    /// Empty snapshot.
+    pub fn new() -> Expo {
+        Expo::default()
+    }
+
+    fn type_line(&mut self, name: &str, kind: &str) {
+        if self.last_type.as_deref() != Some(name) {
+            // INVARIANT: write! to a String cannot fail.
+            writeln!(self.out, "# TYPE {name} {kind}").expect("write to String");
+            self.last_type = Some(name.to_string());
+        }
+    }
+
+    fn sample(&mut self, name: &str, suffix: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.out.push_str(suffix);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                // INVARIANT: write! to a String cannot fail.
+                write!(self.out, "{k}=\"{}\"", esc_label(v)).expect("write to String");
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&val(value));
+        self.out.push('\n');
+    }
+
+    /// Append a counter sample. The `# TYPE` header is emitted once per
+    /// consecutive run of samples sharing `name`.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Expo {
+        self.type_line(name, "counter");
+        self.sample(name, "", labels, value);
+        self
+    }
+
+    /// Append a gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Expo {
+        self.type_line(name, "gauge");
+        self.sample(name, "", labels, value);
+        self
+    }
+
+    /// Append a full histogram: cumulative `_bucket{le=...}` samples for
+    /// every edge plus `le="+Inf"`, then `_sum` and `_count`. Extra
+    /// `labels` are rendered before the `le` label on each bucket.
+    pub fn hist(&mut self, name: &str, labels: &[(&str, &str)], h: &Hist) -> &mut Expo {
+        self.type_line(name, "histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            cum += c;
+            let le = match h.edges.get(i) {
+                Some(e) => jsonl::num(*e),
+                None => "+Inf".to_string(),
+            };
+            let mut bl: Vec<(&str, &str)> = labels.to_vec();
+            bl.push(("le", &le));
+            self.sample(name, "_bucket", &bl, cum as f64);
+        }
+        let mut sl: Vec<(&str, &str)> = labels.to_vec();
+        self.sample(name, "_sum", &sl, h.sum);
+        sl.clear();
+        sl.extend_from_slice(labels);
+        self.sample(name, "_count", &sl, h.n as f64);
+        self
+    }
+
+    /// The rendered snapshot so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consume the builder, returning the rendered snapshot.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_header_emitted_once_per_name_run() {
+        let mut e = Expo::new();
+        e.counter("reqs_total", &[("outcome", "ok")], 3.0);
+        e.counter("reqs_total", &[("outcome", "err")], 1.0);
+        e.gauge("depth", &[], 7.0);
+        assert_eq!(
+            e.finish(),
+            "# TYPE reqs_total counter\n\
+             reqs_total{outcome=\"ok\"} 3\n\
+             reqs_total{outcome=\"err\"} 1\n\
+             # TYPE depth gauge\n\
+             depth 7\n"
+        );
+    }
+
+    #[test]
+    fn hist_renders_cumulative_buckets_sum_count() {
+        let mut h = Hist::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(5.0);
+        h.record(50.0);
+        let mut e = Expo::new();
+        e.hist("lat_seconds", &[("stage", "queue")], &h);
+        assert_eq!(
+            e.finish(),
+            "# TYPE lat_seconds histogram\n\
+             lat_seconds_bucket{stage=\"queue\",le=\"1\"} 1\n\
+             lat_seconds_bucket{stage=\"queue\",le=\"10\"} 2\n\
+             lat_seconds_bucket{stage=\"queue\",le=\"+Inf\"} 3\n\
+             lat_seconds_sum{stage=\"queue\"} 55.5\n\
+             lat_seconds_count{stage=\"queue\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_nonfinite_values_spelled() {
+        let mut e = Expo::new();
+        e.gauge("g", &[("k", "a\"b\\c\nd")], f64::INFINITY);
+        e.gauge("g", &[], f64::NEG_INFINITY);
+        e.gauge("g", &[], f64::NAN);
+        assert_eq!(
+            e.finish(),
+            "# TYPE g gauge\n\
+             g{k=\"a\\\"b\\\\c\\nd\"} +Inf\n\
+             g -Inf\n\
+             g NaN\n"
+        );
+    }
+
+    #[test]
+    fn identical_inputs_render_identical_bytes() {
+        let build = || {
+            let mut h = Hist::new(&[0.001, 0.01]);
+            h.record(0.004);
+            let mut e = Expo::new();
+            e.counter("c", &[("a", "x")], 2.0);
+            e.hist("h", &[], &h);
+            e.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -25,6 +25,14 @@ pub const DEFAULT_HIST_EDGES: &[f64] = &[
     268435456.0,
 ];
 
+/// Upper edges for *latency* histograms: powers of two from 1 µs to
+/// 2^24 µs (~16.8 s). Log-scaled like [`DEFAULT_HIST_EDGES`] but shifted
+/// into the sub-second range queue waits and request latencies live in;
+/// fixed edges keep shard merging element-wise and deterministic.
+pub fn latency_edges() -> Vec<f64> {
+    (0..25).map(|k| 1e-6 * (1u64 << k) as f64).collect()
+}
+
 /// A fixed-bucket histogram with running sum and count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hist {
@@ -44,6 +52,7 @@ impl Hist {
     pub fn new(edges: &[f64]) -> Hist {
         assert!(!edges.is_empty(), "histogram needs at least one edge");
         assert!(
+            // INVARIANT: windows(2) yields exactly-two-element slices.
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must strictly ascend"
         );
@@ -58,6 +67,11 @@ impl Hist {
     /// Empty histogram over [`DEFAULT_HIST_EDGES`].
     pub fn default_edges() -> Hist {
         Hist::new(DEFAULT_HIST_EDGES)
+    }
+
+    /// Empty latency histogram over [`latency_edges`].
+    pub fn latency() -> Hist {
+        Hist::new(&latency_edges())
     }
 
     /// Count `v` into its bucket.
@@ -85,6 +99,30 @@ impl Hist {
         }
         self.sum += other.sum;
         self.n += other.n;
+    }
+
+    /// Nearest-rank quantile estimate from the bucket counts: the upper
+    /// edge of the bucket holding the rank-⌈q·n⌉ observation (`q`
+    /// clamped to `[0, 1]`). Returns `0.0` when empty and
+    /// `f64::INFINITY` when the rank lands in the overflow bucket. A
+    /// pure function of the counts, so merged shards yield the same
+    /// estimate regardless of merge order.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.edges.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        // INVARIANT: the counts sum to n >= target, so the loop always
+        // returns; this arm is unreachable.
+        f64::INFINITY
     }
 
     /// Mean of observed values (`0.0` when empty).
@@ -162,5 +200,53 @@ mod tests {
     #[test]
     fn mean_of_empty_is_zero() {
         assert_eq!(Hist::default_edges().mean(), 0.0);
+    }
+
+    #[test]
+    fn latency_edges_are_log_scaled_microseconds_to_seconds() {
+        let e = latency_edges();
+        assert_eq!(e.len(), 25);
+        assert_eq!(e[0], 1e-6);
+        assert!(e.windows(2).all(|w| w[1] == 2.0 * w[0]));
+        assert!(e[24] > 16.0 && e[24] < 17.0);
+        // Must satisfy Hist::new's strictly-ascending requirement.
+        let _ = Hist::latency();
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank_bucket_edge() {
+        let mut h = Hist::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 2.0, 3.0, 20.0] {
+            h.record(v);
+        }
+        // Ranks: q=0.25 -> rank 1 -> bucket <=1; q=0.5 -> rank 2 -> <=10;
+        // q=0.99 -> rank 4 -> <=100.
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(0.99), 100.0);
+        assert_eq!(h.quantile(0.0), 1.0, "rank clamps to 1");
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_overflow() {
+        let mut h = Hist::new(&[1.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.record(99.0);
+        assert_eq!(h.quantile(0.5), f64::INFINITY, "overflow bucket");
+    }
+
+    #[test]
+    fn quantile_is_merge_order_independent() {
+        let mut a = Hist::new(&[1.0, 10.0]);
+        a.record(0.5);
+        a.record(5.0);
+        let mut b = Hist::new(&[1.0, 10.0]);
+        b.record(7.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.quantile(0.5), ba.quantile(0.5));
+        assert_eq!(ab.quantile(0.99), ba.quantile(0.99));
     }
 }

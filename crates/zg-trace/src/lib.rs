@@ -60,17 +60,21 @@
 //! ```
 
 mod clock;
+mod expo;
 mod hist;
-mod jsonl;
+pub mod jsonl;
 mod report;
 mod trace;
 mod tracer;
+mod window;
 
 pub use clock::{tick_clock, wall_clock, Clock, ManualClock};
-pub use hist::{Hist, DEFAULT_HIST_EDGES};
+pub use expo::Expo;
+pub use hist::{latency_edges, Hist, DEFAULT_HIST_EDGES};
 pub use report::render_report;
 pub use trace::{EventKind, SpanTotal, Trace, TraceEvent, TraceStream};
 pub use tracer::{
     counter_add, enabled, fork_stream, gauge_set, hist_record, span, span_arg, totals, Span,
     StreamGuard, StreamHandle, Totals, Tracer,
 };
+pub use window::{window_of, WindowedCounter, WindowedGauge, WindowedHist};
